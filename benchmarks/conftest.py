@@ -1,0 +1,47 @@
+"""Shared fixtures and helpers for the benchmark suites.
+
+Every suite regenerates one table or figure of the paper.  Traces are scaled
+by ``REPRO_BENCH_SCALE`` (default 0.3) so that the whole ``pytest
+benchmarks/ --benchmark-only`` run finishes in minutes; run
+``python -m repro.bench`` for the full-size tables.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.bench.workloads import Workload
+from repro.trace.trace import Trace
+
+#: Scale factor applied to every workload's per-thread event count.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.3"))
+
+_trace_cache: Dict[Tuple[str, float], Trace] = {}
+
+
+def build_trace(workload: Workload, scale: float = BENCH_SCALE) -> Trace:
+    """Build (and memoise) the trace of a workload at the benchmark scale."""
+    key = (workload.name, scale)
+    if key not in _trace_cache:
+        _trace_cache[key] = workload.build(scale)
+    return _trace_cache[key]
+
+
+def run_analysis_once(analysis_cls, workload: Workload, backend: str,
+                      scale: float = BENCH_SCALE):
+    """Construct the analysis and return a zero-argument runner callable."""
+    trace = build_trace(workload, scale)
+    analysis = analysis_cls(backend, **workload.analysis_kwargs)
+    return lambda: analysis.run(trace)
+
+
+def workload_ids(workloads) -> list:
+    return [workload.name for workload in workloads]
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE

@@ -1,0 +1,73 @@
+"""Figure 10: geometric-mean resource ratios of the baselines over CSSTs.
+
+The full figure aggregates every table; re-running all of them inside a
+benchmark would dominate the suite, so this benchmark measures the summary
+over one representative workload per analysis and reports the resulting
+time ratios as ``extra_info`` (the ``python -m repro.bench`` CLI produces
+the full figure).
+"""
+
+import pytest
+
+from conftest import BENCH_SCALE
+from repro.analyses.c11 import C11RaceAnalysis
+from repro.analyses.deadlock import DeadlockPredictionAnalysis
+from repro.analyses.linearizability import LinearizabilityAnalysis
+from repro.analyses.membug import MemoryBugAnalysis
+from repro.analyses.race_prediction import RacePredictionAnalysis
+from repro.analyses.tso import TSOConsistencyAnalysis
+from repro.analyses.uaf import UseAfterFreeAnalysis
+from repro.bench.harness import TableResult
+from repro.bench.tables import run_analysis_table
+from repro.bench.workloads import (
+    TABLE1_RACE_PREDICTION,
+    TABLE2_DEADLOCK,
+    TABLE3_MEMORY_BUGS,
+    TABLE4_TSO,
+    TABLE5_UAF,
+    TABLE6_C11,
+    TABLE7_LINEARIZABILITY,
+)
+from repro.core import DYNAMIC_BACKENDS, INCREMENTAL_BACKENDS
+
+_REPRESENTATIVES = [
+    ("race-prediction", RacePredictionAnalysis, TABLE1_RACE_PREDICTION[:1],
+     INCREMENTAL_BACKENDS, "incremental-csst"),
+    ("deadlocks", DeadlockPredictionAnalysis, TABLE2_DEADLOCK[:1],
+     INCREMENTAL_BACKENDS, "incremental-csst"),
+    ("memory-bugs", MemoryBugAnalysis, TABLE3_MEMORY_BUGS[:1],
+     INCREMENTAL_BACKENDS, "incremental-csst"),
+    ("x86-tso", TSOConsistencyAnalysis, TABLE4_TSO[:1],
+     INCREMENTAL_BACKENDS, "incremental-csst"),
+    ("use-after-free", UseAfterFreeAnalysis, TABLE5_UAF[:1],
+     INCREMENTAL_BACKENDS, "incremental-csst"),
+    ("c11-races", C11RaceAnalysis, TABLE6_C11[:1],
+     INCREMENTAL_BACKENDS, "incremental-csst"),
+    ("linearizability", LinearizabilityAnalysis, TABLE7_LINEARIZABILITY[:1],
+     DYNAMIC_BACKENDS, "csst"),
+]
+
+
+@pytest.mark.parametrize(
+    "label, analysis_cls, workloads, backends, reference",
+    _REPRESENTATIVES,
+    ids=[entry[0] for entry in _REPRESENTATIVES],
+)
+def test_fig10_resource_ratios(benchmark, label, analysis_cls, workloads,
+                               backends, reference):
+    def run() -> TableResult:
+        return run_analysis_table(
+            label, workloads, analysis_cls, backends,
+            scale=BENCH_SCALE, track_memory=True,
+        )
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    time_ratios = table.mean_ratios(reference, "seconds")
+    memory_ratios = table.mean_ratios(reference, "memory")
+    benchmark.extra_info["time_ratio_over_csst"] = {
+        backend: round(ratio, 3) for backend, ratio in time_ratios.items()
+    }
+    benchmark.extra_info["memory_ratio_over_csst"] = {
+        backend: round(ratio, 3) for backend, ratio in memory_ratios.items()
+    }
+    assert all(ratio > 0 for ratio in time_ratios.values())

@@ -1,0 +1,23 @@
+"""Table 1: predictive data-race detection, per backend.
+
+Regenerates the rows of the paper's Table 1 (analysis wall-clock time for
+VCs, STs and incremental CSSTs) on the scaled race-prediction workloads.
+"""
+
+import pytest
+
+from conftest import run_analysis_once, workload_ids
+from repro.analyses.race_prediction import RacePredictionAnalysis
+from repro.bench.workloads import TABLE1_RACE_PREDICTION
+from repro.core import INCREMENTAL_BACKENDS
+
+
+@pytest.mark.parametrize("backend", INCREMENTAL_BACKENDS)
+@pytest.mark.parametrize("workload", TABLE1_RACE_PREDICTION,
+                         ids=workload_ids(TABLE1_RACE_PREDICTION))
+def test_table1_race_prediction(benchmark, workload, backend):
+    runner = run_analysis_once(RacePredictionAnalysis, workload, backend)
+    result = benchmark.pedantic(runner, rounds=1, iterations=1)
+    benchmark.extra_info["findings"] = result.finding_count
+    benchmark.extra_info["po_operations"] = result.operation_count
+    assert result.operation_count > 0

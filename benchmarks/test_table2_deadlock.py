@@ -1,0 +1,18 @@
+"""Table 2: predictive deadlock detection, per backend."""
+
+import pytest
+
+from conftest import run_analysis_once, workload_ids
+from repro.analyses.deadlock import DeadlockPredictionAnalysis
+from repro.bench.workloads import TABLE2_DEADLOCK
+from repro.core import INCREMENTAL_BACKENDS
+
+
+@pytest.mark.parametrize("backend", INCREMENTAL_BACKENDS)
+@pytest.mark.parametrize("workload", TABLE2_DEADLOCK, ids=workload_ids(TABLE2_DEADLOCK))
+def test_table2_deadlock(benchmark, workload, backend):
+    runner = run_analysis_once(DeadlockPredictionAnalysis, workload, backend)
+    result = benchmark.pedantic(runner, rounds=1, iterations=1)
+    benchmark.extra_info["findings"] = result.finding_count
+    benchmark.extra_info["po_operations"] = result.operation_count
+    assert result.operation_count > 0

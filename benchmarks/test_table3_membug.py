@@ -1,0 +1,19 @@
+"""Table 3: predictive memory-bug detection, per backend."""
+
+import pytest
+
+from conftest import run_analysis_once, workload_ids
+from repro.analyses.membug import MemoryBugAnalysis
+from repro.bench.workloads import TABLE3_MEMORY_BUGS
+from repro.core import INCREMENTAL_BACKENDS
+
+
+@pytest.mark.parametrize("backend", INCREMENTAL_BACKENDS)
+@pytest.mark.parametrize("workload", TABLE3_MEMORY_BUGS,
+                         ids=workload_ids(TABLE3_MEMORY_BUGS))
+def test_table3_memory_bugs(benchmark, workload, backend):
+    runner = run_analysis_once(MemoryBugAnalysis, workload, backend)
+    result = benchmark.pedantic(runner, rounds=1, iterations=1)
+    benchmark.extra_info["findings"] = result.finding_count
+    benchmark.extra_info["po_operations"] = result.operation_count
+    assert result.operation_count > 0

@@ -1,0 +1,24 @@
+"""Table 4: x86-TSO consistency checking, per backend.
+
+This analysis performs repeated updates between events in the middle of the
+partial order (store-buffer flush orderings), the workload on which the
+paper reports the largest gap between Vector Clocks and tree-based
+structures.
+"""
+
+import pytest
+
+from conftest import run_analysis_once, workload_ids
+from repro.analyses.tso import TSOConsistencyAnalysis
+from repro.bench.workloads import TABLE4_TSO
+from repro.core import INCREMENTAL_BACKENDS
+
+
+@pytest.mark.parametrize("backend", INCREMENTAL_BACKENDS)
+@pytest.mark.parametrize("workload", TABLE4_TSO, ids=workload_ids(TABLE4_TSO))
+def test_table4_tso_consistency(benchmark, workload, backend):
+    runner = run_analysis_once(TSOConsistencyAnalysis, workload, backend)
+    result = benchmark.pedantic(runner, rounds=1, iterations=1)
+    benchmark.extra_info["consistent"] = result.details.get("consistent")
+    benchmark.extra_info["po_operations"] = result.operation_count
+    assert result.operation_count > 0

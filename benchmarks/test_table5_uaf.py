@@ -1,0 +1,18 @@
+"""Table 5: use-after-free constraint-query generation, per backend."""
+
+import pytest
+
+from conftest import run_analysis_once, workload_ids
+from repro.analyses.uaf import UseAfterFreeAnalysis
+from repro.bench.workloads import TABLE5_UAF
+from repro.core import INCREMENTAL_BACKENDS
+
+
+@pytest.mark.parametrize("backend", INCREMENTAL_BACKENDS)
+@pytest.mark.parametrize("workload", TABLE5_UAF, ids=workload_ids(TABLE5_UAF))
+def test_table5_use_after_free(benchmark, workload, backend):
+    runner = run_analysis_once(UseAfterFreeAnalysis, workload, backend)
+    result = benchmark.pedantic(runner, rounds=1, iterations=1)
+    benchmark.extra_info["queries_generated"] = result.finding_count
+    benchmark.extra_info["po_operations"] = result.operation_count
+    assert result.operation_count > 0

@@ -1,0 +1,23 @@
+"""Table 6: C11 data-race detection, per backend.
+
+The paper's one counter-example: this workload is streaming, updates rarely
+propagate, and plain Vector Clocks are expected to be competitive with (or
+ahead of) the tree-based structures.
+"""
+
+import pytest
+
+from conftest import run_analysis_once, workload_ids
+from repro.analyses.c11 import C11RaceAnalysis
+from repro.bench.workloads import TABLE6_C11
+from repro.core import INCREMENTAL_BACKENDS
+
+
+@pytest.mark.parametrize("backend", INCREMENTAL_BACKENDS)
+@pytest.mark.parametrize("workload", TABLE6_C11, ids=workload_ids(TABLE6_C11))
+def test_table6_c11_races(benchmark, workload, backend):
+    runner = run_analysis_once(C11RaceAnalysis, workload, backend)
+    result = benchmark.pedantic(runner, rounds=1, iterations=1)
+    benchmark.extra_info["findings"] = result.finding_count
+    benchmark.extra_info["po_operations"] = result.operation_count
+    assert result.operation_count > 0

@@ -1,0 +1,24 @@
+"""Table 7: root-causing linearizability violations, per backend.
+
+The only fully dynamic analysis of the evaluation: its commit-order search
+inserts *and deletes* orderings, so the baselines are plain graphs and fully
+dynamic CSSTs.
+"""
+
+import pytest
+
+from conftest import run_analysis_once, workload_ids
+from repro.analyses.linearizability import LinearizabilityAnalysis
+from repro.bench.workloads import TABLE7_LINEARIZABILITY
+from repro.core import DYNAMIC_BACKENDS
+
+
+@pytest.mark.parametrize("backend", DYNAMIC_BACKENDS)
+@pytest.mark.parametrize("workload", TABLE7_LINEARIZABILITY,
+                         ids=workload_ids(TABLE7_LINEARIZABILITY))
+def test_table7_linearizability(benchmark, workload, backend):
+    runner = run_analysis_once(LinearizabilityAnalysis, workload, backend)
+    result = benchmark.pedantic(runner, rounds=1, iterations=1)
+    benchmark.extra_info["verdict"] = result.details.get("verdict")
+    benchmark.extra_info["deletions"] = result.delete_count
+    assert result.operation_count > 0

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Predictive race detection over a synthetic workload.
+
+Generates a shared-memory trace with both lock-protected and unprotected
+accesses, runs the M2-style race prediction analysis with every incremental
+partial-order backend, and reports the predicted races together with the
+number of partial-order operations each backend served -- the drop-in
+comparison at the heart of the paper's evaluation.
+
+Run with:  python examples/race_detection.py
+"""
+
+import time
+
+from repro.analyses.race_prediction import predict_races
+from repro.trace.generators import racy_trace
+
+
+def main() -> None:
+    trace = racy_trace(
+        num_threads=4,
+        events_per_thread=400,
+        num_variables=24,
+        num_locks=3,
+        protected_fraction=0.55,
+        seed=7,
+        name="example-racy-workload",
+    )
+    print(f"trace: {len(trace)} events, {trace.num_threads} threads")
+
+    results = {}
+    for backend in ("vc", "st", "incremental-csst"):
+        start = time.perf_counter()
+        result = predict_races(trace, backend=backend, candidate_window=10)
+        elapsed = time.perf_counter() - start
+        results[backend] = result
+        print(
+            f"  {backend:18s} {elapsed:6.2f}s  "
+            f"{result.finding_count:3d} races  "
+            f"{result.insert_count:6d} inserts  {result.query_count:8d} queries"
+        )
+
+    # All backends must agree on the findings -- they only differ in speed.
+    counts = {result.finding_count for result in results.values()}
+    assert len(counts) == 1, "backends disagree on the predicted races!"
+
+    print("\npredicted races (first five):")
+    for race in results["incremental-csst"].findings[:5]:
+        print(f"  {race}")
+    print("\nrace_detection example finished OK")
+
+
+if __name__ == "__main__":
+    main()

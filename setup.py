@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The environment used for the reproduction ships an older setuptools without
+PEP 660 editable-wheel support, so ``pip install -e .`` falls back to the
+legacy ``setup.py develop`` path, which needs this file.  All metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,68 @@
+"""repro -- a reproduction of "CSSTs: A Dynamic Data Structure for Partial
+Orders in Concurrent Execution Analysis" (ASPLOS 2024).
+
+The top-level package re-exports the most commonly used classes so that the
+quickstart reads naturally::
+
+    from repro import IncrementalCSST
+
+    order = IncrementalCSST(num_chains=4)
+    order.insert_edge((0, 3), (2, 7))
+    assert order.reachable((0, 1), (2, 9))
+
+Sub-packages
+------------
+``repro.core``
+    CSSTs, Sparse Segment Trees and the baseline partial-order backends.
+``repro.trace``
+    Concurrent-execution trace model, serialization and synthetic workload
+    generators.
+``repro.analyses``
+    The seven dynamic analyses of the paper's evaluation, written against
+    the generic partial-order interface.
+``repro.bench``
+    Benchmark harness used by the ``benchmarks/`` suites to regenerate the
+    paper's tables and figures.
+"""
+
+from repro._version import __version__
+from repro.core import (
+    CSST,
+    GraphOrder,
+    IncrementalCSST,
+    PartialOrder,
+    SegmentTree,
+    SegmentTreeOrder,
+    SparseSegmentTree,
+    VectorClockOrder,
+    make_partial_order,
+)
+from repro.errors import (
+    AnalysisError,
+    BenchmarkError,
+    InvalidEdgeError,
+    InvalidNodeError,
+    ReproError,
+    TraceError,
+    UnsupportedOperationError,
+)
+
+__all__ = [
+    "AnalysisError",
+    "BenchmarkError",
+    "CSST",
+    "GraphOrder",
+    "IncrementalCSST",
+    "InvalidEdgeError",
+    "InvalidNodeError",
+    "PartialOrder",
+    "ReproError",
+    "SegmentTree",
+    "SegmentTreeOrder",
+    "SparseSegmentTree",
+    "TraceError",
+    "UnsupportedOperationError",
+    "VectorClockOrder",
+    "__version__",
+    "make_partial_order",
+]

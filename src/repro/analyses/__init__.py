@@ -1,0 +1,82 @@
+"""The seven dynamic analyses of the paper's evaluation (Section 5).
+
+Every analysis is written against the generic
+:class:`~repro.core.PartialOrder` interface, so any backend -- CSSTs,
+Segment Trees, Vector Clocks, plain graphs -- can be plugged in, exactly as
+in the paper's comparison.
+
+==============================================  =====================
+Module                                           Paper table
+==============================================  =====================
+:mod:`repro.analyses.race_prediction`            Table 1
+:mod:`repro.analyses.deadlock`                   Table 2
+:mod:`repro.analyses.membug`                     Table 3
+:mod:`repro.analyses.tso`                        Table 4
+:mod:`repro.analyses.uaf`                        Table 5
+:mod:`repro.analyses.c11`                        Table 6
+:mod:`repro.analyses.linearizability`            Table 7
+==============================================  =====================
+"""
+
+from repro.analyses.c11 import C11Race, C11RaceAnalysis, detect_c11_races
+from repro.analyses.common import Analysis, AnalysisResult
+from repro.analyses.deadlock import (
+    DeadlockPattern,
+    DeadlockPredictionAnalysis,
+    predict_deadlocks,
+)
+from repro.analyses.linearizability import (
+    LinearizabilityAnalysis,
+    Operation,
+    QueueSpec,
+    RegisterSpec,
+    SetSpec,
+    Violation,
+    check_linearizability,
+    extract_operations,
+)
+from repro.analyses.membug import MemoryBug, MemoryBugAnalysis, predict_memory_bugs
+from repro.analyses.race_prediction import Race, RacePredictionAnalysis, predict_races
+from repro.analyses.tso import (
+    InconsistencyWitness,
+    TSOConsistencyAnalysis,
+    check_tso_consistency,
+)
+from repro.analyses.uaf import (
+    ConstraintQuery,
+    OrderingConstraint,
+    UseAfterFreeAnalysis,
+    generate_uaf_queries,
+)
+
+__all__ = [
+    "Analysis",
+    "AnalysisResult",
+    "C11Race",
+    "C11RaceAnalysis",
+    "ConstraintQuery",
+    "DeadlockPattern",
+    "DeadlockPredictionAnalysis",
+    "InconsistencyWitness",
+    "LinearizabilityAnalysis",
+    "MemoryBug",
+    "MemoryBugAnalysis",
+    "Operation",
+    "OrderingConstraint",
+    "QueueSpec",
+    "Race",
+    "RacePredictionAnalysis",
+    "RegisterSpec",
+    "SetSpec",
+    "TSOConsistencyAnalysis",
+    "UseAfterFreeAnalysis",
+    "Violation",
+    "check_linearizability",
+    "check_tso_consistency",
+    "detect_c11_races",
+    "extract_operations",
+    "generate_uaf_queries",
+    "predict_deadlocks",
+    "predict_memory_bugs",
+    "predict_races",
+]

@@ -1,0 +1,25 @@
+"""Machinery shared by the dynamic analyses (backbone construction,
+saturation, result containers)."""
+
+from repro.analyses.common.base import Analysis, AnalysisResult, BackendSpec
+from repro.analyses.common.hb import (
+    build_sync_order,
+    conflicting_pairs,
+    events_between,
+    insert_ordering,
+    lock_graph,
+)
+from repro.analyses.common.saturation import CycleDetected, SaturationEngine
+
+__all__ = [
+    "Analysis",
+    "AnalysisResult",
+    "BackendSpec",
+    "CycleDetected",
+    "SaturationEngine",
+    "build_sync_order",
+    "conflicting_pairs",
+    "events_between",
+    "insert_ordering",
+    "lock_graph",
+]

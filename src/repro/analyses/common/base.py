@@ -1,0 +1,156 @@
+"""Shared scaffolding for the dynamic analyses.
+
+Every analysis follows the same shape: it consumes a :class:`~repro.trace.Trace`,
+maintains a partial order over the trace's events through the generic
+:class:`~repro.core.PartialOrder` interface, and produces a report.  This
+module provides the pieces they all share: backend construction, operation
+counting, and the result container.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+from repro.core import InstrumentedOrder, PartialOrder, make_partial_order
+from repro.errors import AnalysisError
+from repro.trace.trace import Trace
+
+#: Either a backend name understood by :func:`repro.core.make_partial_order`
+#: or an already constructed backend instance.
+BackendSpec = Union[str, PartialOrder]
+
+
+@dataclass
+class AnalysisResult:
+    """Outcome of running a dynamic analysis over one trace.
+
+    Attributes
+    ----------
+    analysis:
+        Short name of the analysis (e.g. ``"race-prediction"``).
+    trace_name / trace_events / trace_threads:
+        Identification of the analysed trace.
+    backend:
+        Name of the partial-order backend used.
+    findings:
+        Analysis-specific findings (races, deadlocks, violations, ...).
+    elapsed_seconds:
+        Wall-clock time of the analysis.
+    insert_count / delete_count / query_count:
+        Number of partial-order operations issued.
+    details:
+        Free-form additional data (per-analysis metrics).
+    """
+
+    analysis: str
+    trace_name: str
+    trace_events: int
+    trace_threads: int
+    backend: str
+    findings: List[Any] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    insert_count: int = 0
+    delete_count: int = 0
+    query_count: int = 0
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def finding_count(self) -> int:
+        """Number of findings reported by the analysis."""
+        return len(self.findings)
+
+    @property
+    def operation_count(self) -> int:
+        """Total number of partial-order operations issued."""
+        return self.insert_count + self.delete_count + self.query_count
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.analysis}[{self.backend}] on {self.trace_name}: "
+            f"{self.finding_count} findings, {self.operation_count} PO ops, "
+            f"{self.elapsed_seconds:.3f}s"
+        )
+
+
+class Analysis:
+    """Base class for the dynamic analyses.
+
+    Subclasses implement :meth:`_run` and set :attr:`name` and
+    :attr:`requires_deletion`.
+    """
+
+    #: Short identifier used in results and reports.
+    name: str = "analysis"
+
+    #: Whether the analysis needs decremental updates (only the
+    #: linearizability root-causing analysis does).
+    requires_deletion: bool = False
+
+    def __init__(self, backend: BackendSpec = "incremental-csst", **backend_kwargs) -> None:
+        self._backend_spec = backend
+        self._backend_kwargs = backend_kwargs
+
+    # ------------------------------------------------------------------ #
+    # Public entry point
+    # ------------------------------------------------------------------ #
+    def run(self, trace: Trace) -> AnalysisResult:
+        """Run the analysis over ``trace`` and return its result."""
+        order = self._make_order(trace)
+        result = AnalysisResult(
+            analysis=self.name,
+            trace_name=trace.name,
+            trace_events=len(trace),
+            trace_threads=trace.num_threads,
+            backend=self._backend_name(),
+        )
+        start = time.perf_counter()
+        self._run(trace, order, result)
+        result.elapsed_seconds = time.perf_counter() - start
+        result.insert_count = order.insert_count
+        result.delete_count = order.delete_count
+        result.query_count = order.query_count
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Hooks
+    # ------------------------------------------------------------------ #
+    def _run(self, trace: Trace, order: InstrumentedOrder,
+             result: AnalysisResult) -> None:
+        raise NotImplementedError
+
+    def _num_chains(self, trace: Trace) -> int:
+        """Number of chains the partial order needs (default: one per thread).
+
+        Analyses that need more chains (e.g. the TSO checker uses two per
+        thread: program order plus store buffer) override this hook.
+        """
+        return max(trace.num_threads, 1)
+
+    # ------------------------------------------------------------------ #
+    # Backend handling
+    # ------------------------------------------------------------------ #
+    def _make_order(self, trace: Trace) -> InstrumentedOrder:
+        capacity = max(trace.max_thread_length, 1)
+        if isinstance(self._backend_spec, PartialOrder):
+            backend = self._backend_spec
+        else:
+            backend = make_partial_order(
+                self._backend_spec,
+                num_chains=self._num_chains(trace),
+                capacity_hint=capacity,
+                **self._backend_kwargs,
+            )
+        if self.requires_deletion and not backend.supports_deletion:
+            raise AnalysisError(
+                f"analysis {self.name!r} needs decremental updates, but backend "
+                f"{type(backend).__name__} does not support deletion"
+            )
+        return InstrumentedOrder(backend)
+
+    def _backend_name(self) -> str:
+        if isinstance(self._backend_spec, PartialOrder):
+            return type(self._backend_spec).__name__
+        return str(self._backend_spec)

@@ -1,0 +1,137 @@
+"""Happens-before construction helpers shared by the analyses.
+
+Most predictive analyses start from a *sync order*: program order plus
+release-to-acquire edges over each lock (in the observed order) plus
+fork/join edges.  This module builds that backbone into any partial-order
+backend, and exposes small helpers for the orderings analyses add on top.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.interface import Node, PartialOrder
+from repro.trace.event import Event, EventKind
+from repro.trace.trace import Trace
+
+
+def insert_ordering(order: PartialOrder, source: Node, target: Node) -> bool:
+    """Insert ``source -> target`` unless it is already implied.
+
+    Intra-chain orderings are implicit program order and never inserted.
+    Returns ``True`` iff a new edge was actually inserted.
+    """
+    if source[0] == target[0]:
+        return source[1] <= target[1]
+    if order.reachable(source, target):
+        return False
+    order.insert_edge(source, target)
+    return True
+
+
+def build_sync_order(trace: Trace, order: PartialOrder,
+                     include_locks: bool = True,
+                     include_fork_join: bool = True,
+                     include_reads_from: bool = False) -> int:
+    """Populate ``order`` with the trace's synchronisation backbone.
+
+    Parameters
+    ----------
+    trace:
+        The analysed trace.
+    order:
+        Any partial-order backend; edges are inserted through the generic
+        interface.
+    include_locks:
+        Add release(l) -> acquire(l) edges between consecutive critical
+        sections of the same lock, in observed order.
+    include_fork_join:
+        Add fork -> first-child-event and last-child-event -> join edges.
+    include_reads_from:
+        Add write -> read edges of the observed reads-from map (used by the
+        consistency-style analyses).
+
+    Returns
+    -------
+    int
+        Number of cross-chain edges inserted.
+    """
+    inserted = 0
+    if include_locks:
+        last_release: Dict[object, Event] = {}
+        for event in trace:
+            if event.kind is EventKind.ACQUIRE:
+                previous = last_release.get(event.variable)
+                if previous is not None and previous.thread != event.thread:
+                    if insert_ordering(order, previous.node, event.node):
+                        inserted += 1
+            elif event.kind is EventKind.RELEASE:
+                last_release[event.variable] = event
+    if include_fork_join:
+        for source, target in trace.fork_join_edges():
+            if source[0] != target[0] and insert_ordering(order, source, target):
+                inserted += 1
+    if include_reads_from:
+        for read, write in trace.reads_from().items():
+            if write is not None and write.thread != read.thread:
+                if insert_ordering(order, write.node, read.node):
+                    inserted += 1
+    return inserted
+
+
+def conflicting_pairs(trace: Trace, max_pairs: Optional[int] = None,
+                      same_variable_window: Optional[int] = None
+                      ) -> List[Tuple[Event, Event]]:
+    """Enumerate conflicting access pairs (same variable, different threads,
+    at least one write), in trace order.
+
+    ``same_variable_window`` optionally restricts pairs to accesses that are
+    at most that many positions apart in the per-variable access list, which
+    is how practical race detectors bound their candidate set.
+    """
+    pairs: List[Tuple[Event, Event]] = []
+    for accesses in trace.accesses_by_variable().values():
+        for i, first in enumerate(accesses):
+            upper = len(accesses)
+            if same_variable_window is not None:
+                upper = min(upper, i + 1 + same_variable_window)
+            for second in accesses[i + 1 : upper]:
+                if first.conflicts_with(second):
+                    pairs.append((first, second))
+                    if max_pairs is not None and len(pairs) >= max_pairs:
+                        return pairs
+    return pairs
+
+
+def events_between(trace: Trace, thread: int, start_index: int,
+                   end_index: int) -> Iterable[Event]:
+    """Events of ``thread`` with index in ``[start_index, end_index]``."""
+    events = trace.thread_events(thread)
+    start = max(start_index, 0)
+    end = min(end_index, len(events) - 1)
+    for index in range(start, end + 1):
+        yield events[index]
+
+
+def lock_graph(trace: Trace) -> Dict[object, Dict[object, List[Tuple[Event, Event]]]]:
+    """Build the lock-acquisition graph used by deadlock prediction.
+
+    ``graph[l1][l2]`` lists pairs ``(outer_acquire, inner_acquire)`` where a
+    thread acquired ``l2`` while holding ``l1``.
+    """
+    graph: Dict[object, Dict[object, List[Tuple[Event, Event]]]] = defaultdict(
+        lambda: defaultdict(list)
+    )
+    held: Dict[int, List[Event]] = defaultdict(list)
+    for event in trace:
+        if event.kind is EventKind.ACQUIRE:
+            for outer in held[event.thread]:
+                graph[outer.variable][event.variable].append((outer, event))
+            held[event.thread].append(event)
+        elif event.kind is EventKind.RELEASE:
+            held[event.thread] = [
+                acquire for acquire in held[event.thread]
+                if acquire.variable != event.variable
+            ]
+    return graph

@@ -1,0 +1,161 @@
+"""Reads-from saturation (the "saturation" rules of Section 1.1).
+
+Several predictive analyses maintain, besides a partial order ``P``, a
+reads-from assignment ``rf`` mapping every read to the write it observes.
+For ``P`` and ``rf`` to be mutually consistent, additional orderings are
+*forced*:
+
+* ``rf(r) -> r`` -- a read is ordered after its writer;
+* for any other write ``w'`` to the same variable:
+
+  - if ``w' ->* r`` already, then ``w'`` must also precede the writer:
+    insert ``w' -> rf(r)``;
+  - if ``rf(r) ->* w'`` already, then the read must precede the competing
+    write: insert ``r -> w'``.
+
+Applying these rules until a fixed point is the saturation step used by
+consistency checking, race prediction, and the memory-bug analyses (see the
+citations in Section 1.1 of the paper).  Because the inserted orderings land
+between arbitrary events of the trace, this is the archetypal *non-streaming*
+workload CSSTs were designed for.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.interface import PartialOrder
+from repro.errors import AnalysisError
+from repro.trace.event import Event
+from repro.analyses.common.hb import insert_ordering
+
+
+class CycleDetected(AnalysisError):
+    """Raised when saturation would create a cycle.
+
+    A cycle means the current reads-from assignment is infeasible: there is
+    no interleaving in which every read observes its assigned writer.
+    """
+
+    def __init__(self, source: Event, target: Event) -> None:
+        super().__init__(f"ordering {source} -> {target} closes a cycle")
+        self.source = source
+        self.target = target
+
+
+class SaturationEngine:
+    """Applies the reads-from saturation rules over a partial order.
+
+    Parameters
+    ----------
+    order:
+        The partial-order backend holding ``P``.
+    writes_by_variable:
+        All write events, grouped by variable; used to locate competing
+        writes for each saturated read.
+    track_insertions:
+        When ``True``, every edge inserted by the engine is recorded so a
+        caller can undo it later (only meaningful for fully dynamic
+        backends; used by the search-style analyses that explore reads-from
+        choices and backtrack).
+    """
+
+    def __init__(self, order: PartialOrder,
+                 writes_by_variable: Mapping[object, List[Event]],
+                 track_insertions: bool = False) -> None:
+        self._order = order
+        self._writes_by_variable = writes_by_variable
+        self._track = track_insertions
+        self._inserted: List[Tuple[Event, Event]] = []
+
+    # ------------------------------------------------------------------ #
+    # Edge insertion with cycle detection
+    # ------------------------------------------------------------------ #
+    def add_ordering(self, source: Event, target: Event) -> bool:
+        """Insert ``source -> target``; raise :class:`CycleDetected` if the
+        reverse ordering already holds.  Returns ``True`` if a new cross-
+        chain edge was inserted."""
+        if source.node == target.node:
+            return False
+        if source.thread == target.thread:
+            if source.index > target.index:
+                raise CycleDetected(source, target)
+            return False
+        if self._order.reachable(target.node, source.node):
+            raise CycleDetected(source, target)
+        if insert_ordering(self._order, source.node, target.node):
+            if self._track:
+                self._inserted.append((source, target))
+            return True
+        return False
+
+    def undo(self) -> int:
+        """Delete every tracked edge (most recent first) and return how many
+        were removed.  Requires a backend with deletion support."""
+        removed = 0
+        while self._inserted:
+            source, target = self._inserted.pop()
+            self._order.delete_edge(source.node, target.node)
+            removed += 1
+        return removed
+
+    @property
+    def inserted_edges(self) -> List[Tuple[Event, Event]]:
+        """Edges inserted so far (only populated when tracking is enabled)."""
+        return list(self._inserted)
+
+    # ------------------------------------------------------------------ #
+    # Saturation
+    # ------------------------------------------------------------------ #
+    def saturate(self, reads_from: Mapping[Event, Optional[Event]],
+                 max_rounds: int = 16) -> int:
+        """Apply the saturation rules until a fixed point (or ``max_rounds``).
+
+        Saturation proceeds one memory location at a time (all reads of a
+        variable are handled before moving to the next), as location-centric
+        predictive analyses do.  The orderings this derives therefore land
+        between arbitrary events of the trace rather than following the
+        trace order -- the non-streaming insertion pattern the paper's
+        motivating example describes.
+
+        Returns the number of orderings inserted.  Raises
+        :class:`CycleDetected` if the assignment is infeasible.
+        """
+        by_location = sorted(
+            (item for item in reads_from.items() if item[1] is not None),
+            key=lambda item: (str(item[0].variable), item[0].thread, item[0].index),
+        )
+        inserted = 0
+        for _ in range(max_rounds):
+            changed = 0
+            for read, write in by_location:
+                changed += self._saturate_read(read, write)
+            inserted += changed
+            if changed == 0:
+                return inserted
+        return inserted
+
+    def _saturate_read(self, read: Event, write: Event) -> int:
+        inserted = 0
+        if self.add_ordering(write, read):
+            inserted += 1
+        for competitor in self._writes_by_variable.get(read.variable, ()):
+            if competitor is write or not competitor.is_write:
+                continue
+            if competitor.node == write.node:
+                continue
+            # Competing write already before the read: force it before the writer.
+            if self._reaches(competitor, read) and not self._reaches(competitor, write):
+                if self.add_ordering(competitor, write):
+                    inserted += 1
+            # Writer already before the competing write: force the read before it.
+            if self._reaches(write, competitor) and not self._reaches(read, competitor):
+                if competitor is not write and self.add_ordering(read, competitor):
+                    inserted += 1
+        return inserted
+
+    def _reaches(self, source: Event, target: Event) -> bool:
+        if source.thread == target.thread:
+            return source.index <= target.index
+        return self._order.reachable(source.node, target.node)

@@ -1,0 +1,67 @@
+"""Benchmark harness: measurement helpers, workload configurations, and the
+functions that regenerate the paper's tables and figures."""
+
+from repro.bench.export import (
+    crossover_to_csv,
+    figure11_to_csv,
+    table_to_csv,
+    table_to_csv_string,
+)
+from repro.bench.harness import (
+    BenchmarkRow,
+    MeasuredRun,
+    TableResult,
+    geometric_mean,
+    measure,
+)
+from repro.bench.tables import (
+    ALL_TABLE_RUNNERS,
+    BACKEND_LABELS,
+    CrossoverResult,
+    Figure10Result,
+    Figure11Result,
+    ScalabilityPoint,
+    run_analysis_table,
+    run_crossover,
+    run_figure10,
+    run_figure11,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+    run_table7,
+)
+from repro.bench.workloads import ALL_TABLES, Workload
+
+__all__ = [
+    "ALL_TABLES",
+    "ALL_TABLE_RUNNERS",
+    "BACKEND_LABELS",
+    "BenchmarkRow",
+    "CrossoverResult",
+    "Figure10Result",
+    "Figure11Result",
+    "MeasuredRun",
+    "ScalabilityPoint",
+    "TableResult",
+    "Workload",
+    "crossover_to_csv",
+    "figure11_to_csv",
+    "geometric_mean",
+    "measure",
+    "run_analysis_table",
+    "run_crossover",
+    "run_figure10",
+    "run_figure11",
+    "table_to_csv",
+    "table_to_csv_string",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_table6",
+    "run_table7",
+]

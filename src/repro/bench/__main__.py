@@ -1,0 +1,61 @@
+"""Command-line entry point: regenerate every table and figure.
+
+Usage::
+
+    python -m repro.bench                 # everything, default scale
+    python -m repro.bench --scale 0.5     # smaller traces
+    python -m repro.bench --tables table1,table7 --skip-figures
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict
+
+from repro.bench.harness import TableResult
+from repro.bench.tables import ALL_TABLE_RUNNERS, run_figure10, run_figure11
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="Scale factor on per-thread event counts (default 1.0).")
+    parser.add_argument("--tables", type=str, default="all",
+                        help="Comma-separated table ids (table1..table7) or 'all'.")
+    parser.add_argument("--skip-figures", action="store_true",
+                        help="Skip Figures 10 and 11.")
+    parser.add_argument("--memory", action="store_true",
+                        help="Also print the per-table memory columns.")
+    args = parser.parse_args(argv)
+
+    if args.tables == "all":
+        selected = list(ALL_TABLE_RUNNERS)
+    else:
+        selected = [name.strip() for name in args.tables.split(",") if name.strip()]
+        unknown = [name for name in selected if name not in ALL_TABLE_RUNNERS]
+        if unknown:
+            parser.error(f"unknown tables: {', '.join(unknown)}")
+
+    results: Dict[str, TableResult] = {}
+    for name in selected:
+        table = ALL_TABLE_RUNNERS[name](scale=args.scale)
+        results[name] = table
+        print(table.format())
+        if args.memory:
+            print(table.format(metric="memory"))
+        print()
+
+    if not args.skip_figures:
+        if set(selected) == set(ALL_TABLE_RUNNERS):
+            print(run_figure10(tables=results).format())
+            print()
+        print(run_figure11().format())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""Export benchmark results to CSV.
+
+The paper's artifact emits one CSV file per analysis (`compile_results.py`);
+this module provides the same convenience for the reproduction: table
+results and scalability figures can be written to CSV for further plotting
+or comparison against the paper's numbers.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import TextIO, Union
+
+from repro.bench.harness import TableResult
+from repro.bench.tables import CrossoverResult, Figure11Result
+
+Destination = Union[str, Path, TextIO]
+
+
+def _open_and_call(destination: Destination, writer_func) -> None:
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", encoding="utf-8", newline="") as stream:
+            writer_func(stream)
+    else:
+        writer_func(destination)
+
+
+def table_to_csv(table: TableResult, destination: Destination) -> None:
+    """Write a :class:`TableResult` as CSV.
+
+    Columns: benchmark, threads, events, density, then one time column and
+    one memory column per backend.
+    """
+
+    def write(stream: TextIO) -> None:
+        writer = csv.writer(stream)
+        header = ["benchmark", "threads", "events", "density"]
+        header += [f"{backend}_seconds" for backend in table.backends]
+        header += [f"{backend}_peak_bytes" for backend in table.backends]
+        writer.writerow(header)
+        for row in table.rows:
+            record = [row.benchmark, row.threads, row.events, f"{row.density:.4f}"]
+            record += [f"{row.seconds.get(backend, ''):.6f}" if backend in row.seconds
+                       else "" for backend in table.backends]
+            record += [row.memory.get(backend, "") for backend in table.backends]
+            writer.writerow(record)
+        totals = table.totals()
+        writer.writerow(
+            ["TOTAL", "", "", ""]
+            + [f"{totals.get(backend, 0.0):.6f}" for backend in table.backends]
+            + ["" for _ in table.backends]
+        )
+
+    _open_and_call(destination, write)
+
+
+def table_to_csv_string(table: TableResult) -> str:
+    """Return the CSV rendering of ``table`` as a string."""
+    buffer = io.StringIO()
+    table_to_csv(table, buffer)
+    return buffer.getvalue()
+
+
+def figure11_to_csv(figure: Figure11Result, destination: Destination) -> None:
+    """Write the scalability measurements as CSV."""
+
+    def write(stream: TextIO) -> None:
+        writer = csv.writer(stream)
+        writer.writerow(["backend", "num_chains", "chain_length",
+                         "insert_seconds", "query_seconds",
+                         "inserted_edges", "queries"])
+        for point in sorted(figure.points,
+                            key=lambda p: (p.backend, p.num_chains, p.chain_length)):
+            writer.writerow([
+                point.backend, point.num_chains, point.chain_length,
+                f"{point.insert_seconds:.9f}", f"{point.query_seconds:.9f}",
+                point.inserted_edges, point.queries,
+            ])
+
+    _open_and_call(destination, write)
+
+
+def crossover_to_csv(result: CrossoverResult, destination: Destination) -> None:
+    """Write the crossover measurements as CSV."""
+
+    def write(stream: TextIO) -> None:
+        writer = csv.writer(stream)
+        writer.writerow(["backend", "events_per_thread", "seconds",
+                         "insert_count", "query_count"])
+        for point in sorted(result.points,
+                            key=lambda p: (p.backend, p.events_per_thread)):
+            writer.writerow([
+                point.backend, point.events_per_thread, f"{point.seconds:.6f}",
+                point.insert_count, point.query_count,
+            ])
+
+    _open_and_call(destination, write)

@@ -1,0 +1,177 @@
+"""Measurement and reporting helpers for the benchmark suites.
+
+The paper reports, per benchmark and per data structure, the wall-clock time
+of the whole analysis and (in Figure 10) the geometric mean of time and
+memory ratios relative to CSSTs.  This module provides those pieces:
+:func:`measure` runs a callable under ``tracemalloc`` and returns time and
+peak memory, :class:`TableResult` accumulates per-benchmark rows, and
+:func:`geometric_mean` aggregates ratios.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import BenchmarkError
+
+
+@dataclass(frozen=True)
+class MeasuredRun:
+    """Outcome of measuring one callable."""
+
+    seconds: float
+    peak_memory_bytes: int
+    value: object = None
+
+
+def measure(func: Callable[[], object], track_memory: bool = True) -> MeasuredRun:
+    """Run ``func`` once, returning wall-clock time and peak memory."""
+    if track_memory:
+        tracemalloc.start()
+    start = time.perf_counter()
+    value = func()
+    elapsed = time.perf_counter() - start
+    peak = 0
+    if track_memory:
+        _current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+    return MeasuredRun(seconds=elapsed, peak_memory_bytes=peak, value=value)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (0.0 for an empty sequence)."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+@dataclass
+class BenchmarkRow:
+    """One row of a paper-style table: a benchmark measured per backend."""
+
+    benchmark: str
+    threads: int
+    events: int
+    density: float = 0.0
+    seconds: Dict[str, float] = field(default_factory=dict)
+    memory: Dict[str, int] = field(default_factory=dict)
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def ratio(self, backend: str, reference: str, metric: str = "seconds") -> Optional[float]:
+        """Resource ratio ``backend / reference`` for the given metric."""
+        values = self.seconds if metric == "seconds" else self.memory
+        if backend not in values or reference not in values:
+            return None
+        if values[reference] == 0:
+            return None
+        return values[backend] / values[reference]
+
+
+@dataclass
+class TableResult:
+    """A full table: a list of rows plus formatting helpers."""
+
+    title: str
+    backends: Sequence[str]
+    rows: List[BenchmarkRow] = field(default_factory=list)
+
+    def add_row(self, row: BenchmarkRow) -> None:
+        self.rows.append(row)
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+    def totals(self) -> Dict[str, float]:
+        """Total seconds per backend (the paper's "Total" row)."""
+        totals: Dict[str, float] = {}
+        for backend in self.backends:
+            totals[backend] = sum(row.seconds.get(backend, 0.0) for row in self.rows)
+        return totals
+
+    def mean_ratios(self, reference: str, metric: str = "seconds") -> Dict[str, float]:
+        """Geometric-mean resource ratio of each backend over ``reference``.
+
+        This is the quantity plotted in Figure 10 of the paper.
+        """
+        ratios: Dict[str, float] = {}
+        for backend in self.backends:
+            if backend == reference:
+                continue
+            values = [
+                ratio for row in self.rows
+                if (ratio := row.ratio(backend, reference, metric)) is not None
+            ]
+            if values:
+                ratios[backend] = geometric_mean(values)
+        return ratios
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+    def format(self, metric: str = "seconds") -> str:
+        """Render the table in the style of the paper's tables."""
+        headers = ["benchmark", "T", "N", "q"] + [
+            f"{backend} ({'s' if metric == 'seconds' else 'KiB'})"
+            for backend in self.backends
+        ]
+        lines: List[List[str]] = []
+        for row in self.rows:
+            values = row.seconds if metric == "seconds" else {
+                backend: row.memory.get(backend, 0) / 1024.0
+                for backend in self.backends
+            }
+            lines.append(
+                [
+                    row.benchmark,
+                    str(row.threads),
+                    _format_count(row.events),
+                    f"{row.density:.2f}",
+                ]
+                + [_format_number(values.get(backend)) for backend in self.backends]
+            )
+        totals = self.totals()
+        if metric == "seconds":
+            lines.append(
+                ["Total", "-", "-", "-"]
+                + [_format_number(totals.get(backend)) for backend in self.backends]
+            )
+        return _render(self.title, headers, lines)
+
+
+def _format_count(value: int) -> str:
+    if value >= 1_000_000:
+        return f"{value / 1_000_000:.1f}M"
+    if value >= 1_000:
+        return f"{value / 1_000:.1f}K"
+    return str(value)
+
+
+def _format_number(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value >= 100:
+        return f"{value:.0f}"
+    if value >= 1:
+        return f"{value:.2f}"
+    return f"{value:.3f}"
+
+
+def _render(title: str, headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [len(header) for header in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise BenchmarkError("row width does not match header width")
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+    separator = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    lines = [title, separator, render_row(headers), separator]
+    lines.extend(render_row(row) for row in rows)
+    lines.append(separator)
+    return "\n".join(lines)

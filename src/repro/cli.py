@@ -1,0 +1,155 @@
+"""Command-line interface: generate traces, run analyses, compare backends.
+
+The CLI is a thin wrapper over the library so that the typical workflow --
+produce a workload, analyse it, compare partial-order backends on it -- does
+not require writing Python:
+
+.. code-block:: bash
+
+    python -m repro generate racy --threads 4 --events 500 --out trace.txt
+    python -m repro analyze race-prediction trace.txt --backend incremental-csst
+    python -m repro compare tso-consistency trace.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.analyses.c11 import C11RaceAnalysis
+from repro.analyses.common.base import Analysis
+from repro.analyses.deadlock import DeadlockPredictionAnalysis
+from repro.analyses.linearizability import LinearizabilityAnalysis
+from repro.analyses.membug import MemoryBugAnalysis
+from repro.analyses.race_prediction import RacePredictionAnalysis
+from repro.analyses.tso import TSOConsistencyAnalysis
+from repro.analyses.uaf import UseAfterFreeAnalysis
+from repro.core import DYNAMIC_BACKENDS, INCREMENTAL_BACKENDS
+from repro.trace import dump_trace, generators, load_trace
+
+#: Analyses runnable from the command line.
+ANALYSES: Dict[str, type] = {
+    "race-prediction": RacePredictionAnalysis,
+    "deadlock-prediction": DeadlockPredictionAnalysis,
+    "memory-bugs": MemoryBugAnalysis,
+    "tso-consistency": TSOConsistencyAnalysis,
+    "use-after-free": UseAfterFreeAnalysis,
+    "c11-races": C11RaceAnalysis,
+    "linearizability": LinearizabilityAnalysis,
+}
+
+#: Trace generators reachable from ``repro generate``.
+GENERATORS: Dict[str, Callable] = {
+    "racy": generators.racy_trace,
+    "deadlock": generators.deadlock_trace,
+    "memory": generators.memory_trace,
+    "tso": generators.tso_trace,
+    "c11": generators.c11_trace,
+    "history": generators.history_trace,
+}
+
+
+def _default_backend(analysis_name: str) -> str:
+    return "csst" if analysis_name == "linearizability" else "incremental-csst"
+
+
+def _backends_for(analysis_name: str) -> Sequence[str]:
+    return DYNAMIC_BACKENDS if analysis_name == "linearizability" else INCREMENTAL_BACKENDS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="CSSTs reproduction: trace generation and dynamic analyses.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a synthetic trace")
+    generate.add_argument("kind", choices=sorted(GENERATORS))
+    generate.add_argument("--threads", type=int, default=4)
+    generate.add_argument("--events", type=int, default=200,
+                          help="events (or operations) per thread")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", type=str, default="-",
+                          help="output file ('-' for stdout)")
+
+    analyze = subparsers.add_parser("analyze", help="run one analysis on a trace file")
+    analyze.add_argument("analysis", choices=sorted(ANALYSES))
+    analyze.add_argument("trace", help="trace file produced by 'generate'")
+    analyze.add_argument("--backend", default=None,
+                         help="partial-order backend (default depends on the analysis)")
+    analyze.add_argument("--max-findings", type=int, default=20,
+                         help="number of findings to print")
+
+    compare = subparsers.add_parser(
+        "compare", help="run one analysis on every applicable backend")
+    compare.add_argument("analysis", choices=sorted(ANALYSES))
+    compare.add_argument("trace", help="trace file produced by 'generate'")
+
+    return parser
+
+
+def _generate(args: argparse.Namespace) -> int:
+    generator = GENERATORS[args.kind]
+    kwargs = {"num_threads": args.threads, "seed": args.seed}
+    if args.kind == "history":
+        kwargs["operations_per_thread"] = args.events
+    else:
+        kwargs["events_per_thread"] = args.events
+    trace = generator(**kwargs)
+    if args.out == "-":
+        dump_trace(trace, sys.stdout)
+    else:
+        dump_trace(trace, args.out)
+        print(f"wrote {len(trace)} events ({trace.num_threads} threads) to {args.out}")
+    return 0
+
+
+def _make_analysis(name: str, backend: Optional[str]) -> Analysis:
+    backend = backend or _default_backend(name)
+    return ANALYSES[name](backend)
+
+
+def _analyze(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    analysis = _make_analysis(args.analysis, args.backend)
+    result = analysis.run(trace)
+    print(result.summary())
+    for key, value in sorted(result.details.items()):
+        if not isinstance(value, (list, dict)):
+            print(f"  {key}: {value}")
+    for finding in result.findings[: args.max_findings]:
+        print(f"  finding: {finding}")
+    if result.finding_count > args.max_findings:
+        print(f"  ... and {result.finding_count - args.max_findings} more")
+    return 0
+
+
+def _compare(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    print(f"{'backend':20s} {'seconds':>9s} {'findings':>9s} {'inserts':>9s} "
+          f"{'deletes':>9s} {'queries':>9s}")
+    for backend in _backends_for(args.analysis):
+        analysis = _make_analysis(args.analysis, backend)
+        result = analysis.run(trace)
+        print(
+            f"{backend:20s} {result.elapsed_seconds:9.3f} {result.finding_count:9d} "
+            f"{result.insert_count:9d} {result.delete_count:9d} {result.query_count:9d}"
+        )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "generate":
+        return _generate(args)
+    if args.command == "analyze":
+        return _analyze(args)
+    if args.command == "compare":
+        return _compare(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

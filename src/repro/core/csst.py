@@ -1,0 +1,172 @@
+"""Fully dynamic Collective Sparse Segment Trees (Algorithm 2 of the paper).
+
+The fully dynamic variant supports both edge insertions and deletions.  Each
+suffix-minima array ``A[t1][t2]`` stores only the *direct* edges from chain
+``t1`` to chain ``t2`` (the earliest target per source node, Lemma 3); the
+full multiset of targets per source node lives in a small deletable min-heap
+so that deleting the current minimum can expose the next one.  Reachability
+queries perform a Bellman-Ford-style closure over the ``k`` chains, which
+costs ``O(k^3 min(log n, d))`` per query but keeps updates at
+``O(max(log δ, min(log n, d)))`` (Theorem 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.heap import DeletableMinHeap
+from repro.core.interface import INF, Node
+from repro.core.matrix import ArrayFactory, ChainMatrixOrder
+from repro.core.sparse_segment_tree import DEFAULT_BLOCK_SIZE, SparseSegmentTree
+from repro.errors import InvalidEdgeError
+
+
+class CSST(ChainMatrixOrder):
+    """Fully dynamic CSST: insertions, deletions, and reachability queries.
+
+    Parameters
+    ----------
+    num_chains:
+        Number of chains ``k`` of the maintained chain DAG.
+    capacity_hint:
+        Expected number of events per chain; arrays grow beyond it
+        automatically.
+    block_size:
+        Block-node threshold forwarded to the underlying
+        :class:`~repro.core.sparse_segment_tree.SparseSegmentTree` arrays.
+    array_factory:
+        Override for the per-chain-pair suffix-minima arrays.  Used by the
+        test-suite to cross-check CSSTs against the naive reference arrays;
+        normal users never need it.
+    """
+
+    supports_deletion = True
+
+    def __init__(self, num_chains: int, capacity_hint: int = 1024, *,
+                 block_size: int = DEFAULT_BLOCK_SIZE,
+                 array_factory: Optional[ArrayFactory] = None) -> None:
+        if array_factory is None:
+            def array_factory(capacity: int, _b: int = block_size) -> SparseSegmentTree:
+                return SparseSegmentTree(capacity, block_size=_b)
+        super().__init__(num_chains, capacity_hint, array_factory=array_factory)
+        # edge heaps: (t1, t2) -> {j1: multiset of j2 targets}
+        self._heaps: Dict[Tuple[int, int], Dict[int, DeletableMinHeap]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+    def insert_edge(self, source: Node, target: Node) -> None:
+        self._check_edge(source, target)
+        (t1, j1), (t2, j2) = source, target
+        heap = self._edge_heap(t1, t2, j1)
+        if j2 < heap.min():
+            self._array(t1, t2).update(j1, j2)
+        heap.insert(j2)
+
+    def delete_edge(self, source: Node, target: Node) -> None:
+        self._check_edge(source, target)
+        (t1, j1), (t2, j2) = source, target
+        per_pair = self._heaps.get((t1, t2))
+        heap = per_pair.get(j1) if per_pair else None
+        if heap is None or j2 not in heap:
+            raise InvalidEdgeError(f"edge {source} -> {target} is not present")
+        if j2 == heap.min():
+            heap.delete(j2)
+            self._array(t1, t2).update(j1, heap.min())
+        else:
+            heap.delete(j2)
+
+    # ------------------------------------------------------------------ #
+    # Queries (Algorithm 2)
+    # ------------------------------------------------------------------ #
+    def successor(self, node: Node, chain: int) -> Optional[int]:
+        self._check_node(node)
+        t1, j1 = node
+        if chain == t1:
+            return j1
+        closure = self._forward_closure(t1, j1)
+        result = closure[chain]
+        return None if result == INF else int(result)
+
+    def predecessor(self, node: Node, chain: int) -> Optional[int]:
+        self._check_node(node)
+        t1, j1 = node
+        if chain == t1:
+            return j1
+        closure = self._backward_closure(t1, j1)
+        result = closure[chain]
+        return None if result < 0 else int(result)
+
+    # ------------------------------------------------------------------ #
+    # Closure computations
+    # ------------------------------------------------------------------ #
+    def _forward_closure(self, t1: int, j1: int) -> Dict[int, float]:
+        """Earliest node of every other chain reachable from ``(t1, j1)``."""
+        chains = [t for t in range(self._num_chains) if t != t1]
+        closure: Dict[int, float] = {}
+        for chain in chains:
+            closure[chain] = self._suffix_min(t1, chain, j1)
+        changed = True
+        while changed:
+            changed = False
+            for dest in chains:
+                for via in chains:
+                    if via == dest or closure[via] == INF:
+                        continue
+                    candidate = self._suffix_min(via, dest, int(closure[via]))
+                    if candidate < closure[dest]:
+                        closure[dest] = candidate
+                        changed = True
+        return closure
+
+    def _backward_closure(self, t1: int, j1: int) -> Dict[int, float]:
+        """Latest node of every other chain that reaches ``(t1, j1)``."""
+        chains = [t for t in range(self._num_chains) if t != t1]
+        closure: Dict[int, float] = {}
+        for chain in chains:
+            closure[chain] = self._argleq(chain, t1, j1)
+        changed = True
+        while changed:
+            changed = False
+            for dest in chains:
+                for via in chains:
+                    if via == dest or closure[via] < 0:
+                        continue
+                    candidate = self._argleq(dest, via, int(closure[via]))
+                    if candidate > closure[dest]:
+                        closure[dest] = candidate
+                        changed = True
+        return closure
+
+    def _suffix_min(self, source_chain: int, target_chain: int, index: int) -> float:
+        array = self._existing_array(source_chain, target_chain)
+        if array is None:
+            return INF
+        return array.suffix_min(index)
+
+    def _argleq(self, source_chain: int, target_chain: int, value: int) -> float:
+        array = self._existing_array(source_chain, target_chain)
+        if array is None:
+            return -1.0
+        result = array.argleq(value)
+        return -1.0 if result is None else float(result)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _edge_heap(self, t1: int, t2: int, j1: int) -> DeletableMinHeap:
+        per_pair = self._heaps.setdefault((t1, t2), {})
+        heap = per_pair.get(j1)
+        if heap is None:
+            heap = DeletableMinHeap()
+            per_pair[j1] = heap
+        return heap
+
+    @property
+    def edge_count(self) -> int:
+        """Number of cross-chain edges currently stored."""
+        return sum(
+            len(heap)
+            for per_pair in self._heaps.values()
+            for heap in per_pair.values()
+        )

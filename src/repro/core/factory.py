@@ -1,0 +1,65 @@
+"""Factory for partial-order backends.
+
+The dynamic analyses in :mod:`repro.analyses` and the benchmark harness are
+written against the abstract :class:`~repro.core.interface.PartialOrder`
+interface; this factory turns a short backend name (as used throughout the
+paper's tables) into a concrete instance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.core.csst import CSST
+from repro.core.graph_po import GraphOrder
+from repro.core.incremental_csst import IncrementalCSST
+from repro.core.interface import PartialOrder
+from repro.core.st_partial_order import SegmentTreeOrder
+from repro.core.vector_clock import VectorClockOrder
+from repro.errors import ReproError
+
+#: Mapping from backend name to implementation class.  The names mirror the
+#: column headers of the paper's tables ("VCs", "STs", "CSSTs", "Graphs").
+BACKENDS: Dict[str, Type[PartialOrder]] = {
+    "csst": CSST,
+    "incremental-csst": IncrementalCSST,
+    "st": SegmentTreeOrder,
+    "vc": VectorClockOrder,
+    "graph": GraphOrder,
+}
+
+#: Backends usable in incremental-only analyses (paper Tables 1-6).
+INCREMENTAL_BACKENDS = ("vc", "st", "incremental-csst")
+
+#: Backends usable in fully dynamic analyses (paper Table 7).
+DYNAMIC_BACKENDS = ("graph", "csst")
+
+
+def make_partial_order(kind: str, num_chains: int, capacity_hint: int = 1024,
+                       **kwargs) -> PartialOrder:
+    """Instantiate a partial-order backend by name.
+
+    Parameters
+    ----------
+    kind:
+        One of ``"csst"``, ``"incremental-csst"``, ``"st"``, ``"vc"``,
+        ``"graph"``.
+    num_chains:
+        Number of chains of the maintained chain DAG.
+    capacity_hint:
+        Expected number of events per chain.
+    kwargs:
+        Extra keyword arguments forwarded to the backend constructor (e.g.
+        ``block_size`` for the CSST variants).
+
+    Raises
+    ------
+    ReproError
+        If ``kind`` does not name a known backend.
+    """
+    try:
+        backend_cls = BACKENDS[kind]
+    except KeyError:
+        known = ", ".join(sorted(BACKENDS))
+        raise ReproError(f"unknown partial-order backend {kind!r}; known: {known}")
+    return backend_cls(num_chains, capacity_hint, **kwargs)

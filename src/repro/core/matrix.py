@@ -1,0 +1,72 @@
+"""Shared machinery for backends built on per-chain-pair suffix-minima arrays.
+
+Both CSST variants (and the dense Segment Tree baseline) maintain one
+suffix-minima array ``A[t1][t2]`` for every ordered pair of distinct chains
+``t1 != t2``.  This module provides the lazy construction and bookkeeping of
+that ``k x (k - 1)`` matrix so the individual backends only implement the
+algorithmic parts (Algorithms 2 and 3 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Tuple
+
+from repro.core.interface import PartialOrder
+from repro.core.suffix_minima import SuffixMinima
+
+#: A callable building a fresh suffix-minima array with the given capacity.
+ArrayFactory = Callable[[int], SuffixMinima]
+
+
+class ChainMatrixOrder(PartialOrder):
+    """Base class managing a lazily populated matrix of suffix-minima arrays.
+
+    Subclasses access the array holding orderings *from* chain ``t1`` *to*
+    chain ``t2`` through :meth:`_array`.  Arrays are created on first use so
+    that the memory footprint tracks the number of chain pairs that actually
+    interact, which is what makes the space usage ``O(d k)`` in practice
+    (Section 3.3, "Space usage").
+    """
+
+    def __init__(self, num_chains: int, capacity_hint: int = 1024, *,
+                 array_factory: ArrayFactory) -> None:
+        super().__init__(num_chains, capacity_hint)
+        self._array_factory = array_factory
+        self._arrays: Dict[Tuple[int, int], SuffixMinima] = {}
+
+    # ------------------------------------------------------------------ #
+    # Matrix access
+    # ------------------------------------------------------------------ #
+    def _array(self, source_chain: int, target_chain: int) -> SuffixMinima:
+        """Return (creating if needed) the array of orderings
+        ``source_chain -> target_chain``."""
+        key = (source_chain, target_chain)
+        array = self._arrays.get(key)
+        if array is None:
+            array = self._array_factory(self._capacity_hint)
+            self._arrays[key] = array
+        return array
+
+    def _existing_array(self, source_chain: int, target_chain: int):
+        """Return the array for the pair if it was ever written, else ``None``."""
+        return self._arrays.get((source_chain, target_chain))
+
+    def _iter_arrays(self) -> Iterator[Tuple[Tuple[int, int], SuffixMinima]]:
+        return iter(self._arrays.items())
+
+    # ------------------------------------------------------------------ #
+    # Introspection used by benchmarks and tests
+    # ------------------------------------------------------------------ #
+    @property
+    def max_array_density(self) -> int:
+        """Largest density among the suffix-minima arrays (paper's ``q`` is
+        this value normalised by the chain length)."""
+        return max((a.density for a in self._arrays.values()), default=0)
+
+    @property
+    def total_entries(self) -> int:
+        """Total number of non-empty entries across every array.
+
+        This is the dominant memory term of the structure and the quantity
+        compared against the ``O(n k)`` footprint of Vector Clocks."""
+        return sum(a.density for a in self._arrays.values())

@@ -1,0 +1,143 @@
+"""Dense Segment Trees for dynamic suffix minima (the "STs" baseline).
+
+This is the classic, array-backed segment tree used by the M2 race
+detector [31] and reproduced here as the ``STs`` baseline of the paper's
+evaluation (Section 5.1).  Every operation runs in ``O(log n)`` time and the
+structure always allocates ``O(n)`` space regardless of how sparse the
+represented array is -- this is exactly the weakness that Sparse Segment
+Trees (:mod:`repro.core.sparse_segment_tree`) address.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.interface import INF
+from repro.core.suffix_minima import SuffixMinima, Value
+from repro.errors import InvalidNodeError
+
+
+def _next_power_of_two(value: int) -> int:
+    power = 1
+    while power < value:
+        power *= 2
+    return power
+
+
+class SegmentTree(SuffixMinima):
+    """Array-backed segment tree over a fixed-capacity array.
+
+    The tree is stored implicitly in a flat list of ``2 * capacity`` slots:
+    node ``i`` has children ``2i`` and ``2i + 1`` and the leaves occupy
+    slots ``capacity .. 2 * capacity - 1``.  Each internal node stores the
+    minimum of its subtree.
+
+    The capacity grows automatically (by doubling and rebuilding the upper
+    levels) when an update targets an index beyond the current capacity, so
+    the structure can be used without knowing the trace length up front.
+    """
+
+    def __init__(self, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise InvalidNodeError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = _next_power_of_two(capacity)
+        self._tree: List[Value] = [INF] * (2 * self._capacity)
+        self._density = 0
+
+    # ------------------------------------------------------------------ #
+    # SuffixMinima interface
+    # ------------------------------------------------------------------ #
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def density(self) -> int:
+        return self._density
+
+    def update(self, index: int, value: Value) -> None:
+        self._check_index(index)
+        if index >= self._capacity:
+            self._grow(index + 1)
+        leaf = self._capacity + index
+        old = self._tree[leaf]
+        if old == value:
+            return
+        if old == INF and value != INF:
+            self._density += 1
+        elif old != INF and value == INF:
+            self._density -= 1
+        self._tree[leaf] = value
+        node = leaf // 2
+        while node >= 1:
+            new_min = min(self._tree[2 * node], self._tree[2 * node + 1])
+            if self._tree[node] == new_min:
+                break
+            self._tree[node] = new_min
+            node //= 2
+
+    def get(self, index: int) -> Value:
+        self._check_index(index)
+        if index >= self._capacity:
+            return INF
+        return self._tree[self._capacity + index]
+
+    def suffix_min(self, index: int) -> Value:
+        self._check_index(index)
+        if index >= self._capacity:
+            return INF
+        # Standard iterative range-minimum over [index, capacity).
+        result = INF
+        left = self._capacity + index
+        right = 2 * self._capacity
+        while left < right:
+            if left & 1:
+                result = min(result, self._tree[left])
+                left += 1
+            if right & 1:
+                right -= 1
+                result = min(result, self._tree[right])
+            left //= 2
+            right //= 2
+        return result
+
+    def argleq(self, value: Value) -> Optional[int]:
+        if self._tree[1] > value:
+            return None
+        # Descend towards the right-most leaf whose value is <= value.
+        node = 1
+        while node < self._capacity:
+            right = 2 * node + 1
+            left = 2 * node
+            if self._tree[right] <= value:
+                node = right
+            else:
+                node = left
+        return node - self._capacity
+
+    def items(self):
+        return [
+            (i, self._tree[self._capacity + i])
+            for i in range(self._capacity)
+            if self._tree[self._capacity + i] != INF
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _grow(self, minimum_capacity: int) -> None:
+        new_capacity = self._capacity
+        while new_capacity < minimum_capacity:
+            new_capacity *= 2
+        new_tree: List[Value] = [INF] * (2 * new_capacity)
+        # Copy the existing leaves and rebuild the internal levels.
+        new_tree[new_capacity : new_capacity + self._capacity] = self._tree[
+            self._capacity : 2 * self._capacity
+        ]
+        for node in range(new_capacity - 1, 0, -1):
+            new_tree[node] = min(new_tree[2 * node], new_tree[2 * node + 1])
+        self._capacity = new_capacity
+        self._tree = new_tree
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SegmentTree(capacity={self._capacity}, density={self._density})"

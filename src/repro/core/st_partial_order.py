@@ -1,0 +1,26 @@
+"""The "STs" baseline: incremental reachability over dense Segment Trees.
+
+This reproduces the data structure underpinning the M2 race detector [31]
+and used as the main incremental baseline of the paper's evaluation: the
+same transitive per-chain-pair arrays as incremental CSSTs, but each array
+is a classic dense segment tree without minima indexing, sparse
+representation, or block nodes.  Functionally it answers exactly the same
+queries; it simply allocates ``O(n k)`` space up front and always pays the
+full ``O(log n)`` per array operation.
+"""
+
+from __future__ import annotations
+
+from repro.core.incremental_csst import IncrementalCSST
+from repro.core.segment_tree import SegmentTree
+
+
+class SegmentTreeOrder(IncrementalCSST):
+    """Incremental partial order backed by dense segment trees."""
+
+    def __init__(self, num_chains: int, capacity_hint: int = 1024) -> None:
+        super().__init__(
+            num_chains,
+            capacity_hint,
+            array_factory=lambda capacity: SegmentTree(capacity),
+        )

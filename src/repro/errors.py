@@ -1,0 +1,46 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch a single base class when they do not care about the precise
+failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class UnsupportedOperationError(ReproError):
+    """Raised when a partial-order backend does not support an operation.
+
+    The canonical example is calling ``delete_edge`` on a Vector Clock or
+    Segment Tree backend: the paper (Section 1) points out that these
+    structures cannot handle decremental updates, and we surface that as an
+    explicit error instead of silently corrupting the order.
+    """
+
+
+class InvalidEdgeError(ReproError):
+    """Raised when an edge update violates the chain-DAG restrictions.
+
+    Updates are only allowed across nodes in *different* chains (Section
+    2.2 of the paper); intra-chain order is implicit program order.
+    """
+
+
+class InvalidNodeError(ReproError):
+    """Raised when a node identifier is malformed or out of range."""
+
+
+class TraceError(ReproError):
+    """Raised when a trace is malformed (bad event, unbalanced locks, ...)."""
+
+
+class AnalysisError(ReproError):
+    """Raised when a dynamic analysis is mis-configured or fails internally."""
+
+
+class BenchmarkError(ReproError):
+    """Raised by the benchmark harness on invalid configuration."""

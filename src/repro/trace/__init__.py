@@ -1,0 +1,47 @@
+"""Trace substrate: event model, trace container, serialization and
+synthetic workload generators."""
+
+from repro.trace.event import (
+    ACCESS_KINDS,
+    READ_KINDS,
+    WRITE_KINDS,
+    Event,
+    EventKind,
+    MemoryOrder,
+)
+from repro.trace.formats import dump_trace, dumps_trace, load_trace, loads_trace
+from repro.trace.metrics import TraceMetrics, compute_metrics
+from repro.trace.generators import (
+    c11_trace,
+    deadlock_trace,
+    history_trace,
+    memory_trace,
+    racy_trace,
+    random_cross_edges,
+    tso_trace,
+)
+from repro.trace.trace import CriticalSection, Trace
+
+__all__ = [
+    "ACCESS_KINDS",
+    "CriticalSection",
+    "Event",
+    "EventKind",
+    "MemoryOrder",
+    "READ_KINDS",
+    "Trace",
+    "TraceMetrics",
+    "WRITE_KINDS",
+    "c11_trace",
+    "compute_metrics",
+    "deadlock_trace",
+    "dump_trace",
+    "dumps_trace",
+    "history_trace",
+    "load_trace",
+    "loads_trace",
+    "memory_trace",
+    "racy_trace",
+    "random_cross_edges",
+    "tso_trace",
+]

@@ -1,0 +1,127 @@
+"""Plain-text serialization of traces.
+
+The artifact accompanying the paper distributes its traces in a simple
+line-oriented "STD"-like format.  We provide a comparable format so users
+can persist generated workloads, inspect them, and feed externally produced
+traces into the analyses:
+
+.. code-block:: text
+
+    # one event per line, observed order, '|'-separated fields
+    thread|kind|key=value|key=value|...
+
+Only fields whose value is set are emitted.  Values are stored as
+``repr``-like literals for ints and strings; anything else round-trips as a
+string.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import List, TextIO, Union
+
+from repro.errors import TraceError
+from repro.trace.event import Event, EventKind, MemoryOrder
+from repro.trace.trace import Trace
+
+_FIELDS = (
+    "variable",
+    "value",
+    "target",
+    "memory_order",
+    "operation",
+    "argument",
+    "result",
+    "atomic",
+)
+
+
+def _encode_value(value) -> str:
+    if isinstance(value, bool):
+        return f"bool:{int(value)}"
+    if isinstance(value, int):
+        return f"int:{value}"
+    if isinstance(value, MemoryOrder):
+        return f"mo:{value.value}"
+    return f"str:{value}"
+
+
+def _decode_value(text: str):
+    prefix, _, payload = text.partition(":")
+    if prefix == "int":
+        return int(payload)
+    if prefix == "bool":
+        return bool(int(payload))
+    if prefix == "mo":
+        return MemoryOrder(payload)
+    if prefix == "str":
+        return payload
+    raise TraceError(f"cannot decode field value {text!r}")
+
+
+def dump_trace(trace: Trace, destination: Union[str, Path, TextIO]) -> None:
+    """Serialise ``trace`` to a file path or text stream."""
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", encoding="utf-8") as stream:
+            dump_trace(trace, stream)
+        return
+    destination.write(f"# trace {trace.name}\n")
+    for event in trace:
+        parts = [str(event.thread), event.kind.value]
+        for field in _FIELDS:
+            value = getattr(event, field)
+            if value is None or (field == "atomic" and value is False):
+                continue
+            parts.append(f"{field}={_encode_value(value)}")
+        destination.write("|".join(parts) + "\n")
+
+
+def dumps_trace(trace: Trace) -> str:
+    """Serialise ``trace`` to a string."""
+    buffer = io.StringIO()
+    dump_trace(trace, buffer)
+    return buffer.getvalue()
+
+
+def load_trace(source: Union[str, Path, TextIO], name: str = "trace") -> Trace:
+    """Load a trace from a file path or text stream."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as stream:
+            return load_trace(stream, name=name)
+    events: List[Event] = []
+    per_thread_counts = {}
+    trace_name = name
+    for line_number, raw_line in enumerate(source, start=1):
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            if line.startswith("# trace "):
+                trace_name = line[len("# trace "):].strip()
+            continue
+        parts = line.split("|")
+        if len(parts) < 2:
+            raise TraceError(f"malformed trace line {line_number}: {line!r}")
+        thread = int(parts[0])
+        try:
+            kind = EventKind(parts[1])
+        except ValueError:
+            raise TraceError(
+                f"unknown event kind {parts[1]!r} on line {line_number}"
+            ) from None
+        metadata = {}
+        for part in parts[2:]:
+            field, _, encoded = part.partition("=")
+            if field not in _FIELDS:
+                raise TraceError(f"unknown field {field!r} on line {line_number}")
+            metadata[field] = _decode_value(encoded)
+        index = per_thread_counts.get(thread, 0)
+        per_thread_counts[thread] = index + 1
+        events.append(Event(thread=thread, index=index, kind=kind, **metadata))
+    return Trace(events, name=trace_name)
+
+
+def loads_trace(text: str, name: str = "trace") -> Trace:
+    """Load a trace from a string produced by :func:`dumps_trace`."""
+    return load_trace(io.StringIO(text), name=name)

@@ -1,0 +1,399 @@
+"""Synthetic workload generators.
+
+The paper evaluates CSSTs on traces of real programs (RoadRunner recordings
+of Java benchmarks, C11Tester executions, pbzip2/x264 runs, ...).  Those
+traces and their instrumentation toolchains are not redistributable, so this
+module provides parameterised generators producing traces with the same
+*structural* characteristics the paper reports for each dataset: thread
+count ``T``, event count ``N``, the mix of synchronisation and data events,
+and the resulting cross-chain density ``q``.  Every generator is
+deterministic given its ``seed`` so that benchmarks are reproducible.
+
+Each generator targets one of the analyses in :mod:`repro.analyses`:
+
+=========================  =====================================
+Generator                   Analysis (paper table)
+=========================  =====================================
+:func:`racy_trace`          race prediction (Table 1)
+:func:`deadlock_trace`      deadlock prediction (Table 2)
+:func:`memory_trace`        memory-bug / use-after-free (Tables 3, 5)
+:func:`tso_trace`           x86-TSO consistency (Table 4)
+:func:`c11_trace`           C11 race detection (Table 6)
+:func:`history_trace`       linearizability root-causing (Table 7)
+:func:`random_cross_edges`  scalability microbenchmark (Figure 11)
+=========================  =====================================
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import TraceError
+from repro.trace.event import MemoryOrder
+from repro.trace.trace import Trace
+
+Node = Tuple[int, int]
+
+
+def _rng(seed: Optional[int]) -> random.Random:
+    return random.Random(seed)
+
+
+def _round_robin_threads(rng: random.Random, num_threads: int,
+                         events_per_thread: int) -> Iterator[int]:
+    """Yield a thread schedule: mostly bursts, interleaved at random."""
+    remaining = {t: events_per_thread for t in range(num_threads)}
+    active = list(remaining)
+    while active:
+        thread = rng.choice(active)
+        burst = min(remaining[thread], rng.randint(1, 6))
+        for _ in range(burst):
+            yield thread
+        remaining[thread] -= burst
+        if remaining[thread] == 0:
+            active.remove(thread)
+
+
+def racy_trace(num_threads: int = 4, events_per_thread: int = 200,
+               num_variables: int = 10, num_locks: int = 3,
+               protected_fraction: float = 0.6, write_fraction: float = 0.4,
+               seed: Optional[int] = 0, name: str = "racy") -> Trace:
+    """Shared-memory workload with both protected and unprotected accesses.
+
+    A ``protected_fraction`` of accesses happen inside critical sections of
+    a randomly chosen lock, which creates release/acquire orderings; the
+    rest are unprotected and give the race-prediction analysis candidate
+    pairs to examine.
+    """
+    _validate_positive(num_threads=num_threads, events_per_thread=events_per_thread,
+                       num_variables=num_variables)
+    rng = _rng(seed)
+    trace = Trace(name=name)
+    budget = {t: events_per_thread for t in range(num_threads)}
+    active = [t for t in range(num_threads) if budget[t] > 0]
+    while active:
+        thread = rng.choice(active)
+        variable = f"x{rng.randrange(num_variables)}"
+        is_write = rng.random() < write_fraction
+        protected = num_locks > 0 and rng.random() < protected_fraction
+        if protected and budget[thread] >= 3:
+            lock = f"l{rng.randrange(num_locks)}"
+            trace.acquire(thread, lock)
+            _emit_access(trace, thread, variable, is_write, rng)
+            trace.release(thread, lock)
+            budget[thread] -= 3
+        else:
+            _emit_access(trace, thread, variable, is_write, rng)
+            budget[thread] -= 1
+        if budget[thread] <= 0:
+            active.remove(thread)
+    return trace
+
+
+def _emit_access(trace: Trace, thread: int, variable: str, is_write: bool,
+                 rng: random.Random) -> None:
+    if is_write:
+        trace.write(thread, variable, value=rng.randrange(1000))
+    else:
+        trace.read(thread, variable)
+
+
+def deadlock_trace(num_threads: int = 4, events_per_thread: int = 200,
+                   num_locks: int = 6, nesting_fraction: float = 0.4,
+                   inversion_fraction: float = 0.1, seed: Optional[int] = 0,
+                   name: str = "deadlock") -> Trace:
+    """Lock-heavy workload with nested critical sections.
+
+    Most nested acquisitions follow a global lock order (lower lock id
+    first); a small ``inversion_fraction`` inverts it, creating the
+    lock-order cycles that the deadlock-prediction analysis hunts for.
+    """
+    _validate_positive(num_threads=num_threads, events_per_thread=events_per_thread,
+                       num_locks=num_locks)
+    rng = _rng(seed)
+    trace = Trace(name=name)
+    budget = {t: events_per_thread for t in range(num_threads)}
+    active = [t for t in range(num_threads) if budget[t] > 0]
+    while active:
+        thread = rng.choice(active)
+        outer, inner = rng.sample(range(num_locks), 2) if num_locks >= 2 else (0, 0)
+        nested = rng.random() < nesting_fraction and num_locks >= 2
+        if nested and rng.random() >= inversion_fraction:
+            outer, inner = min(outer, inner), max(outer, inner)
+        variable = f"x{rng.randrange(max(2, num_locks))}"
+        if nested and budget[thread] >= 6:
+            trace.acquire(thread, f"l{outer}")
+            trace.write(thread, variable, value=rng.randrange(100))
+            trace.acquire(thread, f"l{inner}")
+            trace.read(thread, variable)
+            trace.release(thread, f"l{inner}")
+            trace.release(thread, f"l{outer}")
+            budget[thread] -= 6
+        elif budget[thread] >= 3:
+            trace.acquire(thread, f"l{outer}")
+            trace.read(thread, variable)
+            trace.release(thread, f"l{outer}")
+            budget[thread] -= 3
+        else:
+            trace.read(thread, variable)
+            budget[thread] -= 1
+        if budget[thread] <= 0:
+            active.remove(thread)
+    return trace
+
+
+def memory_trace(num_threads: int = 4, events_per_thread: int = 200,
+                 num_objects: int = 20, escape_fraction: float = 0.5,
+                 use_after_free_window: int = 4, seed: Optional[int] = 0,
+                 name: str = "memory") -> Trace:
+    """Heap-lifecycle workload: alloc / use / free across threads.
+
+    Objects are allocated by one thread; an ``escape_fraction`` of them are
+    also used by other threads, which is what creates candidate
+    use-after-free and double-free pairs for the memory-bug analyses.
+    """
+    _validate_positive(num_threads=num_threads, events_per_thread=events_per_thread,
+                       num_objects=num_objects)
+    rng = _rng(seed)
+    trace = Trace(name=name)
+    addresses = [f"obj{i}" for i in range(num_objects)]
+    allocated: List[str] = []
+    freed: set = set()
+    next_address = 0
+    budget = {t: events_per_thread for t in range(num_threads)}
+    active = [t for t in range(num_threads) if budget[t] > 0]
+    lock = "heap_lock"
+    while active:
+        thread = rng.choice(active)
+        roll = rng.random()
+        if (roll < 0.2 and next_address < num_objects) or not allocated:
+            if next_address >= num_objects:
+                # Nothing left to allocate but nothing live either: spin on a
+                # plain read so the budget still drains.
+                trace.read(thread, "spin")
+                budget[thread] -= 1
+            else:
+                address = addresses[next_address]
+                next_address += 1
+                trace.alloc(thread, address)
+                allocated.append(address)
+                budget[thread] -= 1
+        elif roll < 0.35 and allocated:
+            address = allocated.pop(rng.randrange(len(allocated)))
+            freed.add(address)
+            trace.free(thread, address)
+            budget[thread] -= 1
+        else:
+            pool = allocated if (rng.random() < escape_fraction or not freed) else list(freed)
+            if not pool:
+                pool = allocated or list(freed)
+            address = rng.choice(pool) if pool else "spin"
+            protected = rng.random() < 0.3
+            if protected and budget[thread] >= 3:
+                trace.acquire(thread, lock)
+                _emit_access(trace, thread, address, rng.random() < 0.5, rng)
+                trace.release(thread, lock)
+                budget[thread] -= 3
+            else:
+                _emit_access(trace, thread, address, rng.random() < 0.5, rng)
+                budget[thread] -= 1
+        if budget[thread] <= 0:
+            active.remove(thread)
+    return trace
+
+
+def tso_trace(num_threads: int = 3, events_per_thread: int = 200,
+              num_variables: int = 4, write_fraction: float = 0.5,
+              stale_read_fraction: float = 0.15, seed: Optional[int] = 0,
+              name: str = "tso") -> Trace:
+    """Write/read workload annotated with values, for TSO consistency checks.
+
+    Every write stores a unique value; each read observes either the most
+    recent write to its variable (in trace order) or, with probability
+    ``stale_read_fraction``, a slightly older one -- the kind of reordering
+    x86-TSO store buffering allows.  The consistency checker then has to
+    reconstruct a witness order.
+    """
+    _validate_positive(num_threads=num_threads, events_per_thread=events_per_thread,
+                       num_variables=num_variables)
+    rng = _rng(seed)
+    trace = Trace(name=name)
+    next_value = 1
+    recent_writes: dict = {f"v{i}": [0] for i in range(num_variables)}
+    for thread in _round_robin_threads(rng, num_threads, events_per_thread):
+        variable = f"v{rng.randrange(num_variables)}"
+        if rng.random() < write_fraction:
+            trace.atomic_write(thread, variable, value=next_value,
+                               memory_order=MemoryOrder.SEQ_CST)
+            recent_writes[variable].append(next_value)
+            if len(recent_writes[variable]) > 4:
+                recent_writes[variable].pop(0)
+            next_value += 1
+        else:
+            history = recent_writes[variable]
+            if len(history) > 1 and rng.random() < stale_read_fraction:
+                value = rng.choice(history[:-1])
+            else:
+                value = history[-1]
+            trace.atomic_read(thread, variable, value=value,
+                              memory_order=MemoryOrder.SEQ_CST)
+    return trace
+
+
+def c11_trace(num_threads: int = 4, events_per_thread: int = 200,
+              num_atomic_variables: int = 4, num_plain_variables: int = 8,
+              atomic_fraction: float = 0.5, rmw_fraction: float = 0.2,
+              release_acquire_fraction: float = 0.6, seed: Optional[int] = 0,
+              name: str = "c11") -> Trace:
+    """Mixed atomic / plain access workload in the style of C11Tester.
+
+    Atomic operations mostly use release/acquire ordering (which creates
+    synchronizes-with edges), occasionally relaxed; plain accesses provide
+    the data-race candidates.
+    """
+    _validate_positive(num_threads=num_threads, events_per_thread=events_per_thread,
+                       num_atomic_variables=num_atomic_variables,
+                       num_plain_variables=num_plain_variables)
+    rng = _rng(seed)
+    trace = Trace(name=name)
+    next_value = 1
+    for thread in _round_robin_threads(rng, num_threads, events_per_thread):
+        if rng.random() < atomic_fraction:
+            variable = f"a{rng.randrange(num_atomic_variables)}"
+            strong = rng.random() < release_acquire_fraction
+            if rng.random() < rmw_fraction:
+                order = MemoryOrder.ACQ_REL if strong else MemoryOrder.RELAXED
+                trace.atomic_rmw(thread, variable, value=next_value, memory_order=order)
+                next_value += 1
+            elif rng.random() < 0.5:
+                order = MemoryOrder.RELEASE if strong else MemoryOrder.RELAXED
+                trace.atomic_write(thread, variable, value=next_value, memory_order=order)
+                next_value += 1
+            else:
+                order = MemoryOrder.ACQUIRE if strong else MemoryOrder.RELAXED
+                trace.atomic_read(thread, variable, memory_order=order)
+        else:
+            variable = f"p{rng.randrange(num_plain_variables)}"
+            _emit_access(trace, thread, variable, rng.random() < 0.4, rng)
+    return trace
+
+
+def history_trace(num_threads: int = 3, operations_per_thread: int = 40,
+                  data_structure: str = "set", key_range: int = 8,
+                  inject_violation: bool = True, overlap: float = 0.6,
+                  seed: Optional[int] = 0, name: str = "history") -> Trace:
+    """Concurrent-object history (method begin/end events).
+
+    Supported ``data_structure`` values: ``"set"`` (add / remove /
+    contains), ``"queue"`` (enqueue / dequeue) and ``"register"``
+    (write / read).  Operations *overlap*: a begun operation stays pending
+    for a while before its end event is emitted (controlled by ``overlap``:
+    higher values delay responses longer), which is what gives the
+    linearizability search real non-determinism to explore.  Results are
+    produced by a sequential specification linearised at the invocation
+    point, so the generated history is linearizable; when
+    ``inject_violation`` is set, one boolean result is flipped so that the
+    history is not, giving the root-causing analysis something to explain.
+    """
+    _validate_positive(num_threads=num_threads,
+                       operations_per_thread=operations_per_thread,
+                       key_range=key_range)
+    if data_structure not in ("set", "queue", "register"):
+        raise TraceError(f"unknown data structure {data_structure!r}")
+    if not 0.0 <= overlap < 1.0:
+        raise TraceError(f"overlap must be in [0, 1), got {overlap}")
+    rng = _rng(seed)
+    trace = Trace(name=name)
+    state_set: set = set()
+    state_queue: List[int] = []
+    state_register = 0
+    remaining = {t: operations_per_thread for t in range(num_threads)}
+    pending: dict = {}  # thread -> (operation, result)
+    violation_slot = (
+        rng.randrange(max(1, num_threads * operations_per_thread // 2))
+        if inject_violation else -1
+    )
+    emitted = 0
+
+    def apply_spec(operation: str, key: int):
+        nonlocal state_register
+        if data_structure == "set":
+            if operation == "add":
+                result = key not in state_set
+                state_set.add(key)
+            elif operation == "remove":
+                result = key in state_set
+                state_set.discard(key)
+            else:
+                result = key in state_set
+            return result
+        if data_structure == "queue":
+            if operation == "enqueue":
+                state_queue.append(key)
+                return True
+            return state_queue.pop(0) if state_queue else None
+        if operation == "write":
+            state_register = key
+            return True
+        return state_register
+
+    while any(remaining.values()) or pending:
+        candidates = [t for t in range(num_threads)
+                      if remaining[t] > 0 or t in pending]
+        thread = rng.choice(candidates)
+        if thread in pending and (remaining[thread] == 0 or rng.random() > overlap):
+            operation, result = pending.pop(thread)
+            trace.end(thread, operation, result=result)
+        elif thread not in pending and remaining[thread] > 0:
+            key = rng.randrange(key_range)
+            if data_structure == "set":
+                operation = rng.choice(["add", "remove", "contains"])
+            elif data_structure == "queue":
+                operation = rng.choice(["enqueue", "dequeue"])
+            else:
+                operation = rng.choice(["write", "read"])
+            result = apply_spec(operation, key)
+            if emitted == violation_slot and isinstance(result, bool):
+                result = not result
+            emitted += 1
+            remaining[thread] -= 1
+            trace.begin(thread, operation, argument=key)
+            pending[thread] = (operation, result)
+    return trace
+
+
+def random_cross_edges(num_chains: int, events_per_chain: int, count: int,
+                       window: int = 10_000, seed: Optional[int] = 0
+                       ) -> List[Tuple[Node, Node]]:
+    """Candidate cross-chain edges for the Figure 11 scalability experiment.
+
+    Produces ``count`` random edges ``(t, i) -> (t', j)`` with ``t != t'``
+    and ``|i - j| <= window``, matching the paper's protocol ("cross-chain
+    orderings are typically between events that execute within the same
+    time-window").  The benchmark harness filters out candidates whose
+    endpoints are already ordered before inserting.
+    """
+    _validate_positive(num_chains=num_chains, events_per_chain=events_per_chain,
+                       count=count, window=window)
+    if num_chains < 2:
+        raise TraceError("random_cross_edges needs at least two chains")
+    rng = _rng(seed)
+    edges: List[Tuple[Node, Node]] = []
+    for _ in range(count):
+        source_chain = rng.randrange(num_chains)
+        target_chain = rng.randrange(num_chains)
+        while target_chain == source_chain:
+            target_chain = rng.randrange(num_chains)
+        source_index = rng.randrange(events_per_chain)
+        low = max(0, source_index - window)
+        high = min(events_per_chain - 1, source_index + window)
+        target_index = rng.randint(low, high)
+        edges.append(((source_chain, source_index), (target_chain, target_index)))
+    return edges
+
+
+def _validate_positive(**kwargs: int) -> None:
+    for key, value in kwargs.items():
+        if value <= 0:
+            raise TraceError(f"{key} must be positive, got {value}")

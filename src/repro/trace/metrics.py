@@ -1,0 +1,108 @@
+"""Trace statistics.
+
+The paper characterises each benchmark by a handful of structural metrics --
+thread count ``T``, event count ``N``, and the suffix-minima density ``q``
+observed while maintaining the order.  This module computes those (and a few
+more that are useful when designing workloads) directly from a trace, so
+users can check that a synthetic workload matches the regime they care
+about before spending time on an analysis run.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.trace.event import EventKind
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class TraceMetrics:
+    """Structural summary of a trace."""
+
+    name: str
+    events: int                       #: total number of events (``N``)
+    threads: int                      #: number of threads (``T``)
+    max_thread_length: int            #: length of the longest chain
+    variables: int                    #: distinct shared variables accessed
+    locks: int                        #: distinct locks acquired
+    reads: int
+    writes: int
+    lock_operations: int
+    cross_thread_reads: int           #: reads whose observed writer is another thread
+    critical_sections: int
+    max_lock_nesting: int
+    accesses_per_variable: float      #: mean accesses per shared variable
+    communication_density: float      #: cross-thread reads-from edges per event
+
+    def summary(self) -> str:
+        """Multi-line human-readable rendering."""
+        lines = [
+            f"trace {self.name}: {self.events} events, {self.threads} threads "
+            f"(longest chain {self.max_thread_length})",
+            f"  accesses: {self.reads} reads / {self.writes} writes over "
+            f"{self.variables} variables "
+            f"({self.accesses_per_variable:.1f} accesses/variable)",
+            f"  synchronisation: {self.lock_operations} lock operations on "
+            f"{self.locks} locks, {self.critical_sections} critical sections "
+            f"(max nesting {self.max_lock_nesting})",
+            f"  communication: {self.cross_thread_reads} cross-thread reads "
+            f"(density {self.communication_density:.3f})",
+        ]
+        return "\n".join(lines)
+
+
+def compute_metrics(trace: Trace) -> TraceMetrics:
+    """Compute :class:`TraceMetrics` for ``trace`` in a single pass."""
+    reads = writes = lock_operations = 0
+    variables = set()
+    locks = set()
+    nesting: Dict[int, int] = defaultdict(int)
+    max_nesting = 0
+    access_counts: Counter = Counter()
+    critical_sections = 0
+
+    for event in trace:
+        if event.is_access:
+            variables.add(event.variable)
+            access_counts[event.variable] += 1
+            if event.is_read:
+                reads += 1
+            if event.is_write:
+                writes += 1
+        elif event.kind is EventKind.ACQUIRE:
+            locks.add(event.variable)
+            lock_operations += 1
+            critical_sections += 1
+            nesting[event.thread] += 1
+            max_nesting = max(max_nesting, nesting[event.thread])
+        elif event.kind is EventKind.RELEASE:
+            lock_operations += 1
+            nesting[event.thread] = max(0, nesting[event.thread] - 1)
+
+    cross_thread_reads = sum(
+        1
+        for read, write in trace.reads_from().items()
+        if write is not None and write.thread != read.thread
+    )
+    events = len(trace)
+    return TraceMetrics(
+        name=trace.name,
+        events=events,
+        threads=trace.num_threads,
+        max_thread_length=trace.max_thread_length,
+        variables=len(variables),
+        locks=len(locks),
+        reads=reads,
+        writes=writes,
+        lock_operations=lock_operations,
+        cross_thread_reads=cross_thread_reads,
+        critical_sections=critical_sections,
+        max_lock_nesting=max_nesting,
+        accesses_per_variable=(
+            (reads + writes) / len(variables) if variables else 0.0
+        ),
+        communication_density=(cross_thread_reads / events if events else 0.0),
+    )

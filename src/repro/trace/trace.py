@@ -1,0 +1,280 @@
+"""Trace container with the per-thread and per-variable indexes that the
+dynamic analyses rely on.
+
+A :class:`Trace` stores events in observed (total) order, assigns per-thread
+sequence ids automatically, and exposes the derived views every analysis
+needs repeatedly: per-thread chains, accesses grouped by variable, critical
+sections per lock, the observed reads-from map, and fork/join edges.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import TraceError
+from repro.trace.event import Event, EventKind
+
+Node = Tuple[int, int]
+
+
+class CriticalSection:
+    """A lock-protected region ``[acquire, release]`` of one thread."""
+
+    __slots__ = ("lock", "thread", "acquire", "release")
+
+    def __init__(self, lock, thread: int, acquire: Event,
+                 release: Optional[Event]) -> None:
+        self.lock = lock
+        self.thread = thread
+        self.acquire = acquire
+        self.release = release
+
+    def contains(self, event: Event) -> bool:
+        """Whether ``event`` (same thread) executes while the lock is held."""
+        if event.thread != self.thread:
+            return False
+        if event.index < self.acquire.index:
+            return False
+        return self.release is None or event.index <= self.release.index
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        end = self.release.index if self.release else "?"
+        return f"CS(lock={self.lock}, thread={self.thread}, [{self.acquire.index}, {end}])"
+
+
+class Trace:
+    """An execution trace: a totally ordered sequence of events.
+
+    Events may be supplied pre-built or appended through the convenience
+    constructors (:meth:`read`, :meth:`write`, :meth:`acquire`, ...), which
+    assign the per-thread sequence id automatically.
+    """
+
+    def __init__(self, events: Iterable[Event] = (), name: str = "trace") -> None:
+        self.name = name
+        self._events: List[Event] = []
+        self._per_thread: Dict[int, List[Event]] = defaultdict(list)
+        self._next_index: Dict[int, int] = defaultdict(int)
+        for event in events:
+            self._append_existing(event)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def _append_existing(self, event: Event) -> None:
+        expected = self._next_index[event.thread]
+        if event.index != expected:
+            raise TraceError(
+                f"event {event} has index {event.index}, expected {expected} "
+                f"for thread {event.thread}"
+            )
+        self._events.append(event)
+        self._per_thread[event.thread].append(event)
+        self._next_index[event.thread] = expected + 1
+
+    def append(self, thread: int, kind: EventKind, **metadata) -> Event:
+        """Append a new event for ``thread`` and return it."""
+        event = Event(thread=thread, index=self._next_index[thread], kind=kind,
+                      **metadata)
+        self._append_existing(event)
+        return event
+
+    # Convenience constructors -- one per event kind used by the analyses.
+    def read(self, thread: int, variable, value=None, **kw) -> Event:
+        return self.append(thread, EventKind.READ, variable=variable, value=value, **kw)
+
+    def write(self, thread: int, variable, value=None, **kw) -> Event:
+        return self.append(thread, EventKind.WRITE, variable=variable, value=value, **kw)
+
+    def acquire(self, thread: int, lock) -> Event:
+        return self.append(thread, EventKind.ACQUIRE, variable=lock)
+
+    def release(self, thread: int, lock) -> Event:
+        return self.append(thread, EventKind.RELEASE, variable=lock)
+
+    def fork(self, thread: int, child: int) -> Event:
+        return self.append(thread, EventKind.FORK, target=child)
+
+    def join(self, thread: int, child: int) -> Event:
+        return self.append(thread, EventKind.JOIN, target=child)
+
+    def alloc(self, thread: int, address) -> Event:
+        return self.append(thread, EventKind.ALLOC, variable=address)
+
+    def free(self, thread: int, address) -> Event:
+        return self.append(thread, EventKind.FREE, variable=address)
+
+    def atomic_read(self, thread: int, variable, value=None, memory_order=None) -> Event:
+        return self.append(thread, EventKind.ATOMIC_READ, variable=variable,
+                           value=value, memory_order=memory_order, atomic=True)
+
+    def atomic_write(self, thread: int, variable, value=None, memory_order=None) -> Event:
+        return self.append(thread, EventKind.ATOMIC_WRITE, variable=variable,
+                           value=value, memory_order=memory_order, atomic=True)
+
+    def atomic_rmw(self, thread: int, variable, value=None, memory_order=None) -> Event:
+        return self.append(thread, EventKind.ATOMIC_RMW, variable=variable,
+                           value=value, memory_order=memory_order, atomic=True)
+
+    def begin(self, thread: int, operation: str, argument=None) -> Event:
+        return self.append(thread, EventKind.BEGIN, operation=operation,
+                           argument=argument)
+
+    def end(self, thread: int, operation: str, result=None) -> Event:
+        return self.append(thread, EventKind.END, operation=operation, result=result)
+
+    # ------------------------------------------------------------------ #
+    # Basic views
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __getitem__(self, position: int) -> Event:
+        return self._events[position]
+
+    @property
+    def events(self) -> Sequence[Event]:
+        """Events in observed (total) order."""
+        return tuple(self._events)
+
+    @property
+    def threads(self) -> List[int]:
+        """Sorted list of thread identifiers appearing in the trace."""
+        return sorted(self._per_thread)
+
+    @property
+    def num_threads(self) -> int:
+        return len(self._per_thread)
+
+    def thread_events(self, thread: int) -> Sequence[Event]:
+        """Events of one thread in program order."""
+        return tuple(self._per_thread.get(thread, ()))
+
+    def thread_length(self, thread: int) -> int:
+        """Number of events of ``thread``."""
+        return len(self._per_thread.get(thread, ()))
+
+    @property
+    def max_thread_length(self) -> int:
+        """Length of the longest per-thread chain (capacity hint for
+        partial-order backends)."""
+        return max((len(v) for v in self._per_thread.values()), default=0)
+
+    def event_at(self, node: Node) -> Event:
+        """Return the event identified by a ``(thread, index)`` node."""
+        thread, index = node
+        try:
+            return self._per_thread[thread][index]
+        except (KeyError, IndexError):
+            raise TraceError(f"no event at node {node}") from None
+
+    # ------------------------------------------------------------------ #
+    # Derived indexes used by the analyses
+    # ------------------------------------------------------------------ #
+    def accesses_by_variable(self) -> Dict:
+        """Group access events by the variable they touch."""
+        grouped: Dict = defaultdict(list)
+        for event in self._events:
+            if event.is_access:
+                grouped[event.variable].append(event)
+        return dict(grouped)
+
+    def writes_by_variable(self) -> Dict:
+        grouped: Dict = defaultdict(list)
+        for event in self._events:
+            if event.is_write:
+                grouped[event.variable].append(event)
+        return dict(grouped)
+
+    def critical_sections(self) -> List[CriticalSection]:
+        """Extract all critical sections, in observed acquire order.
+
+        Raises
+        ------
+        TraceError
+            If a thread releases a lock it does not hold.
+        """
+        open_sections: Dict[Tuple[int, object], CriticalSection] = {}
+        sections: List[CriticalSection] = []
+        for event in self._events:
+            key = (event.thread, event.variable)
+            if event.kind is EventKind.ACQUIRE:
+                section = CriticalSection(event.variable, event.thread, event, None)
+                open_sections[key] = section
+                sections.append(section)
+            elif event.kind is EventKind.RELEASE:
+                section = open_sections.pop(key, None)
+                if section is None:
+                    raise TraceError(
+                        f"thread {event.thread} releases lock {event.variable} "
+                        "without holding it"
+                    )
+                section.release = event
+        return sections
+
+    def locks_held_at(self, event: Event) -> frozenset:
+        """Set of locks held by ``event.thread`` when ``event`` executes."""
+        held = set()
+        for other in self._per_thread[event.thread]:
+            if other.index > event.index:
+                break
+            if other.kind is EventKind.ACQUIRE:
+                held.add(other.variable)
+            elif other.kind is EventKind.RELEASE:
+                held.discard(other.variable)
+        return frozenset(held)
+
+    def locks_held_map(self) -> Dict[Node, frozenset]:
+        """Locks held at every event, computed in a single pass.
+
+        Analyses that query lock sets for many events should use this map
+        instead of calling :meth:`locks_held_at` repeatedly.
+        """
+        held_map: Dict[Node, frozenset] = {}
+        current: Dict[int, frozenset] = defaultdict(frozenset)
+        for event in self._events:
+            if event.kind is EventKind.ACQUIRE:
+                current[event.thread] = current[event.thread] | {event.variable}
+            elif event.kind is EventKind.RELEASE:
+                current[event.thread] = current[event.thread] - {event.variable}
+            held_map[event.node] = current[event.thread]
+        return held_map
+
+    def reads_from(self) -> Dict[Event, Optional[Event]]:
+        """The observed reads-from map: each read maps to the last write to
+        the same variable preceding it in the trace order (or ``None``)."""
+        last_write: Dict = {}
+        mapping: Dict[Event, Optional[Event]] = {}
+        for event in self._events:
+            if event.is_read:
+                mapping[event] = last_write.get(event.variable)
+            if event.is_write:
+                last_write[event.variable] = event
+        return mapping
+
+    def fork_join_edges(self) -> List[Tuple[Node, Node]]:
+        """Cross-thread ordering edges induced by fork/join events.
+
+        ``fork(parent -> child)`` orders the fork event before the first
+        event of the child; ``join(parent <- child)`` orders the last event
+        of the child before the join event.
+        """
+        edges: List[Tuple[Node, Node]] = []
+        for event in self._events:
+            if event.kind is EventKind.FORK and event.target in self._per_thread:
+                first = self._per_thread[event.target][0]
+                edges.append((event.node, first.node))
+            elif event.kind is EventKind.JOIN and event.target in self._per_thread:
+                last = self._per_thread[event.target][-1]
+                edges.append((last.node, event.node))
+        return edges
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Trace(name={self.name!r}, events={len(self._events)}, "
+            f"threads={self.num_threads})"
+        )

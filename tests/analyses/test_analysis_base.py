@@ -1,0 +1,91 @@
+"""Tests for the analysis scaffolding (result container, backend handling)."""
+
+import pytest
+
+from repro.analyses.common.base import Analysis, AnalysisResult
+from repro.core import CSST, IncrementalCSST, InstrumentedOrder
+from repro.errors import AnalysisError
+from repro.trace import Trace
+
+
+class _CountingAnalysis(Analysis):
+    """Minimal analysis used to exercise the base-class machinery."""
+
+    name = "counting"
+
+    def _run(self, trace, order, result):
+        for event in trace:
+            if event.thread != 0:
+                order.insert_edge((0, 0), event.node)
+        result.findings.append("done")
+        result.details["events"] = len(trace)
+
+
+class _DeletingAnalysis(_CountingAnalysis):
+    name = "deleting"
+    requires_deletion = True
+
+
+@pytest.fixture
+def two_thread_trace():
+    trace = Trace(name="tiny")
+    trace.write(0, "x", value=1)
+    trace.read(1, "x", value=1)
+    trace.read(1, "y")
+    return trace
+
+
+class TestAnalysisRun:
+    def test_run_populates_result(self, two_thread_trace):
+        result = _CountingAnalysis("incremental-csst").run(two_thread_trace)
+        assert isinstance(result, AnalysisResult)
+        assert result.analysis == "counting"
+        assert result.trace_name == "tiny"
+        assert result.trace_events == 3
+        assert result.trace_threads == 2
+        assert result.findings == ["done"]
+        assert result.insert_count == 2
+        assert result.details["events"] == 3
+        assert result.elapsed_seconds >= 0
+
+    def test_backend_name_recorded_for_string_spec(self, two_thread_trace):
+        result = _CountingAnalysis("vc").run(two_thread_trace)
+        assert result.backend == "vc"
+
+    def test_backend_instance_accepted(self, two_thread_trace):
+        backend = IncrementalCSST(2, 4)
+        result = _CountingAnalysis(backend).run(two_thread_trace)
+        assert result.backend == "IncrementalCSST"
+        assert backend.edge_count == 2
+
+    def test_capacity_hint_derived_from_trace(self, two_thread_trace):
+        analysis = _CountingAnalysis("incremental-csst")
+        order = analysis._make_order(two_thread_trace)
+        assert isinstance(order, InstrumentedOrder)
+        assert order.capacity_hint == two_thread_trace.max_thread_length
+
+    def test_deletion_requirement_enforced(self, two_thread_trace):
+        with pytest.raises(AnalysisError, match="decremental"):
+            _DeletingAnalysis("vc").run(two_thread_trace)
+
+    def test_deletion_requirement_satisfied_by_csst(self, two_thread_trace):
+        result = _DeletingAnalysis("csst").run(two_thread_trace)
+        assert result.findings == ["done"]
+
+    def test_deletion_requirement_with_instance(self, two_thread_trace):
+        result = _DeletingAnalysis(CSST(2, 4)).run(two_thread_trace)
+        assert result.findings == ["done"]
+
+
+class TestAnalysisResult:
+    def test_operation_count_sums_components(self):
+        result = AnalysisResult("a", "t", 10, 2, "vc",
+                                insert_count=3, delete_count=1, query_count=5)
+        assert result.operation_count == 9
+        assert result.finding_count == 0
+
+    def test_summary_contains_key_fields(self):
+        result = AnalysisResult("a", "t", 10, 2, "vc", findings=["x"],
+                                elapsed_seconds=0.5)
+        summary = result.summary()
+        assert "a[vc]" in summary and "1 findings" in summary

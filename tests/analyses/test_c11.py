@@ -1,0 +1,91 @@
+"""Tests for the C11 race-detection analysis."""
+
+import pytest
+
+from repro.analyses.c11 import detect_c11_races
+from repro.trace import MemoryOrder, Trace
+from repro.trace.generators import c11_trace
+
+
+def _racy_plain_accesses():
+    trace = Trace(name="plain-race")
+    trace.write(0, "data", value=1)
+    trace.read(1, "data")
+    return trace
+
+
+def _release_acquire_synchronised():
+    """The message-passing idiom: the data write is ordered before the data
+    read through a release store / acquire load on a flag."""
+    trace = Trace(name="mp")
+    trace.write(0, "data", value=1)
+    trace.atomic_write(0, "flag", value=1, memory_order=MemoryOrder.RELEASE)
+    trace.atomic_read(1, "flag", value=1, memory_order=MemoryOrder.ACQUIRE)
+    trace.read(1, "data")
+    return trace
+
+
+def _relaxed_unsynchronised():
+    """Relaxed atomics create no synchronizes-with edge, so the plain
+    accesses still race."""
+    trace = Trace(name="relaxed")
+    trace.write(0, "data", value=1)
+    trace.atomic_write(0, "flag", value=1, memory_order=MemoryOrder.RELAXED)
+    trace.atomic_read(1, "flag", value=1, memory_order=MemoryOrder.RELAXED)
+    trace.read(1, "data")
+    return trace
+
+
+class TestFindings:
+    def test_unsynchronised_plain_accesses_race(self):
+        result = detect_c11_races(_racy_plain_accesses())
+        assert result.finding_count == 1
+        assert result.findings[0].variable == "data"
+
+    def test_release_acquire_suppresses_race(self):
+        result = detect_c11_races(_release_acquire_synchronised())
+        assert result.finding_count == 0
+        assert result.details["sw_edges"] == 1
+
+    def test_relaxed_atomics_do_not_synchronise(self):
+        result = detect_c11_races(_relaxed_unsynchronised())
+        assert result.finding_count == 1
+        assert result.details["sw_edges"] == 0
+
+    def test_lock_synchronisation_counts(self):
+        trace = Trace()
+        trace.acquire(0, "m")
+        trace.write(0, "data", value=1)
+        trace.release(0, "m")
+        trace.acquire(1, "m")
+        trace.read(1, "data")
+        trace.release(1, "m")
+        result = detect_c11_races(trace)
+        assert result.finding_count == 0
+
+    def test_atomic_accesses_never_race(self):
+        trace = Trace()
+        trace.atomic_write(0, "a", value=1, memory_order=MemoryOrder.RELAXED)
+        trace.atomic_write(1, "a", value=2, memory_order=MemoryOrder.RELAXED)
+        result = detect_c11_races(trace)
+        assert result.finding_count == 0
+
+    def test_duplicate_races_deduplicated_by_default(self):
+        trace = Trace()
+        trace.write(0, "data", value=1)
+        trace.read(1, "data")
+        trace.write(0, "data", value=2)
+        trace.read(1, "data")
+        deduplicated = detect_c11_races(trace)
+        everything = detect_c11_races(trace, report_all=True)
+        assert deduplicated.finding_count <= everything.finding_count
+
+
+class TestBackendIndependence:
+    @pytest.mark.parametrize("backend", ["vc", "st", "incremental-csst"])
+    def test_findings_are_backend_independent(self, backend):
+        trace = c11_trace(num_threads=4, events_per_thread=80, seed=21)
+        reference = detect_c11_races(trace, backend="vc")
+        result = detect_c11_races(trace, backend=backend)
+        assert result.finding_count == reference.finding_count
+        assert result.details["sw_edges"] == reference.details["sw_edges"]

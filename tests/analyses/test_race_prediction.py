@@ -1,0 +1,98 @@
+"""Tests for the predictive race-detection analysis."""
+
+import pytest
+
+from repro.analyses.race_prediction import RacePredictionAnalysis, predict_races
+from repro.trace import Trace
+from repro.trace.generators import racy_trace
+
+
+def _unprotected_race_trace():
+    trace = Trace(name="unprotected")
+    trace.write(0, "x", value=1)
+    trace.read(0, "y")
+    trace.write(1, "x", value=2)
+    trace.read(1, "y")
+    return trace
+
+
+def _lock_protected_trace():
+    trace = Trace(name="protected")
+    trace.acquire(0, "l")
+    trace.write(0, "x", value=1)
+    trace.release(0, "l")
+    trace.acquire(1, "l")
+    trace.write(1, "x", value=2)
+    trace.release(1, "l")
+    return trace
+
+
+def _fork_join_ordered_trace():
+    trace = Trace(name="fork-join")
+    trace.write(0, "x", value=1)
+    trace.fork(0, 1)
+    trace.write(1, "x", value=2)
+    trace.join(0, 1)
+    trace.write(0, "x", value=3)
+    return trace
+
+
+class TestFindings:
+    def test_unprotected_conflict_is_a_race(self):
+        result = predict_races(_unprotected_race_trace())
+        assert result.finding_count >= 1
+        race = result.findings[0]
+        assert race.variable == "x"
+        assert {race.first.thread, race.second.thread} == {0, 1}
+
+    def test_common_lock_suppresses_race(self):
+        result = predict_races(_lock_protected_trace())
+        assert result.finding_count == 0
+
+    def test_fork_join_order_suppresses_race(self):
+        result = predict_races(_fork_join_ordered_trace())
+        assert result.finding_count == 0
+
+    def test_read_read_is_never_a_race(self):
+        trace = Trace()
+        trace.read(0, "x")
+        trace.read(1, "x")
+        result = predict_races(trace)
+        assert result.finding_count == 0
+
+    def test_race_str_mentions_variable(self):
+        result = predict_races(_unprotected_race_trace())
+        assert "x" in str(result.findings[0])
+
+
+class TestResultMetadata:
+    def test_result_records_counts_and_backend(self):
+        result = predict_races(_unprotected_race_trace(), backend="incremental-csst")
+        assert result.analysis == "race-prediction"
+        assert result.backend == "incremental-csst"
+        assert result.trace_events == 4
+        assert result.trace_threads == 2
+        assert result.query_count > 0
+        assert result.elapsed_seconds >= 0
+        assert "candidates" in result.details
+
+    def test_summary_is_one_line(self):
+        result = predict_races(_unprotected_race_trace())
+        assert "\n" not in result.summary()
+        assert "race-prediction" in result.summary()
+
+    def test_max_candidates_caps_work(self):
+        trace = racy_trace(num_threads=4, events_per_thread=60, seed=3)
+        capped = RacePredictionAnalysis(max_candidates=5).run(trace)
+        assert capped.details["candidates"] <= 5
+
+
+class TestBackendIndependence:
+    @pytest.mark.parametrize("backend", ["vc", "st", "incremental-csst", "csst"])
+    def test_same_races_on_every_backend(self, backend):
+        trace = racy_trace(num_threads=3, events_per_thread=60, seed=7)
+        reference = predict_races(trace, backend="incremental-csst")
+        result = predict_races(trace, backend=backend)
+        assert result.finding_count == reference.finding_count
+        assert result.insert_count == reference.insert_count
+        assert result.query_count == reference.query_count

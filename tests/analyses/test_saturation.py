@@ -1,0 +1,131 @@
+"""Tests for the reads-from saturation engine."""
+
+import pytest
+
+from repro.analyses.common.saturation import CycleDetected, SaturationEngine
+from repro.core import CSST, IncrementalCSST
+from repro.trace import Trace
+
+
+def _simple_rf_trace():
+    """w(x) in thread 0, competing w(x) in thread 2, read in thread 1."""
+    trace = Trace(name="rf")
+    writer = trace.write(0, "x", value=1)
+    competitor = trace.write(2, "x", value=2)
+    reader = trace.read(1, "x", value=1)
+    return trace, writer, competitor, reader
+
+
+class TestAddOrdering:
+    def test_adds_cross_thread_edge(self):
+        trace, writer, _competitor, reader = _simple_rf_trace()
+        order = IncrementalCSST(3, 4)
+        engine = SaturationEngine(order, trace.writes_by_variable())
+        assert engine.add_ordering(writer, reader)
+        assert order.reachable(writer.node, reader.node)
+
+    def test_implied_ordering_not_reinserted(self):
+        trace, writer, _competitor, reader = _simple_rf_trace()
+        order = IncrementalCSST(3, 4)
+        engine = SaturationEngine(order, trace.writes_by_variable())
+        engine.add_ordering(writer, reader)
+        assert not engine.add_ordering(writer, reader)
+
+    def test_program_order_is_implicit(self):
+        trace = Trace()
+        first = trace.write(0, "x", value=1)
+        second = trace.read(0, "x", value=1)
+        order = IncrementalCSST(1, 4)
+        engine = SaturationEngine(order, trace.writes_by_variable())
+        assert not engine.add_ordering(first, second)
+
+    def test_reverse_program_order_is_a_cycle(self):
+        trace = Trace()
+        first = trace.write(0, "x", value=1)
+        second = trace.write(0, "x", value=2)
+        order = IncrementalCSST(1, 4)
+        engine = SaturationEngine(order, trace.writes_by_variable())
+        with pytest.raises(CycleDetected):
+            engine.add_ordering(second, first)
+
+    def test_cycle_across_threads_detected(self):
+        trace, writer, _competitor, reader = _simple_rf_trace()
+        order = IncrementalCSST(3, 4)
+        engine = SaturationEngine(order, trace.writes_by_variable())
+        engine.add_ordering(writer, reader)
+        with pytest.raises(CycleDetected):
+            engine.add_ordering(reader, writer)
+
+
+class TestSaturate:
+    def test_reads_from_edge_inserted(self):
+        trace, writer, _competitor, reader = _simple_rf_trace()
+        order = IncrementalCSST(3, 4)
+        engine = SaturationEngine(order, trace.writes_by_variable())
+        inserted = engine.saturate({reader: writer})
+        assert inserted >= 1
+        assert order.reachable(writer.node, reader.node)
+
+    def test_competing_write_before_read_forced_before_writer(self):
+        trace, writer, competitor, reader = _simple_rf_trace()
+        order = IncrementalCSST(3, 4)
+        # Force the competitor before the read first.
+        order.insert_edge(competitor.node, reader.node)
+        engine = SaturationEngine(order, trace.writes_by_variable())
+        engine.saturate({reader: writer})
+        assert order.reachable(competitor.node, writer.node)
+
+    def test_writer_before_competitor_forces_read_before_competitor(self):
+        trace, writer, competitor, reader = _simple_rf_trace()
+        order = IncrementalCSST(3, 4)
+        order.insert_edge(writer.node, competitor.node)
+        engine = SaturationEngine(order, trace.writes_by_variable())
+        engine.saturate({reader: writer})
+        assert order.reachable(reader.node, competitor.node)
+
+    def test_saturate_reaches_fixed_point(self):
+        trace, writer, competitor, reader = _simple_rf_trace()
+        order = IncrementalCSST(3, 4)
+        order.insert_edge(writer.node, competitor.node)
+        engine = SaturationEngine(order, trace.writes_by_variable())
+        engine.saturate({reader: writer})
+        # A second saturation must not add anything new.
+        assert engine.saturate({reader: writer}) == 0
+
+    def test_reads_without_writer_are_skipped(self):
+        trace = Trace()
+        reader = trace.read(0, "x")
+        order = IncrementalCSST(1, 4)
+        engine = SaturationEngine(order, trace.writes_by_variable())
+        assert engine.saturate({reader: None}) == 0
+
+    def test_infeasible_assignment_raises(self):
+        trace = Trace(name="infeasible")
+        writer = trace.write(0, "x", value=1)
+        reader = trace.read(1, "x", value=1)
+        order = IncrementalCSST(2, 4)
+        order.insert_edge(reader.node, writer.node)   # read forced before writer
+        engine = SaturationEngine(order, trace.writes_by_variable())
+        with pytest.raises(CycleDetected):
+            engine.saturate({reader: writer})
+
+
+class TestUndo:
+    def test_tracked_insertions_can_be_undone(self):
+        trace, writer, _competitor, reader = _simple_rf_trace()
+        order = CSST(3, 4)
+        engine = SaturationEngine(order, trace.writes_by_variable(),
+                                  track_insertions=True)
+        engine.saturate({reader: writer})
+        assert order.reachable(writer.node, reader.node)
+        removed = engine.undo()
+        assert removed >= 1
+        assert not order.reachable(writer.node, reader.node)
+        assert engine.inserted_edges == []
+
+    def test_untracked_engine_has_nothing_to_undo(self):
+        trace, writer, _competitor, reader = _simple_rf_trace()
+        order = CSST(3, 4)
+        engine = SaturationEngine(order, trace.writes_by_variable())
+        engine.saturate({reader: writer})
+        assert engine.undo() == 0

@@ -1,0 +1,155 @@
+"""Tests specific to the fully dynamic CSST (Algorithm 2)."""
+
+import pytest
+
+from repro.core import CSST, GraphOrder
+from repro.errors import InvalidEdgeError
+
+
+class TestEdgeHeaps:
+    def test_edge_count_tracks_live_edges(self):
+        order = CSST(3, 8)
+        order.insert_edge((0, 1), (1, 2))
+        order.insert_edge((0, 1), (1, 5))
+        assert order.edge_count == 2
+        order.delete_edge((0, 1), (1, 2))
+        assert order.edge_count == 1
+
+    def test_earliest_target_is_exposed(self):
+        order = CSST(3, 8)
+        order.insert_edge((0, 1), (1, 5))
+        order.insert_edge((0, 1), (1, 2))
+        assert order.successor((0, 1), 1) == 2
+
+    def test_deleting_minimum_exposes_next_target(self):
+        """The motivating scenario of Section 3.1: deleting the earliest
+        neighbour must fall back to the next one recorded in the heap."""
+        order = CSST(3, 8)
+        order.insert_edge((0, 1), (1, 2))
+        order.insert_edge((0, 1), (1, 5))
+        order.delete_edge((0, 1), (1, 2))
+        assert order.successor((0, 1), 1) == 5
+        order.delete_edge((0, 1), (1, 5))
+        assert order.successor((0, 1), 1) is None
+
+    def test_deleting_non_minimum_keeps_minimum(self):
+        order = CSST(3, 8)
+        order.insert_edge((0, 1), (1, 2))
+        order.insert_edge((0, 1), (1, 5))
+        order.delete_edge((0, 1), (1, 5))
+        assert order.successor((0, 1), 1) == 2
+
+    def test_deleting_unknown_edge_raises(self):
+        order = CSST(3, 8)
+        order.insert_edge((0, 1), (1, 2))
+        with pytest.raises(InvalidEdgeError):
+            order.delete_edge((0, 1), (1, 3))
+
+    def test_parallel_edges_from_same_source(self):
+        order = CSST(4, 8)
+        order.insert_edge((0, 1), (1, 3))
+        order.insert_edge((0, 1), (2, 4))
+        order.insert_edge((0, 1), (3, 5))
+        assert order.successor((0, 1), 1) == 3
+        assert order.successor((0, 1), 2) == 4
+        assert order.successor((0, 1), 3) == 5
+
+
+class TestMotivatingExample:
+    """The consistency-analysis scenario of Figure 1: orderings are inserted,
+    found to close a cycle, deleted, and replaced by an alternative."""
+
+    def _base_order(self):
+        # Chains: 0, 1, 2 with the reads-from edges of Figure 1a.
+        order = CSST(3, 8)
+        order.insert_edge((1, 2), (0, 1))    # e5 -> e1 (rf on y=5)
+        order.insert_edge((1, 1), (2, 1))    # e4 -> en (rf on y=4), en is (2,1)
+        return order
+
+    def test_first_choice_would_close_cycle(self):
+        order = self._base_order()
+        # Try e3 |-> e2: insert e3 -> e2 and the saturation edges.
+        order.insert_edge((1, 0), (0, 2))    # edge 2
+        order.insert_edge((0, 0), (1, 0))    # edge 3 (e0 before e3)
+        order.insert_edge((2, 0), (1, 0))    # edge 4 (e6 before e3)
+        # The cycle of Section 1.1: e2 -> e6 ->* en -> e5 -> e1 -> e2 requires
+        # e2 -> e6; with the current orderings e6 already reaches e2.
+        assert order.reachable((2, 0), (0, 2))
+
+    def test_deleting_the_speculative_orderings_restores_state(self):
+        order = self._base_order()
+        speculative = [((1, 0), (0, 2)), ((0, 0), (1, 0)), ((2, 0), (1, 0))]
+        for source, target in speculative:
+            order.insert_edge(source, target)
+        for source, target in speculative:
+            order.delete_edge(source, target)
+        assert not order.reachable((2, 0), (0, 2))
+        assert not order.reachable((0, 0), (1, 0))
+        # The original reads-from orderings are untouched.
+        assert order.reachable((1, 2), (0, 1))
+
+    def test_alternative_choice_is_consistent(self):
+        order = self._base_order()
+        order.insert_edge((2, 0), (0, 2))    # edge 5: e6 -> e2
+        order.insert_edge((1, 0), (2, 0))    # edge 6: e3 before e6
+        assert order.reachable((1, 0), (0, 2))
+        assert not order.reachable((0, 2), (1, 0))
+
+
+class TestClosureQueries:
+    def test_query_uses_fixed_point_across_chains(self):
+        order = CSST(4, 8)
+        # A chain of edges that must be followed iteratively (Figure 8).
+        order.insert_edge((0, 0), (1, 0))
+        order.insert_edge((0, 1), (3, 2))
+        order.insert_edge((1, 1), (2, 1))
+        order.insert_edge((2, 1), (3, 1))
+        assert order.successor((0, 0), 3) == 1
+        assert order.predecessor((3, 1), 0) == 0
+
+    def test_predecessor_closure_symmetry(self):
+        order = CSST(3, 8)
+        order.insert_edge((0, 2), (1, 3))
+        order.insert_edge((1, 4), (2, 1))
+        assert order.predecessor((2, 5), 0) == 2
+        assert order.predecessor((2, 0), 0) is None
+
+    def test_deletion_invalidates_transitive_paths(self):
+        order = CSST(3, 8)
+        order.insert_edge((0, 2), (1, 3))
+        order.insert_edge((1, 4), (2, 1))
+        assert order.reachable((0, 2), (2, 6))
+        order.delete_edge((1, 4), (2, 1))
+        assert not order.reachable((0, 2), (2, 6))
+        assert order.reachable((0, 2), (1, 7))
+
+    def test_matches_graph_reference_on_small_scenario(self):
+        reference = GraphOrder(3)
+        order = CSST(3, 16)
+        edges = [((0, 1), (1, 2)), ((1, 3), (2, 0)), ((2, 2), (0, 5)),
+                 ((1, 5), (0, 9)), ((0, 6), (2, 9))]
+        for source, target in edges:
+            reference.insert_edge(source, target)
+            order.insert_edge(source, target)
+        for chain in range(3):
+            for index in range(10):
+                for other in range(3):
+                    assert (
+                        order.successor((chain, index), other)
+                        == reference.successor((chain, index), other)
+                    )
+
+
+class TestIntrospection:
+    def test_total_entries_bounded_by_edges(self):
+        order = CSST(3, 32)
+        edges = [((0, i), (1, i + 1)) for i in range(0, 10, 2)]
+        for source, target in edges:
+            order.insert_edge(source, target)
+        assert order.total_entries <= len(edges)
+        assert order.max_array_density <= len(edges)
+
+    def test_block_size_parameter_accepted(self):
+        order = CSST(3, 32, block_size=4)
+        order.insert_edge((0, 1), (1, 1))
+        assert order.reachable((0, 0), (1, 4))

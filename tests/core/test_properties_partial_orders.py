@@ -1,0 +1,136 @@
+"""Property-based tests for the partial-order backends.
+
+Every backend must agree with the plain-graph reference on reachability,
+successor and predecessor queries for arbitrary acyclic edge insertions
+(and deletions, for the fully dynamic backends), and the CSST variants must
+respect the sparsity invariants of Lemmas 2 and 7.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CSST,
+    GraphOrder,
+    IncrementalCSST,
+    SegmentTreeOrder,
+    VectorClockOrder,
+)
+
+NUM_CHAINS = 4
+PER_CHAIN = 12
+
+nodes = st.tuples(
+    st.integers(min_value=0, max_value=NUM_CHAINS - 1),
+    st.integers(min_value=0, max_value=PER_CHAIN - 1),
+)
+edge_candidates = st.lists(st.tuples(nodes, nodes), max_size=40)
+query_nodes = st.lists(st.tuples(nodes, nodes), min_size=1, max_size=15)
+
+
+def _build(edges, *orders):
+    """Insert candidate edges, skipping intra-chain, duplicate, and
+    cycle-creating ones (the reference order is the first argument)."""
+    reference = orders[0]
+    inserted = set()
+    for source, target in edges:
+        if source[0] == target[0] or (source, target) in inserted:
+            continue
+        if reference.reachable(target, source):
+            continue
+        inserted.add((source, target))
+        for order in orders:
+            order.insert_edge(source, target)
+    return inserted
+
+
+@settings(max_examples=60, deadline=None)
+@given(edges=edge_candidates, queries=query_nodes)
+def test_incremental_backends_agree_on_reachability(edges, queries):
+    reference = GraphOrder(NUM_CHAINS)
+    backends = [
+        IncrementalCSST(NUM_CHAINS, PER_CHAIN),
+        SegmentTreeOrder(NUM_CHAINS, PER_CHAIN),
+        VectorClockOrder(NUM_CHAINS, PER_CHAIN),
+        CSST(NUM_CHAINS, PER_CHAIN),
+    ]
+    _build(edges, reference, *backends)
+    for source, target in queries:
+        expected = reference.reachable(source, target)
+        for backend in backends:
+            assert backend.reachable(source, target) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(edges=edge_candidates, queries=query_nodes)
+def test_incremental_backends_agree_on_successor_predecessor(edges, queries):
+    reference = GraphOrder(NUM_CHAINS)
+    backends = [
+        IncrementalCSST(NUM_CHAINS, PER_CHAIN),
+        SegmentTreeOrder(NUM_CHAINS, PER_CHAIN),
+        VectorClockOrder(NUM_CHAINS, PER_CHAIN),
+        CSST(NUM_CHAINS, PER_CHAIN),
+    ]
+    _build(edges, reference, *backends)
+    for node, (chain, _ignored) in queries:
+        expected_successor = reference.successor(node, chain)
+        expected_predecessor = reference.predecessor(node, chain)
+        for backend in backends:
+            assert backend.successor(node, chain) == expected_successor
+            assert backend.predecessor(node, chain) == expected_predecessor
+
+
+@settings(max_examples=60, deadline=None)
+@given(edges=edge_candidates,
+       deletions=st.lists(st.integers(min_value=0, max_value=200), max_size=20),
+       queries=query_nodes)
+def test_fully_dynamic_backends_agree_after_deletions(edges, deletions, queries):
+    reference = GraphOrder(NUM_CHAINS)
+    csst = CSST(NUM_CHAINS, PER_CHAIN)
+    inserted = sorted(_build(edges, reference, csst))
+    for position in deletions:
+        if not inserted:
+            break
+        source, target = inserted.pop(position % len(inserted))
+        reference.delete_edge(source, target)
+        csst.delete_edge(source, target)
+    for source, target in queries:
+        assert csst.reachable(source, target) == reference.reachable(source, target)
+        assert csst.successor(source, target[0]) == reference.successor(source, target[0])
+        assert csst.predecessor(source, target[0]) == reference.predecessor(source, target[0])
+
+
+@settings(max_examples=60, deadline=None)
+@given(edges=edge_candidates)
+def test_csst_sparsity_lemmas(edges):
+    """Lemmas 2 and 7: the density of every per-chain-pair array is bounded
+    by the cross-chain density of the DAG (number of source nodes with an
+    outgoing cross-chain edge, maximised over chains)."""
+    reference = GraphOrder(NUM_CHAINS)
+    dynamic = CSST(NUM_CHAINS, PER_CHAIN)
+    incremental = IncrementalCSST(NUM_CHAINS, PER_CHAIN)
+    inserted = _build(edges, reference, dynamic, incremental)
+    sources_per_chain = {}
+    for source, _target in inserted:
+        sources_per_chain.setdefault(source[0], set()).add(source)
+    cross_chain_density = max(
+        (len(sources) for sources in sources_per_chain.values()), default=0
+    )
+    assert dynamic.max_array_density <= cross_chain_density
+    assert incremental.max_array_density <= cross_chain_density
+
+
+@settings(max_examples=40, deadline=None)
+@given(edges=edge_candidates)
+def test_reachability_is_transitive_and_reflexive(edges):
+    order = IncrementalCSST(NUM_CHAINS, PER_CHAIN)
+    reference = GraphOrder(NUM_CHAINS)
+    inserted = _build(edges, reference, order)
+    sample_nodes = sorted({node for edge in inserted for node in edge})
+    for node in sample_nodes:
+        assert order.reachable(node, node)
+    for a in sample_nodes[:6]:
+        for b in sample_nodes[:6]:
+            for c in sample_nodes[:6]:
+                if order.reachable(a, b) and order.reachable(b, c):
+                    assert order.reachable(a, c)

@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import ANALYSES, GENERATORS, build_parser, main
+from repro.trace import load_trace
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    path = tmp_path / "trace.txt"
+    exit_code = main(["generate", "racy", "--threads", "3", "--events", "60",
+                      "--seed", "5", "--out", str(path)])
+    assert exit_code == 0
+    return path
+
+
+class TestGenerate:
+    def test_generate_writes_loadable_trace(self, trace_file):
+        trace = load_trace(trace_file)
+        assert trace.num_threads == 3
+        assert len(trace) == 180
+
+    def test_generate_to_stdout(self, capsys):
+        assert main(["generate", "tso", "--threads", "2", "--events", "10"]) == 0
+        output = capsys.readouterr().out
+        assert "atomic_write" in output or "atomic_read" in output
+
+    def test_generate_history_uses_operations(self, tmp_path):
+        path = tmp_path / "history.txt"
+        main(["generate", "history", "--threads", "2", "--events", "8",
+              "--out", str(path)])
+        trace = load_trace(path)
+        begins = sum(1 for event in trace if event.kind.value == "begin")
+        assert begins == 16
+
+    def test_every_registered_generator_is_callable(self):
+        assert set(GENERATORS) == {"racy", "deadlock", "memory", "tso", "c11", "history"}
+
+    def test_unknown_generator_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "quantum"])
+
+
+class TestAnalyze:
+    def test_analyze_prints_summary_and_findings(self, trace_file, capsys):
+        assert main(["analyze", "race-prediction", str(trace_file)]) == 0
+        output = capsys.readouterr().out
+        assert "race-prediction[incremental-csst]" in output
+        assert "candidates" in output
+
+    def test_analyze_with_explicit_backend(self, trace_file, capsys):
+        assert main(["analyze", "c11-races", str(trace_file), "--backend", "vc"]) == 0
+        assert "c11-races[vc]" in capsys.readouterr().out
+
+    def test_linearizability_defaults_to_dynamic_backend(self, tmp_path, capsys):
+        path = tmp_path / "history.txt"
+        main(["generate", "history", "--threads", "2", "--events", "6",
+              "--seed", "2", "--out", str(path)])
+        assert main(["analyze", "linearizability", str(path)]) == 0
+        assert "linearizability[csst]" in capsys.readouterr().out
+
+    def test_all_registered_analyses_have_classes(self):
+        assert len(ANALYSES) == 7
+
+    def test_unknown_analysis_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze", "fuzzing", "trace.txt"])
+
+
+class TestCompare:
+    def test_compare_lists_every_backend(self, trace_file, capsys):
+        assert main(["compare", "memory-bugs", str(trace_file)]) == 0
+        output = capsys.readouterr().out
+        for backend in ("vc", "st", "incremental-csst"):
+            assert backend in output
+
+    def test_compare_linearizability_uses_dynamic_backends(self, tmp_path, capsys):
+        path = tmp_path / "history.txt"
+        main(["generate", "history", "--threads", "2", "--events", "6",
+              "--seed", "3", "--out", str(path)])
+        assert main(["compare", "linearizability", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "graph" in output and "csst" in output

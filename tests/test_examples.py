@@ -1,0 +1,38 @@
+"""The example scripts must run end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = [
+    "quickstart.py",
+    "race_detection.py",
+    "consistency_checking.py",
+    "linearizability_rootcause.py",
+    "custom_analysis.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_and_reports_success(script):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    completed = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert "finished OK" in completed.stdout
+
+
+def test_every_example_has_a_module_docstring():
+    for script in EXAMPLES:
+        source = (EXAMPLES_DIR / script).read_text(encoding="utf-8")
+        assert source.lstrip().startswith(('#!', '"""')), script
+        assert '"""' in source

@@ -1,0 +1,43 @@
+"""Package-level sanity checks: public API surface and metadata."""
+
+import repro
+import repro.analyses as analyses
+import repro.bench as bench
+import repro.core as core
+import repro.trace as trace
+
+
+def test_version_is_exposed():
+    assert isinstance(repro.__version__, str)
+    assert repro.__version__.count(".") == 2
+
+
+def test_top_level_exports_exist():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_subpackage_exports_exist():
+    for module in (core, trace, analyses, bench):
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module.__name__}.{name}"
+
+
+def test_core_classes_reachable_from_top_level():
+    order = repro.IncrementalCSST(2)
+    order.insert_edge((0, 0), (1, 1))
+    assert order.reachable((0, 0), (1, 5))
+
+
+def test_error_hierarchy():
+    assert issubclass(repro.UnsupportedOperationError, repro.ReproError)
+    assert issubclass(repro.InvalidEdgeError, repro.ReproError)
+    assert issubclass(repro.TraceError, repro.ReproError)
+    assert issubclass(repro.AnalysisError, repro.ReproError)
+
+
+def test_public_callables_have_docstrings():
+    for name in repro.__all__:
+        member = getattr(repro, name)
+        if callable(member):
+            assert member.__doc__, f"{name} lacks a docstring"

@@ -1,0 +1,99 @@
+"""Tests for the event model."""
+
+import pytest
+
+from repro.trace import Event, EventKind, MemoryOrder
+
+
+class TestIdentity:
+    def test_node_is_thread_and_index(self):
+        event = Event(thread=2, index=7, kind=EventKind.READ, variable="x")
+        assert event.node == (2, 7)
+
+    def test_events_are_hashable_and_comparable(self):
+        first = Event(thread=1, index=0, kind=EventKind.WRITE, variable="x", value=1)
+        clone = Event(thread=1, index=0, kind=EventKind.WRITE, variable="x", value=1)
+        other = Event(thread=1, index=1, kind=EventKind.WRITE, variable="x", value=1)
+        assert first == clone
+        assert hash(first) == hash(clone)
+        assert first != other
+
+    def test_events_are_immutable(self):
+        event = Event(thread=0, index=0, kind=EventKind.READ)
+        with pytest.raises(AttributeError):
+            event.thread = 5
+
+    def test_str_mentions_kind_and_location(self):
+        event = Event(thread=0, index=3, kind=EventKind.WRITE, variable="x", value=9)
+        text = str(event)
+        assert "write" in text and "x" in text
+
+
+class TestClassification:
+    def test_read_is_access_and_read(self):
+        event = Event(thread=0, index=0, kind=EventKind.READ, variable="x")
+        assert event.is_access and event.is_read and not event.is_write
+
+    def test_write_is_access_and_write(self):
+        event = Event(thread=0, index=0, kind=EventKind.WRITE, variable="x")
+        assert event.is_access and event.is_write and not event.is_read
+
+    def test_rmw_is_both_read_and_write(self):
+        event = Event(thread=0, index=0, kind=EventKind.ATOMIC_RMW, variable="x")
+        assert event.is_read and event.is_write
+
+    def test_lock_events_are_not_accesses(self):
+        event = Event(thread=0, index=0, kind=EventKind.ACQUIRE, variable="l")
+        assert not event.is_access
+
+    def test_alloc_free_are_not_accesses(self):
+        assert not Event(thread=0, index=0, kind=EventKind.ALLOC, variable="p").is_access
+        assert not Event(thread=0, index=0, kind=EventKind.FREE, variable="p").is_access
+
+
+class TestConflicts:
+    def _access(self, thread, index, kind, variable="x"):
+        return Event(thread=thread, index=index, kind=kind, variable=variable)
+
+    def test_write_write_same_variable_conflicts(self):
+        a = self._access(0, 0, EventKind.WRITE)
+        b = self._access(1, 0, EventKind.WRITE)
+        assert a.conflicts_with(b) and b.conflicts_with(a)
+
+    def test_read_write_conflicts(self):
+        a = self._access(0, 0, EventKind.READ)
+        b = self._access(1, 0, EventKind.WRITE)
+        assert a.conflicts_with(b)
+
+    def test_read_read_does_not_conflict(self):
+        a = self._access(0, 0, EventKind.READ)
+        b = self._access(1, 0, EventKind.READ)
+        assert not a.conflicts_with(b)
+
+    def test_same_thread_does_not_conflict(self):
+        a = self._access(0, 0, EventKind.WRITE)
+        b = self._access(0, 1, EventKind.WRITE)
+        assert not a.conflicts_with(b)
+
+    def test_different_variables_do_not_conflict(self):
+        a = self._access(0, 0, EventKind.WRITE, "x")
+        b = self._access(1, 0, EventKind.WRITE, "y")
+        assert not a.conflicts_with(b)
+
+    def test_non_access_never_conflicts(self):
+        lock = Event(thread=0, index=0, kind=EventKind.ACQUIRE, variable="x")
+        write = self._access(1, 0, EventKind.WRITE)
+        assert not lock.conflicts_with(write)
+
+
+class TestMemoryOrder:
+    @pytest.mark.parametrize("order, acquire, release", [
+        (MemoryOrder.RELAXED, False, False),
+        (MemoryOrder.ACQUIRE, True, False),
+        (MemoryOrder.RELEASE, False, True),
+        (MemoryOrder.ACQ_REL, True, True),
+        (MemoryOrder.SEQ_CST, True, True),
+    ])
+    def test_acquire_release_classification(self, order, acquire, release):
+        assert order.is_acquire is acquire
+        assert order.is_release is release

@@ -1,0 +1,90 @@
+"""Tests for the trace text serialization."""
+
+import io
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace import (
+    EventKind,
+    MemoryOrder,
+    Trace,
+    dump_trace,
+    dumps_trace,
+    load_trace,
+    loads_trace,
+)
+from repro.trace.generators import c11_trace, racy_trace
+
+
+class TestRoundTrip:
+    def test_simple_trace_round_trips(self):
+        trace = Trace(name="simple")
+        trace.write(0, "x", value=1)
+        trace.acquire(1, "l")
+        trace.read(1, "x", value=1)
+        trace.release(1, "l")
+        restored = loads_trace(dumps_trace(trace))
+        assert restored.name == "simple"
+        assert list(restored.events) == list(trace.events)
+
+    def test_metadata_fields_round_trip(self):
+        trace = Trace(name="meta")
+        trace.fork(0, 1)
+        trace.atomic_write(1, "a", value=3, memory_order=MemoryOrder.RELEASE)
+        trace.begin(2, "add", argument=7)
+        trace.end(2, "add", result=True)
+        restored = loads_trace(dumps_trace(trace))
+        events = list(restored.events)
+        assert events[0].target == 1
+        assert events[1].memory_order is MemoryOrder.RELEASE
+        assert events[1].atomic is True
+        assert events[2].argument == 7
+        assert events[3].result is True
+
+    @pytest.mark.parametrize("generator", [racy_trace, c11_trace])
+    def test_generated_traces_round_trip(self, generator):
+        trace = generator(num_threads=3, events_per_thread=40, seed=4)
+        restored = loads_trace(dumps_trace(trace))
+        assert list(restored.events) == list(trace.events)
+
+    def test_file_round_trip(self, tmp_path):
+        trace = Trace(name="file")
+        trace.write(0, "x", value=5)
+        path = tmp_path / "trace.txt"
+        dump_trace(trace, path)
+        restored = load_trace(path)
+        assert restored.name == "file"
+        assert restored[0].value == 5
+
+    def test_stream_round_trip(self):
+        trace = Trace(name="stream")
+        trace.read(0, "x")
+        buffer = io.StringIO()
+        dump_trace(trace, buffer)
+        buffer.seek(0)
+        restored = load_trace(buffer)
+        assert restored[0].kind is EventKind.READ
+
+
+class TestErrorHandling:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TraceError, match="unknown event kind"):
+            loads_trace("0|teleport\n")
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(TraceError, match="malformed"):
+            loads_trace("justonefield\n")
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(TraceError, match="unknown field"):
+            loads_trace("0|read|colour=str:blue\n")
+
+    def test_bad_value_encoding_rejected(self):
+        with pytest.raises(TraceError, match="cannot decode"):
+            loads_trace("0|read|variable=blob:xxx\n")
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# a comment\n\n0|write|variable=str:x|value=int:1\n"
+        trace = loads_trace(text)
+        assert len(trace) == 1

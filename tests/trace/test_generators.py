@@ -1,0 +1,200 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace import EventKind, Trace
+from repro.trace.generators import (
+    c11_trace,
+    deadlock_trace,
+    history_trace,
+    memory_trace,
+    racy_trace,
+    random_cross_edges,
+    tso_trace,
+)
+
+ALL_TRACE_GENERATORS = [
+    racy_trace, deadlock_trace, memory_trace, tso_trace, c11_trace, history_trace,
+]
+
+
+class TestCommonProperties:
+    @pytest.mark.parametrize("generator", ALL_TRACE_GENERATORS)
+    def test_determinism(self, generator):
+        first = generator(seed=42)
+        second = generator(seed=42)
+        assert list(first.events) == list(second.events)
+
+    @pytest.mark.parametrize("generator", ALL_TRACE_GENERATORS)
+    def test_different_seeds_differ(self, generator):
+        first = generator(seed=1)
+        second = generator(seed=2)
+        assert list(first.events) != list(second.events)
+
+    @pytest.mark.parametrize("generator", ALL_TRACE_GENERATORS)
+    def test_thread_count_respected(self, generator):
+        trace = generator(num_threads=3, seed=0)
+        assert trace.num_threads == 3
+
+    @pytest.mark.parametrize("generator", [racy_trace, deadlock_trace, memory_trace,
+                                           tso_trace, c11_trace])
+    def test_invalid_parameters_rejected(self, generator):
+        with pytest.raises(TraceError):
+            generator(num_threads=0)
+        with pytest.raises(TraceError):
+            generator(events_per_thread=0)
+
+
+class TestRacyTrace:
+    def test_event_budget_respected(self):
+        trace = racy_trace(num_threads=4, events_per_thread=50, seed=1)
+        for thread in trace.threads:
+            assert trace.thread_length(thread) == 50
+
+    def test_locks_are_balanced(self):
+        trace = racy_trace(num_threads=4, events_per_thread=60, seed=2)
+        trace.critical_sections()  # raises on unbalanced locking
+
+    def test_contains_unprotected_conflicts(self):
+        trace = racy_trace(num_threads=4, events_per_thread=100,
+                           protected_fraction=0.2, seed=3)
+        grouped = trace.accesses_by_variable()
+        assert any(
+            len({event.thread for event in events}) > 1 for events in grouped.values()
+        )
+
+
+class TestDeadlockTrace:
+    def test_contains_nested_critical_sections(self):
+        trace = deadlock_trace(num_threads=4, events_per_thread=120, seed=1)
+        held = trace.locks_held_map()
+        assert any(len(locks) >= 2 for locks in held.values())
+
+    def test_locks_are_balanced(self):
+        trace = deadlock_trace(num_threads=3, events_per_thread=90, seed=5)
+        trace.critical_sections()
+
+
+class TestMemoryTrace:
+    def test_objects_are_allocated_before_freed(self):
+        trace = memory_trace(num_threads=3, events_per_thread=150, seed=1)
+        allocated = set()
+        for event in trace:
+            if event.kind is EventKind.ALLOC:
+                allocated.add(event.variable)
+            elif event.kind is EventKind.FREE:
+                assert event.variable in allocated
+
+    def test_objects_escape_to_other_threads(self):
+        trace = memory_trace(num_threads=4, events_per_thread=200, seed=2)
+        allocating = {}
+        escaped = False
+        for event in trace:
+            if event.kind is EventKind.ALLOC:
+                allocating[event.variable] = event.thread
+            elif event.is_access and event.variable in allocating:
+                if event.thread != allocating[event.variable]:
+                    escaped = True
+        assert escaped
+
+
+class TestTsoTrace:
+    def test_written_values_are_unique(self):
+        trace = tso_trace(num_threads=3, events_per_thread=100, seed=1)
+        values = [event.value for event in trace if event.is_write]
+        assert len(values) == len(set(values))
+
+    def test_reads_observe_written_or_initial_values(self):
+        trace = tso_trace(num_threads=3, events_per_thread=100, seed=1)
+        written = {event.value for event in trace if event.is_write}
+        for event in trace:
+            if event.is_read:
+                assert event.value == 0 or event.value in written
+
+    def test_no_stale_reads_when_disabled(self):
+        trace = tso_trace(num_threads=3, events_per_thread=120,
+                          stale_read_fraction=0.0, seed=4)
+        last_value = {}
+        for event in trace:
+            if event.is_write:
+                last_value[event.variable] = event.value
+            elif event.is_read:
+                assert event.value == last_value.get(event.variable, 0)
+
+
+class TestC11Trace:
+    def test_mixes_atomic_and_plain_accesses(self):
+        trace = c11_trace(num_threads=4, events_per_thread=150, seed=1)
+        assert any(event.atomic for event in trace)
+        assert any(event.is_access and not event.atomic for event in trace)
+
+    def test_atomic_events_have_memory_orders(self):
+        trace = c11_trace(num_threads=3, events_per_thread=100, seed=2)
+        for event in trace:
+            if event.atomic:
+                assert event.memory_order is not None
+
+
+class TestHistoryTrace:
+    def test_begin_end_events_are_balanced(self):
+        trace = history_trace(num_threads=3, operations_per_thread=20, seed=1)
+        pending = {}
+        for event in trace:
+            if event.kind is EventKind.BEGIN:
+                assert event.thread not in pending
+                pending[event.thread] = event
+            elif event.kind is EventKind.END:
+                begin = pending.pop(event.thread)
+                assert begin.operation == event.operation
+        assert not pending
+
+    def test_operation_count(self):
+        trace = history_trace(num_threads=3, operations_per_thread=15, seed=2)
+        begins = sum(1 for event in trace if event.kind is EventKind.BEGIN)
+        assert begins == 45
+
+    def test_operations_overlap(self):
+        trace = history_trace(num_threads=3, operations_per_thread=20,
+                              overlap=0.7, seed=3)
+        open_count = 0
+        max_open = 0
+        for event in trace:
+            if event.kind is EventKind.BEGIN:
+                open_count += 1
+                max_open = max(max_open, open_count)
+            elif event.kind is EventKind.END:
+                open_count -= 1
+        assert max_open >= 2
+
+    @pytest.mark.parametrize("structure", ["set", "queue", "register"])
+    def test_supported_data_structures(self, structure):
+        trace = history_trace(num_threads=2, operations_per_thread=10,
+                              data_structure=structure, seed=1)
+        assert len(trace) == 2 * 2 * 10
+
+    def test_unknown_structure_rejected(self):
+        with pytest.raises(TraceError):
+            history_trace(data_structure="btree")
+
+    def test_invalid_overlap_rejected(self):
+        with pytest.raises(TraceError):
+            history_trace(overlap=1.5)
+
+
+class TestRandomCrossEdges:
+    def test_edges_respect_window_and_chains(self):
+        edges = random_cross_edges(4, 1000, 200, window=50, seed=1)
+        assert len(edges) == 200
+        for (source_chain, source_index), (target_chain, target_index) in edges:
+            assert source_chain != target_chain
+            assert abs(source_index - target_index) <= 50
+            assert 0 <= source_index < 1000
+            assert 0 <= target_index < 1000
+
+    def test_requires_two_chains(self):
+        with pytest.raises(TraceError):
+            random_cross_edges(1, 100, 10)
+
+    def test_determinism(self):
+        assert random_cross_edges(3, 100, 50, seed=9) == random_cross_edges(3, 100, 50, seed=9)

@@ -1,0 +1,89 @@
+"""Tests for the trace metrics module."""
+
+import pytest
+
+from repro.trace import Trace, compute_metrics
+from repro.trace.generators import deadlock_trace, racy_trace, tso_trace
+
+
+@pytest.fixture
+def small_trace():
+    trace = Trace(name="metrics")
+    trace.write(0, "x", value=1)
+    trace.acquire(0, "l")
+    trace.write(0, "y", value=2)
+    trace.release(0, "l")
+    trace.acquire(1, "l")
+    trace.read(1, "y", value=2)
+    trace.release(1, "l")
+    trace.read(1, "x", value=1)
+    trace.read(0, "x", value=1)
+    return trace
+
+
+class TestComputeMetrics:
+    def test_basic_counts(self, small_trace):
+        metrics = compute_metrics(small_trace)
+        assert metrics.name == "metrics"
+        assert metrics.events == 9
+        assert metrics.threads == 2
+        assert metrics.max_thread_length == 5
+        assert metrics.reads == 3
+        assert metrics.writes == 2
+        assert metrics.variables == 2
+        assert metrics.locks == 1
+        assert metrics.lock_operations == 4
+        assert metrics.critical_sections == 2
+
+    def test_cross_thread_reads(self, small_trace):
+        metrics = compute_metrics(small_trace)
+        # Reads of thread 1 observe writes of thread 0 (2 of them); the read
+        # of thread 0 observes its own write.
+        assert metrics.cross_thread_reads == 2
+        assert metrics.communication_density == pytest.approx(2 / 9)
+
+    def test_accesses_per_variable(self, small_trace):
+        metrics = compute_metrics(small_trace)
+        assert metrics.accesses_per_variable == pytest.approx(5 / 2)
+
+    def test_empty_trace(self):
+        metrics = compute_metrics(Trace(name="empty"))
+        assert metrics.events == 0
+        assert metrics.accesses_per_variable == 0.0
+        assert metrics.communication_density == 0.0
+
+    def test_max_lock_nesting(self):
+        trace = Trace()
+        trace.acquire(0, "a")
+        trace.acquire(0, "b")
+        trace.acquire(0, "c")
+        trace.release(0, "c")
+        trace.release(0, "b")
+        trace.release(0, "a")
+        assert compute_metrics(trace).max_lock_nesting == 3
+
+    def test_summary_mentions_key_figures(self, small_trace):
+        summary = compute_metrics(small_trace).summary()
+        assert "9 events" in summary
+        assert "2 threads" in summary
+        assert "critical sections" in summary
+
+
+class TestOnGeneratedWorkloads:
+    def test_racy_trace_metrics(self):
+        trace = racy_trace(num_threads=4, events_per_thread=100, seed=1)
+        metrics = compute_metrics(trace)
+        assert metrics.events == len(trace)
+        assert metrics.threads == 4
+        assert metrics.reads + metrics.writes > 0
+        assert 0 <= metrics.communication_density <= 1
+
+    def test_deadlock_trace_has_nesting(self):
+        trace = deadlock_trace(num_threads=4, events_per_thread=150, seed=1)
+        assert compute_metrics(trace).max_lock_nesting >= 2
+
+    def test_tso_trace_has_no_locks(self):
+        trace = tso_trace(num_threads=3, events_per_thread=80, seed=1)
+        metrics = compute_metrics(trace)
+        assert metrics.locks == 0
+        assert metrics.lock_operations == 0
