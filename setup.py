@@ -1,11 +1,43 @@
-"""Setuptools shim.
+"""Packaging metadata.
 
 The environment used for the reproduction ships an older setuptools without
 PEP 660 editable-wheel support, so ``pip install -e .`` falls back to the
-legacy ``setup.py develop`` path, which needs this file.  All metadata lives
-in ``pyproject.toml``.
+legacy ``setup.py develop`` path, which needs this file -- and therefore the
+metadata lives here rather than in ``pyproject.toml``.
 """
 
-from setuptools import setup
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+HERE = Path(__file__).parent
+
+version: dict = {}
+exec((HERE / "src" / "repro" / "_version.py").read_text(encoding="utf-8"),
+     version)
+
+readme = HERE / "README.md"
+
+setup(
+    name="repro-cssts",
+    version=version["__version__"],
+    description=("Reproduction of 'CSSTs: A Dynamic Data Structure for "
+                 "Partial Orders in Concurrent Execution Analysis' "
+                 "(ASPLOS 2024)"),
+    long_description=readme.read_text(encoding="utf-8") if readme.exists() else "",
+    long_description_content_type="text/markdown",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Topic :: Software Development :: Testing",
+    ],
+)

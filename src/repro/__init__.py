@@ -23,6 +23,9 @@ Sub-packages
 ``repro.bench``
     Benchmark harness used by the ``benchmarks/`` suites to regenerate the
     paper's tables and figures.
+``repro.runner``
+    Sweep runner: named trace suites fanned out over parallel worker
+    processes (``python -m repro sweep``).
 """
 
 from repro._version import __version__

@@ -11,9 +11,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Sequence, Type, Union
 
-from repro.core import InstrumentedOrder, PartialOrder, make_partial_order
+from repro.core import (
+    DYNAMIC_BACKENDS,
+    INCREMENTAL_BACKENDS,
+    InstrumentedOrder,
+    PartialOrder,
+    make_partial_order,
+)
 from repro.errors import AnalysisError
 from repro.trace.trace import Trace
 
@@ -75,11 +81,20 @@ class AnalysisResult:
         )
 
 
+#: Analyses registered by short name (populated by ``Analysis`` subclasses).
+_ANALYSIS_REGISTRY: Dict[str, Type["Analysis"]] = {}
+
+
 class Analysis:
     """Base class for the dynamic analyses.
 
     Subclasses implement :meth:`_run` and set :attr:`name` and
-    :attr:`requires_deletion`.
+    :attr:`requires_deletion`.  Every concrete subclass that declares its own
+    :attr:`name` is automatically registered, so front ends (the CLI, the
+    sweep runner) can construct analyses from a plain string -- which also
+    keeps sweep jobs pickle-safe: worker processes ship the *name* across the
+    process boundary and rebuild the analysis locally instead of pickling an
+    instance holding a live backend.
     """
 
     #: Short identifier used in results and reports.
@@ -88,6 +103,56 @@ class Analysis:
     #: Whether the analysis needs decremental updates (only the
     #: linearizability root-causing analysis does).
     requires_deletion: bool = False
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        name = cls.__dict__.get("name")
+        if name and cls.__module__.partition(".")[0] == "repro":
+            _ANALYSIS_REGISTRY[name] = cls
+
+    # ------------------------------------------------------------------ #
+    # Registry
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def register(cls: Type["Analysis"]) -> Type["Analysis"]:
+        """Explicitly register an analysis class defined outside ``repro``.
+
+        Library analyses register automatically via ``__init_subclass__``;
+        external extensions opt in through this hook (usable as a class
+        decorator) so that ad-hoc subclasses in tests or scripts do not
+        silently join the CLI's analysis list.
+        """
+        if not getattr(cls, "name", None):
+            raise AnalysisError("analysis class needs a non-empty 'name'")
+        _ANALYSIS_REGISTRY[cls.name] = cls
+        return cls
+
+    @staticmethod
+    def registered() -> Dict[str, Type["Analysis"]]:
+        """Snapshot of the analysis registry (name -> class)."""
+        import repro.analyses  # noqa: F401  (imports every subclass)
+
+        return dict(_ANALYSIS_REGISTRY)
+
+    @staticmethod
+    def by_name(name: str) -> Type["Analysis"]:
+        """Look up a registered analysis class by its short name."""
+        registry = Analysis.registered()
+        try:
+            return registry[name]
+        except KeyError:
+            known = ", ".join(sorted(registry))
+            raise AnalysisError(f"unknown analysis {name!r}; known: {known}") from None
+
+    @classmethod
+    def default_backend(cls) -> str:
+        """The backend this analysis runs on when none is requested."""
+        return "csst" if cls.requires_deletion else "incremental-csst"
+
+    @classmethod
+    def applicable_backends(cls) -> Sequence[str]:
+        """Backend names able to serve this analysis's operation mix."""
+        return DYNAMIC_BACKENDS if cls.requires_deletion else INCREMENTAL_BACKENDS
 
     def __init__(self, backend: BackendSpec = "incremental-csst", **backend_kwargs) -> None:
         self._backend_spec = backend

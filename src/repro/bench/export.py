@@ -11,7 +11,7 @@ from __future__ import annotations
 import csv
 import io
 from pathlib import Path
-from typing import TextIO, Union
+from typing import Iterable, Sequence, TextIO, Union
 
 from repro.bench.harness import TableResult
 from repro.bench.tables import CrossoverResult, Figure11Result
@@ -25,6 +25,25 @@ def _open_and_call(destination: Destination, writer_func) -> None:
             writer_func(stream)
     else:
         writer_func(destination)
+
+
+def rows_to_csv(header: Sequence, rows: Iterable[Sequence],
+                destination: Destination) -> None:
+    """Write a plain header + rows table as CSV.
+
+    Generic building block shared by the table exporters below and the sweep
+    runner's record export (:mod:`repro.runner.results`).
+    """
+
+    def write(stream: TextIO) -> None:
+        # '\n' instead of the csv default '\r\n': the destination may be an
+        # already-open newline-translating stream (e.g. sys.stdout), where
+        # '\r\n' would come out as '\r\r\n' on Windows.
+        writer = csv.writer(stream, lineterminator="\n")
+        writer.writerow(header)
+        writer.writerows(rows)
+
+    _open_and_call(destination, write)
 
 
 def table_to_csv(table: TableResult, destination: Destination) -> None:

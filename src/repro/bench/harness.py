@@ -140,7 +140,7 @@ class TableResult:
                 ["Total", "-", "-", "-"]
                 + [_format_number(totals.get(backend)) for backend in self.backends]
             )
-        return _render(self.title, headers, lines)
+        return render_table(self.title, headers, lines)
 
 
 def _format_count(value: int) -> str:
@@ -161,7 +161,12 @@ def _format_number(value: Optional[float]) -> str:
     return f"{value:.3f}"
 
 
-def _render(title: str, headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+def render_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[str]]) -> str:
+    """Render a fixed-width text table in the style of the paper's tables.
+
+    Shared by :class:`TableResult` and the sweep runner's report formatting.
+    """
     widths = [len(header) for header in headers]
     for row in rows:
         if len(row) != len(headers):

@@ -1,14 +1,16 @@
-"""Command-line interface: generate traces, run analyses, compare backends.
+"""Command-line interface: generate traces, run analyses, compare backends,
+and sweep whole suites in parallel.
 
 The CLI is a thin wrapper over the library so that the typical workflow --
-produce a workload, analyse it, compare partial-order backends on it -- does
-not require writing Python:
+produce a workload, analyse it, compare partial-order backends on it, sweep
+a whole corpus -- does not require writing Python:
 
 .. code-block:: bash
 
     python -m repro generate racy --threads 4 --events 500 --out trace.txt
     python -m repro analyze race-prediction trace.txt --backend incremental-csst
     python -m repro compare tso-consistency trace.txt
+    python -m repro sweep --suite smoke --jobs 2 --format json
 """
 
 from __future__ import annotations
@@ -17,45 +19,44 @@ import argparse
 import sys
 from typing import Callable, Dict, Optional, Sequence
 
-from repro.analyses.c11 import C11RaceAnalysis
 from repro.analyses.common.base import Analysis
-from repro.analyses.deadlock import DeadlockPredictionAnalysis
-from repro.analyses.linearizability import LinearizabilityAnalysis
-from repro.analyses.membug import MemoryBugAnalysis
-from repro.analyses.race_prediction import RacePredictionAnalysis
-from repro.analyses.tso import TSOConsistencyAnalysis
-from repro.analyses.uaf import UseAfterFreeAnalysis
-from repro.core import DYNAMIC_BACKENDS, INCREMENTAL_BACKENDS
-from repro.trace import dump_trace, generators, load_trace
+from repro.errors import ReproError
+from repro.runner.corpus import SUITES
+from repro.runner.executor import run_suite
+from repro.trace import dump_trace, load_trace
+from repro.trace.generators import GENERATOR_REGISTRY, build_trace
 
-#: Analyses runnable from the command line.
-ANALYSES: Dict[str, type] = {
-    "race-prediction": RacePredictionAnalysis,
-    "deadlock-prediction": DeadlockPredictionAnalysis,
-    "memory-bugs": MemoryBugAnalysis,
-    "tso-consistency": TSOConsistencyAnalysis,
-    "use-after-free": UseAfterFreeAnalysis,
-    "c11-races": C11RaceAnalysis,
-    "linearizability": LinearizabilityAnalysis,
-}
 
-#: Trace generators reachable from ``repro generate``.
-GENERATORS: Dict[str, Callable] = {
-    "racy": generators.racy_trace,
-    "deadlock": generators.deadlock_trace,
-    "memory": generators.memory_trace,
-    "tso": generators.tso_trace,
-    "c11": generators.c11_trace,
-    "history": generators.history_trace,
-}
+def _analyses() -> Dict[str, type]:
+    """Live view of the analysis registry (front ends must not snapshot it,
+    or analyses registered later via ``Analysis.register`` would be
+    invisible)."""
+    return Analysis.registered()
+
+
+def _generators() -> Dict[str, Callable]:
+    """Live view of the generator registry."""
+    return {kind: entry.generator for kind, entry in GENERATOR_REGISTRY.items()}
+
+
+def __getattr__(name: str):
+    """Expose ``ANALYSES`` / ``GENERATORS`` as registry views (PEP 562):
+    every *module attribute access* (``repro.cli.ANALYSES``) reflects the
+    live registries.  A ``from repro.cli import ANALYSES`` still binds the
+    dict built at that moment, as any from-import does."""
+    if name == "ANALYSES":
+        return _analyses()
+    if name == "GENERATORS":
+        return _generators()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def _default_backend(analysis_name: str) -> str:
-    return "csst" if analysis_name == "linearizability" else "incremental-csst"
+    return _analyses()[analysis_name].default_backend()
 
 
 def _backends_for(analysis_name: str) -> Sequence[str]:
-    return DYNAMIC_BACKENDS if analysis_name == "linearizability" else INCREMENTAL_BACKENDS
+    return _analyses()[analysis_name].applicable_backends()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -66,7 +67,7 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     generate = subparsers.add_parser("generate", help="generate a synthetic trace")
-    generate.add_argument("kind", choices=sorted(GENERATORS))
+    generate.add_argument("kind", choices=sorted(_generators()))
     generate.add_argument("--threads", type=int, default=4)
     generate.add_argument("--events", type=int, default=200,
                           help="events (or operations) per thread")
@@ -75,29 +76,50 @@ def build_parser() -> argparse.ArgumentParser:
                           help="output file ('-' for stdout)")
 
     analyze = subparsers.add_parser("analyze", help="run one analysis on a trace file")
-    analyze.add_argument("analysis", choices=sorted(ANALYSES))
+    analyze.add_argument("analysis", choices=sorted(_analyses()))
     analyze.add_argument("trace", help="trace file produced by 'generate'")
     analyze.add_argument("--backend", default=None,
                          help="partial-order backend (default depends on the analysis)")
     analyze.add_argument("--max-findings", type=int, default=20,
-                         help="number of findings to print")
+                         help="number of findings to print (0 prints none)")
 
     compare = subparsers.add_parser(
         "compare", help="run one analysis on every applicable backend")
-    compare.add_argument("analysis", choices=sorted(ANALYSES))
+    compare.add_argument("analysis", choices=sorted(_analyses()))
     compare.add_argument("trace", help="trace file produced by 'generate'")
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="run a suite of traces x analyses x backends, optionally in parallel")
+    sweep.add_argument("--suite", default="smoke", choices=sorted(SUITES),
+                       help="registered trace suite (default: smoke)")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = run inline, no pool)")
+    sweep.add_argument("--backends", default=None,
+                       help="comma-separated backend names (default: every "
+                            "backend applicable to each analysis)")
+    sweep.add_argument("--analyses", default=None,
+                       help="comma-separated analysis names (default: every "
+                            "analysis the trace kind feeds)")
+    sweep.add_argument("--format", choices=("table", "json", "csv"),
+                       default="table", help="output format (default: table)")
+    sweep.add_argument("--baseline", default=None,
+                       help="baseline backend for speedups (default: vc, or "
+                            "graph for deletion-based analyses)")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       help="seconds to wait for each job's result when "
+                            "collecting, in submission order (parallel runs "
+                            "only); overrunning jobs are recorded as "
+                            "timeouts")
+    sweep.add_argument("--out", default="-",
+                       help="output file ('-' for stdout)")
 
     return parser
 
 
 def _generate(args: argparse.Namespace) -> int:
-    generator = GENERATORS[args.kind]
-    kwargs = {"num_threads": args.threads, "seed": args.seed}
-    if args.kind == "history":
-        kwargs["operations_per_thread"] = args.events
-    else:
-        kwargs["events_per_thread"] = args.events
-    trace = generator(**kwargs)
+    trace = build_trace(args.kind, num_threads=args.threads,
+                        events=args.events, seed=args.seed)
     if args.out == "-":
         dump_trace(trace, sys.stdout)
     else:
@@ -108,7 +130,7 @@ def _generate(args: argparse.Namespace) -> int:
 
 def _make_analysis(name: str, backend: Optional[str]) -> Analysis:
     backend = backend or _default_backend(name)
-    return ANALYSES[name](backend)
+    return _analyses()[name](backend)
 
 
 def _analyze(args: argparse.Namespace) -> int:
@@ -119,10 +141,12 @@ def _analyze(args: argparse.Namespace) -> int:
     for key, value in sorted(result.details.items()):
         if not isinstance(value, (list, dict)):
             print(f"  {key}: {value}")
-    for finding in result.findings[: args.max_findings]:
+    shown = result.findings[:max(args.max_findings, 0)]
+    for finding in shown:
         print(f"  finding: {finding}")
-    if result.finding_count > args.max_findings:
-        print(f"  ... and {result.finding_count - args.max_findings} more")
+    remaining = result.finding_count - len(shown)
+    if remaining > 0:
+        print(f"  ... and {remaining} more")
     return 0
 
 
@@ -140,15 +164,65 @@ def _compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _split_csv_flag(value: Optional[str]) -> Optional[Sequence[str]]:
+    if value is None:
+        return None
+    return [item.strip() for item in value.split(",") if item.strip()]
+
+
+def _sweep(args: argparse.Namespace) -> int:
+    from repro.core import BACKENDS
+
+    if args.baseline is not None and args.baseline not in BACKENDS:
+        known = ", ".join(sorted(BACKENDS))
+        raise ReproError(f"unknown baseline backend {args.baseline!r}; "
+                         f"known: {known}")
+    if args.baseline is not None and args.format == "csv":
+        print("warning: --baseline has no effect with --format csv "
+              "(the CSV carries per-job records, not speedup aggregates)",
+              file=sys.stderr)
+    if args.timeout is not None and args.jobs <= 1:
+        print("warning: --timeout only applies to parallel runs; "
+              "--jobs 1 runs inline and cannot be interrupted",
+              file=sys.stderr)
+    result = run_suite(
+        args.suite,
+        workers=args.jobs,
+        analyses=_split_csv_flag(args.analyses),
+        backends=_split_csv_flag(args.backends),
+        timeout_seconds=args.timeout,
+    )
+    if args.baseline is not None and args.format != "csv" and not any(
+            record.backend == args.baseline for record in result.ok_records()):
+        print(f"warning: baseline backend {args.baseline!r} ran no job in "
+              f"this sweep; no speedups computed", file=sys.stderr)
+    destination = None if args.out == "-" else args.out
+    if args.format == "csv":
+        result.to_csv(sys.stdout if destination is None else destination)
+    else:
+        if args.format == "json":
+            rendered = result.to_json(baseline=args.baseline) + "\n"
+        else:
+            rendered = result.format_table(baseline=args.baseline) + "\n"
+        if destination is None:
+            sys.stdout.write(rendered)
+        else:
+            with open(destination, "w", encoding="utf-8") as stream:
+                stream.write(rendered)
+    if destination is not None:
+        print(f"wrote {len(result.records)} records to {destination}")
+    return 1 if result.failures() else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "generate":
-        return _generate(args)
-    if args.command == "analyze":
-        return _analyze(args)
-    if args.command == "compare":
-        return _compare(args)
-    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+    handlers = {"generate": _generate, "analyze": _analyze,
+                "compare": _compare, "sweep": _sweep}
+    try:
+        return handlers[args.command](args)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

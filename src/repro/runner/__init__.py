@@ -1,0 +1,55 @@
+"""Sweep runner: corpus registry, parallel executor and result aggregation.
+
+This is the orchestration layer on top of ``repro.analyses``: it declares
+named suites of synthetic workloads (:mod:`repro.runner.corpus`), fans
+(trace x analysis x backend) jobs out over worker processes
+(:mod:`repro.runner.executor`) and aggregates the per-job records into
+exportable results (:mod:`repro.runner.results`).  The ``python -m repro
+sweep`` subcommand is a thin wrapper over :func:`run_suite`.
+"""
+
+from repro.runner.corpus import (
+    SUITES,
+    Suite,
+    TraceCorpus,
+    TraceSpec,
+    get_suite,
+    grid,
+    register_suite,
+)
+from repro.runner.executor import (
+    SweepJob,
+    analyses_for_kind,
+    execute_job,
+    plan_jobs,
+    run_jobs,
+    run_suite,
+)
+from repro.runner.results import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    SweepRecord,
+    SweepResult,
+)
+
+__all__ = [
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "STATUS_TIMEOUT",
+    "SUITES",
+    "Suite",
+    "SweepJob",
+    "SweepRecord",
+    "SweepResult",
+    "TraceCorpus",
+    "TraceSpec",
+    "analyses_for_kind",
+    "execute_job",
+    "get_suite",
+    "grid",
+    "plan_jobs",
+    "register_suite",
+    "run_jobs",
+    "run_suite",
+]

@@ -1,0 +1,253 @@
+"""Parallel sweep executor: fan (trace x analysis x backend) jobs out over
+worker processes.
+
+The executor is deliberately simple and deterministic:
+
+* **Planning** is pure: :func:`plan_jobs` expands a suite into an ordered
+  job list (suite order, then analysis, then backend in the canonical
+  factory order), so the same request always yields the same jobs in the
+  same positions.
+* **Execution** ships only the :class:`SweepJob` (a few strings and ints)
+  to each worker; the worker regenerates the trace from its spec and
+  rebuilds the analysis by name, so nothing exotic crosses the process
+  boundary and the runner works under both ``fork`` and ``spawn`` start
+  methods.
+* **Collection** walks the futures in submission order, so results come
+  back in plan order no matter which worker finished first.  Per-job
+  failures are captured as ``status="error"`` records (with the worker's
+  traceback); a per-job timeout yields a ``status="timeout"`` record
+  instead of sinking the whole sweep.
+
+``jobs=1`` bypasses the process pool entirely and runs inline -- that is
+both the debugging escape hatch and the reference a parallel run must match
+record-for-record (modulo wall-clock times).
+"""
+
+from __future__ import annotations
+
+import traceback
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analyses.common.base import Analysis
+from repro.errors import ReproError
+from repro.runner.corpus import Suite, TraceCorpus, TraceSpec, get_suite
+from repro.trace.generators import GENERATOR_REGISTRY
+from repro.runner.results import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    SweepRecord,
+    SweepResult,
+)
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One unit of sweep work: run ``analysis`` on ``spec`` with ``backend``.
+
+    Frozen and made of primitives plus a :class:`TraceSpec`, so it pickles
+    cheaply to worker processes.
+    """
+
+    suite: str
+    spec: TraceSpec
+    analysis: str
+    backend: str
+
+    def describe(self) -> str:
+        return f"{self.spec.trace_id} {self.analysis} [{self.backend}]"
+
+
+def analyses_for_kind(kind: str) -> Tuple[str, ...]:
+    """Analyses a workload kind feeds, as declared at generator registration
+    (empty tuple for unknown kinds)."""
+    entry = GENERATOR_REGISTRY.get(kind)
+    return entry.analyses if entry is not None else ()
+
+
+def plan_jobs(suite: Suite,
+              analyses: Optional[Sequence[str]] = None,
+              backends: Optional[Sequence[str]] = None) -> List[SweepJob]:
+    """Expand a suite into a deterministic, ordered job list.
+
+    ``analyses`` restricts the fan-out to the named analyses (default: every
+    analysis the trace kind feeds); ``backends`` restricts backends (default:
+    every backend applicable to the analysis).  Requested backends that an
+    analysis cannot use (e.g. ``vc`` for linearizability, which needs
+    deletion support) are skipped for that analysis, mirroring how
+    ``repro compare`` scopes its backend list per analysis -- but a request
+    that leaves an explicitly named analysis with *zero* jobs anywhere in
+    the suite (no kind feeds it, or no requested backend can serve it) is
+    rejected with :class:`ReproError` rather than silently under-measuring.
+    """
+    registry = Analysis.registered()
+    if analyses is not None:
+        unknown = sorted(set(analyses) - set(registry))
+        if unknown:
+            raise ReproError(f"unknown analyses in sweep request: {unknown}")
+    if backends is not None:
+        from repro.core import BACKENDS
+
+        unknown = sorted(set(backends) - set(BACKENDS))
+        if unknown:
+            raise ReproError(f"unknown backends in sweep request: {unknown}")
+    jobs: List[SweepJob] = []
+    for spec in suite:
+        kind_analyses = analyses_for_kind(spec.kind)
+        if not kind_analyses:
+            raise ReproError(
+                f"no analyses declared for trace kind {spec.kind!r}; pass "
+                f"analyses=(...) when calling register_generator")
+        for analysis_name in kind_analyses:
+            if analyses is not None and analysis_name not in analyses:
+                continue
+            applicable = registry[analysis_name].applicable_backends()
+            selected = [backend for backend in applicable
+                        if backends is None or backend in backends]
+            for backend in selected:
+                jobs.append(SweepJob(suite=suite.name, spec=spec,
+                                     analysis=analysis_name, backend=backend))
+    if suite.specs and not jobs:
+        raise ReproError(
+            "sweep plan is empty: the requested analyses/backends do not "
+            "combine into any runnable job for this suite (e.g. none of the "
+            "requested backends is applicable to the requested analyses)")
+    if analyses is not None:
+        unused = sorted(set(analyses) - {job.analysis for job in jobs})
+        if unused:
+            raise ReproError(
+                f"requested analyses produce no job in suite "
+                f"{suite.name!r}: {unused} (no trace kind feeds them, or "
+                f"the requested backends cannot serve them)")
+    return jobs
+
+
+#: Per-process trace cache for pool workers: jobs sharing a spec (several
+#: backends per trace) reuse the materialized trace instead of regenerating
+#: it.  Lives and dies with the worker process, so nothing leaks across
+#: sweeps in the parent.
+_WORKER_CORPUS = TraceCorpus()
+
+
+def execute_job(job: SweepJob, corpus: Optional[TraceCorpus] = None) -> SweepRecord:
+    """Run one job to completion, capturing any analysis error.
+
+    This is the worker-side entry point; it must stay a module-level
+    function so it pickles by reference under ``spawn``.
+    """
+    spec = job.spec
+    base = dict(suite=job.suite, trace_id=spec.trace_id, kind=spec.kind,
+                threads=spec.threads, events=spec.events, seed=spec.seed,
+                analysis=job.analysis, backend=job.backend)
+    try:
+        trace = (corpus if corpus is not None else _WORKER_CORPUS).get(spec)
+        analysis = Analysis.by_name(job.analysis)(job.backend)
+        result = analysis.run(trace)
+        return SweepRecord(status=STATUS_OK,
+                           elapsed_seconds=result.elapsed_seconds,
+                           finding_count=result.finding_count,
+                           insert_count=result.insert_count,
+                           delete_count=result.delete_count,
+                           query_count=result.query_count,
+                           **base)
+    except Exception:
+        return SweepRecord(status=STATUS_ERROR, error=traceback.format_exc(),
+                           **base)
+
+
+def run_jobs(jobs: Sequence[SweepJob], *, workers: int = 1,
+             timeout_seconds: Optional[float] = None,
+             suite_name: Optional[str] = None) -> SweepResult:
+    """Execute ``jobs`` and return records in job order.
+
+    ``workers=1`` runs inline (sharing one trace corpus cache across jobs);
+    ``workers>1`` fans out over a :class:`ProcessPoolExecutor`.
+    ``timeout_seconds`` bounds how long the collector waits for each job's
+    result; a job that exceeds it is recorded as ``status="timeout"``.
+    Serial runs apply no timeout (there is no safe way to interrupt an
+    in-process computation).
+    """
+    if workers < 1:
+        raise ReproError(f"workers must be >= 1, got {workers}")
+    name = suite_name if suite_name is not None else (
+        jobs[0].suite if jobs else "empty")
+    result = SweepResult(suite=name)
+    if not jobs:
+        return result
+
+    if workers == 1:
+        corpus = TraceCorpus()
+        result.records = [execute_job(job, corpus) for job in jobs]
+        return result
+
+    pool = ProcessPoolExecutor(max_workers=min(workers, len(jobs)))
+    timed_out = False
+    try:
+        futures = [pool.submit(execute_job, job) for job in jobs]
+        for job, future in zip(jobs, futures):
+            try:
+                record = future.result(timeout=timeout_seconds)
+            except FutureTimeout:
+                # cancel() succeeds only for jobs that never left the queue
+                # -- label those honestly: they never ran.
+                if future.cancel():
+                    timed_out = True
+                    record = _failure_record(
+                        job, STATUS_TIMEOUT,
+                        f"job was still queued when its {timeout_seconds}s "
+                        f"collection window expired")
+                elif future.done():
+                    # Finished between the timeout firing and the cancel
+                    # attempt: keep the real result instead of mislabeling
+                    # a completed job as a timeout.
+                    try:
+                        record = future.result(timeout=0)
+                    except Exception:  # completed with e.g. BrokenProcessPool
+                        record = _failure_record(job, STATUS_ERROR,
+                                                 traceback.format_exc())
+                else:
+                    timed_out = True
+                    record = _failure_record(
+                        job, STATUS_TIMEOUT,
+                        f"job did not complete within {timeout_seconds}s")
+            except Exception:  # worker died (e.g. BrokenProcessPool)
+                record = _failure_record(job, STATUS_ERROR,
+                                         traceback.format_exc())
+            result.records.append(record)
+    finally:
+        if timed_out:
+            # A timed-out job is still running in its worker; a plain
+            # shutdown would block on it (possibly forever for a hung job).
+            # Every future has been collected or cancelled by now, so no
+            # pending result is lost by killing the stragglers.
+            processes = getattr(pool, "_processes", None)
+            if processes:
+                for process in processes.values():
+                    process.terminate()
+                pool.shutdown(wait=True)
+            else:  # pragma: no cover - private attr gone on this CPython
+                # Cannot kill the stragglers; at least do not block on them.
+                pool.shutdown(wait=False, cancel_futures=True)
+        else:
+            pool.shutdown(wait=True)
+    return result
+
+
+def run_suite(suite_name: str, *, workers: int = 1,
+              analyses: Optional[Sequence[str]] = None,
+              backends: Optional[Sequence[str]] = None,
+              timeout_seconds: Optional[float] = None) -> SweepResult:
+    """Plan and execute a full sweep of a registered suite."""
+    suite = get_suite(suite_name)
+    jobs = plan_jobs(suite, analyses=analyses, backends=backends)
+    return run_jobs(jobs, workers=workers, timeout_seconds=timeout_seconds,
+                    suite_name=suite.name)
+
+
+def _failure_record(job: SweepJob, status: str, message: str) -> SweepRecord:
+    spec = job.spec
+    return SweepRecord(suite=job.suite, trace_id=spec.trace_id, kind=spec.kind,
+                       threads=spec.threads, events=spec.events,
+                       seed=spec.seed, analysis=job.analysis,
+                       backend=job.backend, status=status, error=message)

@@ -12,12 +12,16 @@ from repro.trace.event import (
 from repro.trace.formats import dump_trace, dumps_trace, load_trace, loads_trace
 from repro.trace.metrics import TraceMetrics, compute_metrics
 from repro.trace.generators import (
+    GENERATOR_REGISTRY,
+    build_trace,
     c11_trace,
     deadlock_trace,
+    get_generator,
     history_trace,
     memory_trace,
     racy_trace,
     random_cross_edges,
+    register_generator,
     tso_trace,
 )
 from repro.trace.trace import CriticalSection, Trace
@@ -27,14 +31,18 @@ __all__ = [
     "CriticalSection",
     "Event",
     "EventKind",
+    "GENERATOR_REGISTRY",
     "MemoryOrder",
     "READ_KINDS",
     "Trace",
     "TraceMetrics",
     "WRITE_KINDS",
+    "build_trace",
     "c11_trace",
     "compute_metrics",
     "deadlock_trace",
+    "get_generator",
+    "register_generator",
     "dump_trace",
     "dumps_trace",
     "history_trace",

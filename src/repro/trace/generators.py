@@ -27,7 +27,8 @@ Generator                   Analysis (paper table)
 from __future__ import annotations
 
 import random
-from typing import Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import TraceError
 from repro.trace.event import MemoryOrder
@@ -159,7 +160,10 @@ def memory_trace(num_threads: int = 4, events_per_thread: int = 200,
     trace = Trace(name=name)
     addresses = [f"obj{i}" for i in range(num_objects)]
     allocated: List[str] = []
-    freed: set = set()
+    # Insertion-ordered on purpose: iterating a *set* of strings here would
+    # make the trace depend on the per-process hash seed, breaking the
+    # "deterministic given its seed" contract across interpreter runs.
+    freed: List[str] = []
     next_address = 0
     budget = {t: events_per_thread for t in range(num_threads)}
     active = [t for t in range(num_threads) if budget[t] > 0]
@@ -181,13 +185,13 @@ def memory_trace(num_threads: int = 4, events_per_thread: int = 200,
                 budget[thread] -= 1
         elif roll < 0.35 and allocated:
             address = allocated.pop(rng.randrange(len(allocated)))
-            freed.add(address)
+            freed.append(address)
             trace.free(thread, address)
             budget[thread] -= 1
         else:
-            pool = allocated if (rng.random() < escape_fraction or not freed) else list(freed)
+            pool = allocated if (rng.random() < escape_fraction or not freed) else freed
             if not pool:
-                pool = allocated or list(freed)
+                pool = allocated or freed
             address = rng.choice(pool) if pool else "spin"
             protected = rng.random() < 0.3
             if protected and budget[thread] >= 3:
@@ -397,3 +401,82 @@ def _validate_positive(**kwargs: int) -> None:
     for key, value in kwargs.items():
         if value <= 0:
             raise TraceError(f"{key} must be positive, got {value}")
+
+
+# --------------------------------------------------------------------------- #
+# Generator registry
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class GeneratorEntry:
+    """A registered trace generator plus the metadata needed to drive it
+    uniformly: the name of the keyword argument that controls the per-thread
+    trace size (``history_trace`` counts *operations*, everything else counts
+    *events*), and the names of the analyses the workload is meant to feed
+    (used by the sweep runner to plan jobs; names only, so the trace layer
+    stays independent of :mod:`repro.analyses`)."""
+
+    generator: Callable[..., Trace]
+    size_parameter: str = "events_per_thread"
+    analyses: Tuple[str, ...] = ()
+
+
+#: Registry of trace generators addressable by a short kind name.  The CLI's
+#: ``generate`` subcommand and the sweep runner's trace corpus both resolve
+#: workload kinds through this table, so registering a generator here makes
+#: it reachable from every front end at once.
+GENERATOR_REGISTRY: Dict[str, GeneratorEntry] = {}
+
+
+def register_generator(kind: str, generator: Callable[..., Trace],
+                       size_parameter: str = "events_per_thread",
+                       analyses: Sequence[str] = ()) -> None:
+    """Register ``generator`` under ``kind`` (overwrites a previous entry).
+
+    ``analyses`` names the analyses this workload kind targets; the sweep
+    runner refuses to plan jobs for kinds registered without any.
+    """
+    GENERATOR_REGISTRY[kind] = GeneratorEntry(generator, size_parameter,
+                                              tuple(analyses))
+
+
+def get_generator(kind: str) -> GeneratorEntry:
+    """Look up a registered generator, raising :class:`TraceError` if unknown."""
+    try:
+        return GENERATOR_REGISTRY[kind]
+    except KeyError:
+        known = ", ".join(sorted(GENERATOR_REGISTRY))
+        raise TraceError(f"unknown trace kind {kind!r}; known: {known}") from None
+
+
+def build_trace(kind: str, num_threads: int, events: int,
+                seed: Optional[int] = 0, name: Optional[str] = None,
+                **kwargs) -> Trace:
+    """Build a trace of ``kind`` with a uniform parameter vocabulary.
+
+    ``events`` is the per-thread size whatever the generator calls it
+    (``events_per_thread`` or ``operations_per_thread``); extra keyword
+    arguments are forwarded to the generator unchanged.
+    """
+    entry = get_generator(kind)
+    build_kwargs: Dict[str, object] = {
+        "num_threads": num_threads,
+        entry.size_parameter: events,
+        "seed": seed,
+    }
+    if name is not None:
+        build_kwargs["name"] = name
+    build_kwargs.update(kwargs)
+    return entry.generator(**build_kwargs)
+
+
+# The kind -> analyses pairing mirrors the paper's tables (the table in this
+# module's docstring); ``memory`` feeds two analyses.
+register_generator("racy", racy_trace, analyses=("race-prediction",))
+register_generator("deadlock", deadlock_trace, analyses=("deadlock-prediction",))
+register_generator("memory", memory_trace,
+                   analyses=("memory-bugs", "use-after-free"))
+register_generator("tso", tso_trace, analyses=("tso-consistency",))
+register_generator("c11", c11_trace, analyses=("c11-races",))
+register_generator("history", history_trace,
+                   size_parameter="operations_per_thread",
+                   analyses=("linearizability",))

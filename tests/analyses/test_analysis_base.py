@@ -77,6 +77,49 @@ class TestAnalysisRun:
         assert result.findings == ["done"]
 
 
+class TestAnalysisRegistry:
+    def test_library_analyses_are_auto_registered(self):
+        registry = Analysis.registered()
+        assert set(registry) == {
+            "race-prediction", "deadlock-prediction", "memory-bugs",
+            "tso-consistency", "use-after-free", "c11-races",
+            "linearizability"}
+
+    def test_ad_hoc_subclasses_stay_out_of_the_registry(self):
+        # _CountingAnalysis lives in this test module, not in repro.*.
+        assert "counting" not in Analysis.registered()
+        assert "deleting" not in Analysis.registered()
+
+    def test_by_name_resolves_and_rejects(self):
+        from repro.analyses.race_prediction import RacePredictionAnalysis
+
+        assert Analysis.by_name("race-prediction") is RacePredictionAnalysis
+        with pytest.raises(AnalysisError, match="unknown analysis"):
+            Analysis.by_name("fuzzing")
+
+    def test_explicit_register_hook(self):
+        from repro.analyses.common.base import _ANALYSIS_REGISTRY
+
+        try:
+            Analysis.register(_CountingAnalysis)
+            assert Analysis.by_name("counting") is _CountingAnalysis
+        finally:
+            _ANALYSIS_REGISTRY.pop("counting", None)
+
+    def test_register_requires_a_name(self):
+        class Anonymous(Analysis):
+            name = ""
+
+        with pytest.raises(AnalysisError, match="name"):
+            Analysis.register(Anonymous)
+
+    def test_backend_capability_classmethods(self):
+        assert _CountingAnalysis.default_backend() == "incremental-csst"
+        assert _DeletingAnalysis.default_backend() == "csst"
+        assert "vc" in _CountingAnalysis.applicable_backends()
+        assert set(_DeletingAnalysis.applicable_backends()) == {"graph", "csst"}
+
+
 class TestAnalysisResult:
     def test_operation_count_sums_components(self):
         result = AnalysisResult("a", "t", 10, 2, "vc",

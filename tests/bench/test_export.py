@@ -74,3 +74,21 @@ class TestFigureCsv:
         assert rows[0] == ["backend", "events_per_thread", "seconds",
                            "insert_count", "query_count"]
         assert len(rows) == 3
+
+
+class TestRowsToCsv:
+    def test_rows_to_csv_to_stream(self):
+        from repro.bench.export import rows_to_csv
+
+        buffer = io.StringIO()
+        rows_to_csv(["a", "b"], [[1, 2], [3, 4]], buffer)
+        rows = list(csv.reader(io.StringIO(buffer.getvalue())))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+        assert "\r" not in buffer.getvalue()  # stream-safe line endings
+
+    def test_rows_to_csv_to_path(self, tmp_path):
+        from repro.bench.export import rows_to_csv
+
+        path = tmp_path / "rows.csv"
+        rows_to_csv(["x"], [["y"]], path)
+        assert path.read_bytes() == b"x\ny\n"

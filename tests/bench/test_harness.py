@@ -98,7 +98,7 @@ class TestTableResult:
         assert "KiB" in text
 
     def test_render_rejects_ragged_rows(self):
-        from repro.bench.harness import _render
+        from repro.bench.harness import render_table
 
         with pytest.raises(BenchmarkError):
-            _render("t", ["a", "b"], [["only-one"]])
+            render_table("t", ["a", "b"], [["only-one"]])

@@ -1,0 +1,109 @@
+"""Tests for the trace-corpus registry."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ReproError, TraceError
+from repro.runner.corpus import (
+    SUITES,
+    Suite,
+    TraceCorpus,
+    TraceSpec,
+    get_suite,
+    grid,
+    register_suite,
+)
+
+
+class TestTraceSpec:
+    def test_build_is_deterministic(self):
+        spec = TraceSpec(kind="racy", threads=3, events=40, seed=7)
+        first, second = spec.build(), spec.build()
+        assert len(first) == len(second)
+        assert [str(event) for event in first] == [str(event) for event in second]
+
+    def test_trace_takes_spec_id_as_name(self):
+        spec = TraceSpec(kind="tso", threads=2, events=10, seed=1)
+        assert spec.trace_id == "tso-t2-n10-s1"
+        assert spec.build().name == "tso-t2-n10-s1"
+
+    def test_history_spec_counts_operations(self):
+        spec = TraceSpec(kind="history", threads=2, events=6)
+        trace = spec.build()
+        begins = sum(1 for event in trace if event.kind.value == "begin")
+        assert begins == 12
+
+    def test_extra_params_reach_the_generator(self):
+        spec = TraceSpec(kind="racy", threads=2, events=20,
+                         params=(("num_variables", 1),))
+        trace = spec.build()
+        variables = {event.variable for event in trace
+                     if event.variable and event.variable.startswith("x")}
+        assert variables == {"x0"}
+        assert "num_variables=1" in spec.trace_id
+
+    def test_unknown_kind_fails_fast(self):
+        with pytest.raises(TraceError, match="unknown trace kind"):
+            TraceSpec(kind="quantum", threads=2, events=10)
+
+    def test_spec_is_hashable_and_picklable(self):
+        spec = TraceSpec(kind="c11", threads=2, events=10)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        assert len({spec, TraceSpec(kind="c11", threads=2, events=10)}) == 1
+
+
+class TestGridAndSuites:
+    def test_grid_is_a_full_cartesian_product(self):
+        specs = grid(["racy", "tso"], [2, 4], [10], seeds=[0, 1])
+        assert len(specs) == 8
+        assert len(set(specs)) == 8
+
+    def test_registered_suites_exist(self):
+        for name in ("smoke", "quick", "seeds", "scaling", "full"):
+            assert name in SUITES
+
+    def test_smoke_suite_covers_every_kind(self):
+        kinds = {spec.kind for spec in get_suite("smoke")}
+        assert kinds == {"racy", "deadlock", "memory", "tso", "c11", "history"}
+
+    def test_full_is_deduplicated_union_of_parts(self):
+        full = get_suite("full")
+        parts = (get_suite("quick").specs + get_suite("seeds").specs
+                 + get_suite("scaling").specs)
+        assert full.specs == tuple(dict.fromkeys(parts))
+        assert len(set(full.specs)) == len(full.specs)
+
+    def test_unknown_suite_raises(self):
+        with pytest.raises(ReproError, match="unknown suite"):
+            get_suite("galaxy")
+
+    def test_register_suite_round_trips(self):
+        suite = Suite(name="_tmp", description="test",
+                      specs=grid(["racy"], [2], [10]))
+        try:
+            register_suite(suite)
+            assert get_suite("_tmp") is suite
+        finally:
+            SUITES.pop("_tmp", None)
+
+
+class TestTraceCorpus:
+    def test_materialization_is_cached(self):
+        corpus = TraceCorpus()
+        spec = TraceSpec(kind="racy", threads=2, events=20)
+        assert corpus.get(spec) is corpus.get(spec)
+        assert len(corpus) == 1
+
+    def test_materialize_fills_cache_in_order(self):
+        corpus = TraceCorpus()
+        specs = grid(["racy", "tso"], [2], [10])
+        traces = corpus.materialize(specs)
+        assert [trace.name for trace in traces] == [s.trace_id for s in specs]
+        assert len(corpus) == 2
+
+    def test_clear_empties_the_cache(self):
+        corpus = TraceCorpus()
+        corpus.get(TraceSpec(kind="racy", threads=2, events=10))
+        corpus.clear()
+        assert len(corpus) == 0

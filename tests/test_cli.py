@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import ANALYSES, GENERATORS, build_parser, main
@@ -68,6 +70,47 @@ class TestAnalyze:
             build_parser().parse_args(["analyze", "fuzzing", "trace.txt"])
 
 
+class TestMaxFindings:
+    """Regression tests for ``--max-findings`` edge cases (issue #1)."""
+
+    @pytest.fixture
+    def finding_count(self, trace_file):
+        trace = load_trace(trace_file)
+        from repro.analyses.race_prediction import RacePredictionAnalysis
+
+        count = RacePredictionAnalysis("incremental-csst").run(trace).finding_count
+        assert count >= 2, "fixture trace must produce several findings"
+        return count
+
+    def test_zero_prints_no_findings_but_counts_all(self, trace_file,
+                                                    finding_count, capsys):
+        assert main(["analyze", "race-prediction", str(trace_file),
+                     "--max-findings", "0"]) == 0
+        output = capsys.readouterr().out
+        assert "finding:" not in output
+        assert f"... and {finding_count} more" in output
+
+    def test_negative_is_treated_as_zero(self, trace_file, finding_count, capsys):
+        assert main(["analyze", "race-prediction", str(trace_file),
+                     "--max-findings", "-3"]) == 0
+        output = capsys.readouterr().out
+        assert "finding:" not in output
+        assert f"... and {finding_count} more" in output
+
+    def test_partial_slice_counts_the_remainder(self, trace_file,
+                                                finding_count, capsys):
+        assert main(["analyze", "race-prediction", str(trace_file),
+                     "--max-findings", "1"]) == 0
+        output = capsys.readouterr().out
+        assert output.count("finding:") == 1
+        assert f"... and {finding_count - 1} more" in output
+
+    def test_no_trailer_when_everything_is_shown(self, trace_file, capsys):
+        assert main(["analyze", "race-prediction", str(trace_file),
+                     "--max-findings", "9999"]) == 0
+        assert "more" not in capsys.readouterr().out
+
+
 class TestCompare:
     def test_compare_lists_every_backend(self, trace_file, capsys):
         assert main(["compare", "memory-bugs", str(trace_file)]) == 0
@@ -82,3 +125,81 @@ class TestCompare:
         assert main(["compare", "linearizability", str(path)]) == 0
         output = capsys.readouterr().out
         assert "graph" in output and "csst" in output
+
+
+class TestSweep:
+    def test_sweep_table_output(self, capsys):
+        assert main(["sweep", "--suite", "smoke", "--analyses",
+                     "race-prediction", "--backends", "vc,st"]) == 0
+        output = capsys.readouterr().out
+        assert "sweep[smoke]: 2 jobs" in output
+        assert "racy-t3-n40-s0" in output
+
+    def test_sweep_json_records_are_structured(self, capsys):
+        assert main(["sweep", "--suite", "smoke", "--jobs", "2",
+                     "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["jobs"] == 20 and document["failures"] == 0
+        first = document["records"][0]
+        for key in ("backend", "analysis", "trace_id", "kind", "threads",
+                    "events", "seed", "elapsed_seconds", "finding_count",
+                    "insert_count", "delete_count", "query_count"):
+            assert key in first, key
+        assert document["speedups"]
+
+    def test_sweep_parallel_matches_serial(self, capsys):
+        argv = ["sweep", "--suite", "smoke", "--format", "json"]
+        assert main(argv + ["--jobs", "1"]) == 0
+        serial = json.loads(capsys.readouterr().out)["records"]
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel = json.loads(capsys.readouterr().out)["records"]
+        for left, right in zip(serial, parallel):
+            left.pop("elapsed_seconds"), right.pop("elapsed_seconds")
+        assert serial == parallel
+
+    def test_sweep_csv_to_file(self, tmp_path, capsys):
+        path = tmp_path / "sweep.csv"
+        assert main(["sweep", "--suite", "smoke", "--analyses", "c11-races",
+                     "--format", "csv", "--out", str(path)]) == 0
+        assert "wrote 3 records" in capsys.readouterr().out
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("suite,trace_id,kind")
+        assert len(lines) == 4
+
+    def test_sweep_unknown_suite_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--suite", "galaxy"])
+
+    def test_sweep_typoed_backend_is_a_clean_error(self, capsys):
+        assert main(["sweep", "--suite", "smoke", "--backends", "vcc"]) == 2
+        captured = capsys.readouterr()
+        assert "unknown backends" in captured.err
+        assert captured.out == ""
+
+    def test_sweep_typoed_baseline_is_a_clean_error(self, capsys):
+        assert main(["sweep", "--suite", "smoke", "--baseline", "vcc"]) == 2
+        assert "unknown baseline backend" in capsys.readouterr().err
+
+    def test_sweep_absent_baseline_warns(self, capsys):
+        assert main(["sweep", "--suite", "smoke", "--analyses",
+                     "race-prediction", "--backends", "vc,st",
+                     "--baseline", "graph"]) == 0
+        assert "ran no job in this sweep" in capsys.readouterr().err
+
+    def test_sweep_dropped_flags_warn(self, capsys):
+        assert main(["sweep", "--suite", "smoke", "--analyses", "c11-races",
+                     "--backends", "vc", "--timeout", "5", "--format", "csv",
+                     "--baseline", "vc"]) == 0
+        captured = capsys.readouterr().err
+        assert "--timeout only applies to parallel runs" in captured
+        assert "--baseline has no effect with --format csv" in captured
+
+    def test_sweep_empty_plan_is_a_clean_error(self, capsys):
+        assert main(["sweep", "--suite", "smoke", "--analyses",
+                     "linearizability", "--backends", "vc"]) == 2
+        assert "sweep plan is empty" in capsys.readouterr().err
+
+    def test_library_errors_exit_2_without_traceback(self, trace_file, capsys):
+        assert main(["analyze", "race-prediction", str(trace_file),
+                     "--backend", "vcc"]) == 2
+        assert "unknown partial-order backend" in capsys.readouterr().err

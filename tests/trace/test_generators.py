@@ -198,3 +198,47 @@ class TestRandomCrossEdges:
 
     def test_determinism(self):
         assert random_cross_edges(3, 100, 50, seed=9) == random_cross_edges(3, 100, 50, seed=9)
+
+
+class TestGeneratorRegistry:
+    def test_every_cli_kind_is_registered(self):
+        from repro.trace.generators import GENERATOR_REGISTRY
+
+        assert set(GENERATOR_REGISTRY) == {
+            "racy", "deadlock", "memory", "tso", "c11", "history"}
+
+    def test_get_generator_rejects_unknown_kind(self):
+        from repro.trace.generators import get_generator
+
+        with pytest.raises(TraceError, match="unknown trace kind"):
+            get_generator("quantum")
+
+    def test_build_trace_uniform_size_vocabulary(self):
+        from repro.trace.generators import build_trace
+
+        racy = build_trace("racy", num_threads=2, events=30, seed=1)
+        assert len(racy) == 60
+        history = build_trace("history", num_threads=2, events=5, seed=1)
+        begins = sum(1 for event in history if event.kind is EventKind.BEGIN)
+        assert begins == 10
+
+    def test_build_trace_forwards_name_and_kwargs(self):
+        from repro.trace.generators import build_trace
+
+        trace = build_trace("racy", num_threads=2, events=10, seed=0,
+                            name="custom", num_variables=1)
+        assert trace.name == "custom"
+
+    def test_register_generator_round_trips(self):
+        from repro.trace.generators import (
+            GENERATOR_REGISTRY,
+            build_trace,
+            register_generator,
+        )
+
+        try:
+            register_generator("tiny", lambda num_threads, events_per_thread,
+                               seed=0, name="tiny": Trace(name=name))
+            assert len(build_trace("tiny", num_threads=1, events=1)) == 0
+        finally:
+            GENERATOR_REGISTRY.pop("tiny", None)
