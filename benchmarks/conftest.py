@@ -19,12 +19,19 @@ from repro.trace.trace import Trace
 #: Scale factor applied to every workload's per-thread event count.
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.3"))
 
-_trace_cache: Dict[Tuple[str, float], Trace] = {}
+_trace_cache: Dict[Tuple[str, str, tuple, float], Trace] = {}
 
 
 def build_trace(workload: Workload, scale: float = BENCH_SCALE) -> Trace:
-    """Build (and memoise) the trace of a workload at the benchmark scale."""
-    key = (workload.name, scale)
+    """Build (and memoise) the trace of a workload at the benchmark scale.
+
+    The key includes the generator and its parameters, not just the
+    workload name: different tables reuse benchmark names (e.g. ``dq``
+    appears in both the TSO and the C11 suites with different generators),
+    and a name-only key would hand one suite the other's trace.
+    """
+    key = (workload.name, workload.generator.__name__,
+           tuple(sorted(workload.generator_kwargs.items())), scale)
     if key not in _trace_cache:
         _trace_cache[key] = workload.build(scale)
     return _trace_cache[key]

@@ -26,6 +26,9 @@ Sub-packages
 ``repro.runner``
     Sweep runner: named trace suites fanned out over parallel worker
     processes (``python -m repro sweep``).
+``repro.stream``
+    Streaming engine: online event ingestion, windowed incremental
+    analyses, checkpoint/restore (``python -m repro watch``).
 """
 
 from repro._version import __version__
@@ -43,9 +46,11 @@ from repro.core import (
 from repro.errors import (
     AnalysisError,
     BenchmarkError,
+    CheckpointError,
     InvalidEdgeError,
     InvalidNodeError,
     ReproError,
+    StreamError,
     TraceError,
     UnsupportedOperationError,
 )
@@ -54,6 +59,7 @@ __all__ = [
     "AnalysisError",
     "BenchmarkError",
     "CSST",
+    "CheckpointError",
     "GraphOrder",
     "IncrementalCSST",
     "InvalidEdgeError",
@@ -63,6 +69,7 @@ __all__ = [
     "SegmentTree",
     "SegmentTreeOrder",
     "SparseSegmentTree",
+    "StreamError",
     "TraceError",
     "UnsupportedOperationError",
     "VectorClockOrder",

@@ -16,12 +16,16 @@ order.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
 
 from repro.analyses.common.base import Analysis, AnalysisResult
 from repro.analyses.common.hb import insert_ordering
+from repro.core.growable import GrowableOrder
 from repro.core.instrumented import InstrumentedOrder
+from repro.core.interface import PartialOrder
+from repro.errors import AnalysisError
 from repro.trace.event import Event, EventKind
 from repro.trace.trace import Trace
 
@@ -42,8 +46,35 @@ class C11Race:
         return f"C11 race on {self.variable}: {self.first} || {self.second}"
 
 
+@dataclass
+class _DetectorState:
+    """The per-run state of the detector, shared by the batch and online
+    paths so both process events through the identical per-event step."""
+
+    #: Per atomic variable: the last release-write (or RMW) event, which
+    #: heads the release sequence subsequent acquire reads synchronise with.
+    last_release: Dict[object, Event] = field(default_factory=dict)
+    #: Per plain variable and thread: last access events, used for race checks.
+    last_accesses: Dict[object, Dict[int, List[Event]]] = field(
+        default_factory=dict)
+    reported: set = field(default_factory=set)
+    sw_edges: int = 0
+
+    @property
+    def plain_accesses(self) -> int:
+        return sum(len(events) for per_thread in self.last_accesses.values()
+                   for events in per_thread.values())
+
+
 class C11RaceAnalysis(Analysis):
     """C11Tester-style streaming race detection over atomics histories.
+
+    Because the detector processes events strictly in trace order and only
+    ever orders *into* the current event, it is genuinely incremental: the
+    online protocol (``begin``/``feed``/``flush``) maintains the same state
+    the batch run builds and reports each race the moment its second access
+    arrives.  Batch and online runs over the same event sequence produce
+    identical findings.
 
     Parameters
     ----------
@@ -55,37 +86,104 @@ class C11RaceAnalysis(Analysis):
     """
 
     name = "c11-races"
+    streaming_native = True
 
     def __init__(self, backend="vc", report_all: bool = False,
                  **backend_kwargs) -> None:
         super().__init__(backend, **backend_kwargs)
         self._report_all = report_all
+        self._online = None
 
     # ------------------------------------------------------------------ #
     def _run(self, trace: Trace, order: InstrumentedOrder,
              result: AnalysisResult) -> None:
-        # Per atomic variable: the last release-write (or RMW) event, which
-        # heads the release sequence subsequent acquire reads synchronise with.
-        last_release: Dict[object, Event] = {}
-        # Per plain variable and thread: last access events, used for race checks.
-        last_accesses: Dict[object, Dict[int, List[Event]]] = {}
-        reported: set = set()
-        sw_edges = 0
-
+        state = _DetectorState()
         for event in trace:
-            if event.atomic:
-                sw_edges += self._handle_atomic(order, last_release, event)
-            elif event.is_access:
-                self._check_races(order, last_accesses, reported, event, result)
-            elif event.kind in (EventKind.ACQUIRE, EventKind.RELEASE):
-                # Lock operations behave like acquire/release atomics on the
-                # lock object.
-                sw_edges += self._handle_lock(order, last_release, event)
-        result.details["sw_edges"] = sw_edges
-        result.details["plain_accesses"] = sum(
-            len(events) for per_thread in last_accesses.values()
-            for events in per_thread.values()
+            self._step(order, state, event, result.findings)
+        result.details["sw_edges"] = state.sw_edges
+        result.details["plain_accesses"] = state.plain_accesses
+
+    def _step(self, order: InstrumentedOrder, state: _DetectorState,
+              event: Event, findings: List[C11Race]) -> None:
+        """Process one event (the shared batch/online kernel)."""
+        if event.atomic:
+            state.sw_edges += self._handle_atomic(order, state.last_release,
+                                                 event)
+        elif event.is_access:
+            self._check_races(order, state, event, findings)
+        elif event.kind in (EventKind.ACQUIRE, EventKind.RELEASE):
+            # Lock operations behave like acquire/release atomics on the
+            # lock object.
+            state.sw_edges += self._handle_lock(order, state.last_release,
+                                                event)
+
+    # ------------------------------------------------------------------ #
+    # Online protocol (genuinely incremental)
+    # ------------------------------------------------------------------ #
+    def begin(self, view) -> None:
+        super().begin(view)
+        if isinstance(self._backend_spec, PartialOrder):
+            raise AnalysisError(
+                "online c11-races needs a named backend (the growing stream "
+                "constructs and resizes the backend itself)")
+        # Online state is built lazily on the first feed(): an attachment
+        # that is begun but never fed (e.g. under a bounded window, where
+        # the engine drives this analysis through the micro-batch fallback)
+        # must keep the base-class flush semantics and not pay for an
+        # unused backend.
+        self._online = None
+
+    def _begin_online(self) -> dict:
+        order = GrowableOrder(str(self._backend_spec), num_chains=1,
+                              capacity_hint=256, **self._backend_kwargs)
+        return {
+            "order": InstrumentedOrder(order),
+            "state": _DetectorState(),
+            "findings": [],
+            "events": 0,
+            "threads": set(),
+            "started": time.perf_counter(),
+        }
+
+    def feed(self, event: Event) -> Sequence[C11Race]:
+        if self._stream_view is None:
+            raise AnalysisError(
+                f"analysis {self.name!r}: feed() called before begin()")
+        if self._online is None:
+            self._online = self._begin_online()
+        online = self._online
+        findings = online["findings"]
+        before = len(findings)
+        self._step(online["order"], online["state"], event, findings)
+        online["events"] += 1
+        online["threads"].add(event.thread)
+        return findings[before:]
+
+    def flush(self) -> AnalysisResult:
+        online = self._online
+        if online is None:
+            # Nothing was fed: the base-class contract ("each call covers
+            # everything currently in the view") is served by the batch
+            # fallback over the view's snapshot.
+            return super().flush()
+        order = online["order"]
+        state = online["state"]
+        view = self._stream_view
+        result = AnalysisResult(
+            analysis=self.name,
+            trace_name=getattr(view, "name", "stream"),
+            trace_events=online["events"],
+            trace_threads=len(online["threads"]),
+            backend=self._backend_name(),
+            findings=list(online["findings"]),
+            elapsed_seconds=time.perf_counter() - online["started"],
+            insert_count=order.insert_count,
+            delete_count=order.delete_count,
+            query_count=order.query_count,
         )
+        result.details["sw_edges"] = state.sw_edges
+        result.details["plain_accesses"] = state.plain_accesses
+        return result
 
     # ------------------------------------------------------------------ #
     # Synchronizes-with edges
@@ -129,10 +227,9 @@ class C11RaceAnalysis(Analysis):
     # ------------------------------------------------------------------ #
     # Race checks
     # ------------------------------------------------------------------ #
-    def _check_races(self, order: InstrumentedOrder,
-                     last_accesses: Dict[object, Dict[int, List[Event]]],
-                     reported: set, event: Event, result: AnalysisResult) -> None:
-        per_thread = last_accesses.setdefault(event.variable, {})
+    def _check_races(self, order: InstrumentedOrder, state: _DetectorState,
+                     event: Event, findings: List[C11Race]) -> None:
+        per_thread = state.last_accesses.setdefault(event.variable, {})
         for thread, history in per_thread.items():
             if thread == event.thread:
                 continue
@@ -142,10 +239,10 @@ class C11RaceAnalysis(Analysis):
                 if order.reachable(previous.node, event.node):
                     continue
                 key = (event.variable, previous.thread, event.thread)
-                if not self._report_all and key in reported:
+                if not self._report_all and key in state.reported:
                     continue
-                reported.add(key)
-                result.findings.append(C11Race(previous, event))
+                state.reported.add(key)
+                findings.append(C11Race(previous, event))
         history = per_thread.setdefault(event.thread, [])
         # Keep only the most recent write and the most recent read per thread;
         # earlier ones are subsumed for race-reporting purposes.

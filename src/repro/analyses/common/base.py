@@ -104,6 +104,14 @@ class Analysis:
     #: linearizability root-causing analysis does).
     requires_deletion: bool = False
 
+    #: Whether the analysis implements a genuinely incremental
+    #: :meth:`feed` (findings surface while events arrive).  Analyses that
+    #: leave this ``False`` still work on a stream through the default
+    #: micro-batch fallback: :meth:`flush` re-runs the batch analysis over
+    #: the events buffered so far, which yields the identical findings at
+    #: every flush point at the cost of recomputation.
+    streaming_native: bool = False
+
     def __init_subclass__(cls, **kwargs) -> None:
         super().__init_subclass__(**kwargs)
         name = cls.__dict__.get("name")
@@ -157,6 +165,7 @@ class Analysis:
     def __init__(self, backend: BackendSpec = "incremental-csst", **backend_kwargs) -> None:
         self._backend_spec = backend
         self._backend_kwargs = backend_kwargs
+        self._stream_view = None
 
     # ------------------------------------------------------------------ #
     # Public entry point
@@ -180,6 +189,51 @@ class Analysis:
         return result
 
     # ------------------------------------------------------------------ #
+    # Online (streaming) protocol
+    # ------------------------------------------------------------------ #
+    # The streaming engine drives every analysis through three calls:
+    # ``begin(view)`` once at attach time, ``feed(event)`` per event, and
+    # ``flush()`` whenever complete results are needed (window boundaries
+    # and end of stream).  The default implementation is the *batch
+    # fallback*: ``feed`` does nothing (the view buffers the events) and
+    # ``flush`` re-runs the batch analysis over the current snapshot, so
+    # every existing analysis works on a stream unchanged.  Analyses that
+    # can compute incrementally override ``feed`` (and usually ``flush``)
+    # and set ``streaming_native = True``.
+
+    def begin(self, view) -> None:
+        """Attach to a growing trace.
+
+        ``view`` is either a live :class:`~repro.trace.trace.Trace` or any
+        object with a ``snapshot() -> Trace`` method (the streaming engine
+        passes its window view).  Must be called before :meth:`feed` /
+        :meth:`flush`.
+        """
+        self._stream_view = view
+
+    def feed(self, event) -> Sequence[Any]:
+        """Consume one event appended to the stream.
+
+        Returns the findings newly discovered by this event (always empty
+        for the batch fallback, which only produces findings at flush
+        time).
+        """
+        return ()
+
+    def flush(self) -> AnalysisResult:
+        """Produce the complete result over the events streamed so far.
+
+        May be called repeatedly (the engine flushes at every window
+        boundary); each call covers everything currently in the view.
+        """
+        view = getattr(self, "_stream_view", None)
+        if view is None:
+            raise AnalysisError(
+                f"analysis {self.name!r}: flush() called before begin()")
+        trace = view.snapshot() if hasattr(view, "snapshot") else view
+        return self.run(trace)
+
+    # ------------------------------------------------------------------ #
     # Hooks
     # ------------------------------------------------------------------ #
     def _run(self, trace: Trace, order: InstrumentedOrder,
@@ -189,10 +243,21 @@ class Analysis:
     def _num_chains(self, trace: Trace) -> int:
         """Number of chains the partial order needs (default: one per thread).
 
+        Thread ids are used as chain ids directly, so the count is sized by
+        the *largest* id, not the number of distinct threads -- a trace with
+        a sparse thread-id set (e.g. a stream window in which some thread
+        was silent, or an externally recorded trace numbering threads with
+        gaps) must still map every event to a valid chain.  Known
+        limitation: backends that allocate per chain (vector clocks
+        especially) pay O(max id) for sparse id sets, so traces recorded
+        with raw OS tids should be renumbered densely at recording time; a
+        dense id remapping layer inside the analyses would lift this.
+
         Analyses that need more chains (e.g. the TSO checker uses two per
         thread: program order plus store buffer) override this hook.
         """
-        return max(trace.num_threads, 1)
+        threads = trace.threads
+        return max(threads[-1] + 1, 1) if threads else 1
 
     # ------------------------------------------------------------------ #
     # Backend handling

@@ -1,9 +1,9 @@
 """Command-line interface: generate traces, run analyses, compare backends,
-and sweep whole suites in parallel.
+sweep whole suites in parallel, and watch live event streams.
 
 The CLI is a thin wrapper over the library so that the typical workflow --
 produce a workload, analyse it, compare partial-order backends on it, sweep
-a whole corpus -- does not require writing Python:
+a whole corpus, monitor a growing trace -- does not require writing Python:
 
 .. code-block:: bash
 
@@ -11,13 +11,15 @@ a whole corpus -- does not require writing Python:
     python -m repro analyze race-prediction trace.txt --backend incremental-csst
     python -m repro compare tso-consistency trace.txt
     python -m repro sweep --suite smoke --jobs 2 --format json
+    python -m repro watch --source trace.txt --analyses race_prediction,deadlock
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Callable, Dict, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analyses.common.base import Analysis
 from repro.errors import ReproError
@@ -49,6 +51,27 @@ def __getattr__(name: str):
     if name == "GENERATORS":
         return _generators()
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def resolve_analysis_name(name: str) -> str:
+    """Resolve a user-supplied analysis name to its registry key.
+
+    Accepts the exact key, an underscore spelling (``race_prediction``), or
+    any unique prefix (``deadlock`` -> ``deadlock-prediction``).
+    """
+    registry = _analyses()
+    candidate = name.strip().replace("_", "-")
+    if candidate in registry:
+        return candidate
+    matches = sorted(key for key in registry if key.startswith(candidate))
+    if len(matches) == 1:
+        return matches[0]
+    known = ", ".join(sorted(registry))
+    if matches:
+        raise ReproError(
+            f"ambiguous analysis {name!r} (matches: {', '.join(matches)}); "
+            f"known: {known}")
+    raise ReproError(f"unknown analysis {name!r}; known: {known}")
 
 
 def _default_backend(analysis_name: str) -> str:
@@ -113,6 +136,54 @@ def build_parser() -> argparse.ArgumentParser:
                             "timeouts")
     sweep.add_argument("--out", default="-",
                        help="output file ('-' for stdout)")
+    sweep.add_argument("--list-suites", action="store_true",
+                       help="list the registered trace suites and exit")
+    sweep.add_argument("--list-analyses", action="store_true",
+                       help="list the registered analyses (default/"
+                            "applicable backends, feeding workloads) and exit")
+
+    watch = subparsers.add_parser(
+        "watch",
+        help="stream a trace through analyses, emitting findings as they "
+             "are discovered")
+    watch.add_argument("--source", required=True,
+                       help="trace file (.std / .std.gz) or generator spec "
+                            "kind[:key=value,...] "
+                            "(e.g. racy:threads=3,events=60,seed=1)")
+    watch.add_argument("--analyses", default=None,
+                       help="comma-separated analysis names (underscore "
+                            "spellings and unique prefixes accepted); "
+                            "default for generator sources: the analyses "
+                            "the workload kind feeds")
+    watch.add_argument("--backend", default=None,
+                       help="partial-order backend forced on every attached "
+                            "analysis (default: per-analysis default)")
+    watch.add_argument("--window", default=None,
+                       help="event window: 'none' (default, exact), SIZE "
+                            "(tumbling), or SIZE/SLIDE (sliding); bounded "
+                            "windows bound memory but only see buffered "
+                            "events")
+    watch.add_argument("--flush-every", type=int, default=None,
+                       help="with the unbounded window, re-evaluate batch-"
+                            "fallback analyses every N events so findings "
+                            "surface incrementally")
+    watch.add_argument("--checkpoint", default=None,
+                       help="engine state file; resumed from when it "
+                            "exists, saved on exit either way")
+    watch.add_argument("--checkpoint-every", type=int, default=None,
+                       help="also save the checkpoint every N consumed "
+                            "events")
+    watch.add_argument("--follow", action="store_true",
+                       help="keep polling a file source for appended "
+                            "events (tail -f)")
+    watch.add_argument("--idle-timeout", type=float, default=None,
+                       help="stop following after this many seconds "
+                            "without new data")
+    watch.add_argument("--max-events", type=int, default=None,
+                       help="stop after consuming this many events (state "
+                            "is checkpointed if --checkpoint is set)")
+    watch.add_argument("--format", choices=("text", "jsonl"), default="text",
+                       help="output format (default: text)")
 
     return parser
 
@@ -170,9 +241,39 @@ def _split_csv_flag(value: Optional[str]) -> Optional[Sequence[str]]:
     return [item.strip() for item in value.split(",") if item.strip()]
 
 
+def _list_suites() -> None:
+    print(f"{'suite':12s} {'specs':>5s}  description")
+    for name in sorted(SUITES):
+        suite = SUITES[name]
+        print(f"{name:12s} {len(suite.specs):5d}  {suite.description}")
+
+
+def _list_analyses() -> None:
+    fed_by: Dict[str, List[str]] = {}
+    for kind, entry in GENERATOR_REGISTRY.items():
+        for analysis_name in entry.analyses:
+            fed_by.setdefault(analysis_name, []).append(kind)
+    print(f"{'analysis':20s} {'default':18s} {'mode':10s} "
+          f"{'backends':28s} fed by")
+    for name, cls in sorted(_analyses().items()):
+        mode = "streaming" if cls.streaming_native else "batch"
+        backends = ",".join(cls.applicable_backends())
+        kinds = ",".join(sorted(fed_by.get(name, ()))) or "-"
+        print(f"{name:20s} {cls.default_backend():18s} {mode:10s} "
+              f"{backends:28s} {kinds}")
+
+
 def _sweep(args: argparse.Namespace) -> int:
     from repro.core import BACKENDS
 
+    if args.list_suites or args.list_analyses:
+        if args.list_suites:
+            _list_suites()
+        if args.list_analyses:
+            if args.list_suites:
+                print()
+            _list_analyses()
+        return 0
     if args.baseline is not None and args.baseline not in BACKENDS:
         known = ", ".join(sorted(BACKENDS))
         raise ReproError(f"unknown baseline backend {args.baseline!r}; "
@@ -214,10 +315,126 @@ def _sweep(args: argparse.Namespace) -> int:
     return 1 if result.failures() else 0
 
 
+def _watch(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.stream import (
+        GeneratorSource,
+        StreamEngine,
+        open_source,
+        parse_window,
+        restore_engine,
+    )
+
+    source = open_source(args.source, follow=args.follow,
+                         idle_timeout=args.idle_timeout)
+    resuming = args.checkpoint is not None and os.path.exists(args.checkpoint)
+
+    if args.analyses:
+        analyses = [resolve_analysis_name(item)
+                    for item in args.analyses.split(",") if item.strip()]
+    elif resuming:
+        analyses = []  # the checkpoint records them
+    elif isinstance(source, GeneratorSource):
+        analyses = [resolve_analysis_name(item) for item
+                    in GENERATOR_REGISTRY[source.kind].analyses]
+    else:
+        raise ReproError(
+            "file sources need --analyses (try --analyses "
+            "race_prediction,deadlock; see 'repro sweep --list-analyses')")
+    if not analyses and not resuming:
+        raise ReproError("no analyses selected")
+
+    jsonl = args.format == "jsonl"
+
+    def emit(item) -> None:
+        if jsonl:
+            print(json.dumps({"type": "finding", "analysis": item.analysis,
+                              "position": item.position,
+                              "finding": str(item.finding)}), flush=True)
+        else:
+            print(f"[{item.position:>6d}] {item.analysis}: {item.finding}",
+                  flush=True)
+
+    skip = 0
+    if resuming:
+        engine = restore_engine(args.checkpoint, on_finding=emit)
+        skip = engine.cursor
+        # The checkpoint's configuration wins on resume; say so whenever a
+        # flag the user passed this time disagrees with it.
+        if analyses and sorted(engine.analyses) != sorted(analyses):
+            print(f"warning: resuming checkpoint with analyses "
+                  f"{engine.analyses} (requested {analyses})",
+                  file=sys.stderr)
+        if args.window is not None and \
+                parse_window(args.window).spec() != engine.window.spec():
+            print(f"warning: resuming checkpoint with window "
+                  f"{engine.window.spec()!r} (requested {args.window!r}); "
+                  f"--window is fixed at checkpoint creation",
+                  file=sys.stderr)
+        if args.flush_every is not None and args.flush_every != \
+                getattr(engine.window, "flush_every", None):
+            print(f"warning: resuming checkpoint with flush-every "
+                  f"{getattr(engine.window, 'flush_every', None)} "
+                  f"(requested {args.flush_every}); --flush-every is "
+                  f"fixed at checkpoint creation", file=sys.stderr)
+        if args.backend is not None and args.backend != engine.backend_option:
+            print(f"warning: resuming checkpoint with backend "
+                  f"{engine.backend_option or 'per-analysis default'} "
+                  f"(requested {args.backend}); --backend is fixed at "
+                  f"checkpoint creation", file=sys.stderr)
+        if not jsonl:
+            print(f"resumed from {args.checkpoint} at event {skip}")
+    else:
+        engine = StreamEngine(
+            analyses,
+            backend=args.backend,
+            window=parse_window(args.window, flush_every=args.flush_every),
+            name=source.name,
+            on_finding=emit,
+        )
+
+    result = engine.run(source, skip=skip, max_events=args.max_events,
+                        checkpoint_path=args.checkpoint,
+                        checkpoint_every=args.checkpoint_every)
+
+    for name, message in sorted(result.errors.items()):
+        print(f"warning: {name}: last flush failed: {message}",
+              file=sys.stderr)
+    if jsonl:
+        print(json.dumps({
+            "type": "summary",
+            "name": result.name,
+            "events": result.stats.events,
+            "threads": result.stats.threads,
+            "flushes": result.stats.flushes,
+            "emitted": result.stats.emitted,
+            "backbone_edges": result.stats.backbone_edges,
+            "final": {name: [str(finding) for finding in res.findings]
+                      for name, res in sorted(result.results.items())},
+        }), flush=True)
+    else:
+        print(result.summary())
+        if engine.order is not None:
+            print(f"  sync backbone: {result.stats.backbone_edges} edges "
+                  f"across {result.stats.threads} threads")
+        for name, res in sorted(result.results.items()):
+            print(f"  final[{name}]: {res.finding_count} findings "
+                  f"({res.operation_count} PO ops, "
+                  f"{res.elapsed_seconds:.3f}s last flush)")
+        if args.checkpoint is not None:
+            print(f"checkpoint saved to {args.checkpoint} "
+                  f"(cursor {engine.cursor})")
+    # Mirror `sweep`: a run whose final flush failed for some analysis is
+    # not a clean success (its final result is missing), even though the
+    # stream itself was consumed and checkpointed.
+    return 1 if result.errors else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"generate": _generate, "analyze": _analyze,
-                "compare": _compare, "sweep": _sweep}
+                "compare": _compare, "sweep": _sweep, "watch": _watch}
     try:
         return handlers[args.command](args)
     except (ReproError, OSError) as error:

@@ -24,6 +24,7 @@ from repro.core.factory import (
     make_partial_order,
 )
 from repro.core.graph_po import GraphOrder
+from repro.core.growable import GrowableOrder
 from repro.core.heap import DeletableMinHeap
 from repro.core.incremental_csst import IncrementalCSST
 from repro.core.instrumented import InstrumentedOrder
@@ -41,6 +42,7 @@ __all__ = [
     "DYNAMIC_BACKENDS",
     "DeletableMinHeap",
     "GraphOrder",
+    "GrowableOrder",
     "INCREMENTAL_BACKENDS",
     "INF",
     "IncrementalCSST",

@@ -44,3 +44,11 @@ class AnalysisError(ReproError):
 
 class BenchmarkError(ReproError):
     """Raised by the benchmark harness on invalid configuration."""
+
+
+class StreamError(ReproError):
+    """Raised by the streaming engine (bad source, out-of-order feed, ...)."""
+
+
+class CheckpointError(StreamError):
+    """Raised when a stream checkpoint cannot be saved or restored."""

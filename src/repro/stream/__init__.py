@@ -1,0 +1,62 @@
+"""Streaming analysis engine: online event ingestion over the dynamic
+analyses.
+
+The batch pipeline materializes a whole :class:`~repro.trace.Trace` before
+``Analysis.run()`` starts; this package turns the same analyses into
+*monitors* that consume events one at a time:
+
+* :mod:`repro.stream.source` -- event sources (in-memory iterables, STD
+  files with optional ``tail -f`` following, bounded push feeds with
+  backpressure);
+* :mod:`repro.stream.engine` -- :class:`StreamEngine`, which feeds events
+  into N concurrently attached analyses, maintains the shared per-thread
+  chains and a shared incremental-CSST sync order, and emits findings as
+  they are discovered;
+* :mod:`repro.stream.window` -- sliding/tumbling event windows bounding
+  memory on unbounded feeds;
+* :mod:`repro.stream.checkpoint` -- serialize/restore engine state so a
+  monitor can resume after a restart.
+
+The CLI front end is ``python -m repro watch``.
+"""
+
+from repro.stream.checkpoint import load_checkpoint, restore_engine, save_checkpoint
+from repro.stream.engine import StreamEngine, StreamFinding, StreamResult, finding_key
+from repro.stream.source import (
+    EventSource,
+    FeedSource,
+    FileSource,
+    GeneratorSource,
+    IterableSource,
+    TraceSource,
+    open_source,
+)
+from repro.stream.window import (
+    SlidingWindow,
+    TumblingWindow,
+    UnboundedWindow,
+    Window,
+    parse_window,
+)
+
+__all__ = [
+    "EventSource",
+    "FeedSource",
+    "FileSource",
+    "GeneratorSource",
+    "IterableSource",
+    "SlidingWindow",
+    "StreamEngine",
+    "StreamFinding",
+    "StreamResult",
+    "TraceSource",
+    "TumblingWindow",
+    "UnboundedWindow",
+    "Window",
+    "finding_key",
+    "load_checkpoint",
+    "open_source",
+    "parse_window",
+    "restore_engine",
+    "save_checkpoint",
+]

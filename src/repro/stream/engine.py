@@ -1,0 +1,662 @@
+"""The streaming analysis engine.
+
+:class:`StreamEngine` feeds events one at a time into N concurrently
+attached analyses.  It maintains, shared across all attachments:
+
+* the growing per-thread chains (a live :class:`~repro.trace.trace.Trace`
+  whose derived indexes advance incrementally with every event), and
+* a single shared incremental-CSST partial order holding the stream's sync
+  backbone (release->acquire edges per lock, fork/join edges), inserted
+  online as the corresponding events arrive.
+
+Analyses consume the stream through the online protocol of
+:class:`~repro.analyses.common.base.Analysis` (``begin``/``feed``/
+``flush``).  *Streaming-native* analyses (``streaming_native = True``)
+report findings from ``feed`` the moment they are discovered;
+batch-fallback analyses are re-evaluated at every flush point (window
+boundaries, ``flush_every`` marks, end of stream) over the events currently
+buffered, and the engine deduplicates so every finding is **emitted
+exactly once**, the first time some flush discovers it.  (Under
+*overlapping bounded windows*, findings that embed bare node tuples
+instead of events -- see :func:`finding_key` -- can evade the dedup and
+repeat.)
+
+The shared sync order is the stream's own happens-before substrate: it is
+exposed to embedders via :attr:`StreamEngine.order` (and as the
+``backbone_edges`` monitor metric), and it is the seam future
+sharding/async work attaches to.  Attached analyses keep their own orders
+-- each analysis's edge set is analysis-specific (saturation, atomics,
+deliberate lock-order omission), so sharing the backbone would change
+their answers.  Pass ``backbone=False`` to skip its maintenance cost when
+neither the metric nor the substrate is wanted.
+
+Exactness contract (unbounded window): the **final flush** sees the whole
+trace, so ``StreamResult.results`` is identical to a batch
+``Analysis.run()`` -- streaming changes *when* findings surface, never the
+final answer.  The emission log (``StreamResult.findings``) has *alarm*
+semantics: each entry was a true finding of the trace consumed up to its
+position.  For monotone analyses (e.g. the streaming-native C11 detector)
+alarms and final findings coincide exactly; predictive analyses are
+non-monotone -- a reordering witness valid for a prefix can be invalidated
+by later events -- so a mid-stream alarm is occasionally absent from the
+final set.  Bounded windows (tumbling/sliding) additionally trade
+completeness for bounded memory: each flush only sees the buffered window
+(re-indexed to a fresh trace), so findings whose evidence spans evicted
+events are missed by construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.analyses.common.base import Analysis, AnalysisResult
+from repro.core.growable import GrowableOrder
+from repro.errors import StreamError
+from repro.trace.event import Event, EventKind
+from repro.trace.trace import Trace
+from repro.stream.source import EventSource
+from repro.stream.window import UnboundedWindow, Window
+
+Node = Tuple[int, int]
+
+#: Backend maintaining the shared sync-order backbone.  Incremental CSSTs
+#: are the paper's structure of choice for online insertion workloads.
+BACKBONE_BACKEND = "incremental-csst"
+
+
+# --------------------------------------------------------------------------- #
+# Finding identity
+# --------------------------------------------------------------------------- #
+def finding_key(finding: Any, base: Optional[Dict[int, int]] = None) -> str:
+    """A stable, JSON-safe identity string for an analysis finding.
+
+    Findings are frozen dataclasses embedding :class:`Event` objects; the
+    key walks that structure generically.  ``base`` maps a thread id to
+    the index offset of a re-based window snapshot, so the same
+    Event-bearing finding keys identically whether it was discovered from
+    the full trace or from a window whose events were re-indexed.
+
+    Known limitation: only :class:`Event` instances are rebased.  Findings
+    that embed bare ``(thread, index)`` tuples (the TSO witness, the UAF
+    constraint nodes) cannot be told apart from ordinary numeric tuples,
+    so under *overlapping bounded windows* such a finding rediscovered in
+    a later window keys differently and is emitted again.  Unbounded
+    windows are unaffected (``base`` is empty, keys are exact), which is
+    where the engine's exactly-once contract is stated.
+    """
+    offsets = base or {}
+
+    def walk(value: Any):
+        if isinstance(value, Event):
+            index = value.index + offsets.get(value.thread, 0)
+            return ("E", value.thread, index, value.kind.value)
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            return (type(value).__name__,) + tuple(
+                walk(getattr(value, f.name))
+                for f in dataclasses.fields(value))
+        if isinstance(value, (tuple, list)):
+            return tuple(walk(item) for item in value)
+        if isinstance(value, (set, frozenset)):
+            return tuple(sorted(repr(walk(item)) for item in value))
+        if isinstance(value, enum.Enum):
+            return value.value
+        return repr(value)
+
+    return repr(walk(finding))
+
+
+# --------------------------------------------------------------------------- #
+# Result containers
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class StreamFinding:
+    """One finding, stamped with the stream position that surfaced it."""
+
+    analysis: str
+    finding: Any
+    position: int  #: 1-based count of events consumed when it was emitted
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.position}] {self.analysis}: {self.finding}"
+
+
+@dataclass
+class StreamStats:
+    """Live counters of a streaming run."""
+
+    events: int = 0
+    threads: int = 0
+    flushes: int = 0
+    flush_errors: int = 0
+    emitted: int = 0
+    evicted: int = 0
+    backbone_edges: int = 0
+    checkpoints: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class StreamResult:
+    """Outcome of a streaming run (returned by :meth:`StreamEngine.run`)."""
+
+    name: str
+    findings: List[StreamFinding]
+    results: Dict[str, AnalysisResult]
+    stats: StreamStats
+    #: Analyses whose *last* flush failed (e.g. the stream stopped in the
+    #: middle of a pending operation), with the error message.  Their
+    #: ``results`` entry is the last successful flush, if any.
+    errors: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def finding_count(self) -> int:
+        return len(self.findings)
+
+    def findings_for(self, analysis: str) -> List[Any]:
+        """Findings *emitted* (alarm stream) for one analysis, in emission
+        order.  See the module docstring: for non-monotone predictive
+        analyses this can be a superset of :meth:`final_findings_for`."""
+        return [item.finding for item in self.findings
+                if item.analysis == analysis]
+
+    def final_findings_for(self, analysis: str) -> List[Any]:
+        """The authoritative findings of the final flush for one analysis
+        (batch-identical under an unbounded window)."""
+        result = self.results.get(analysis)
+        return list(result.findings) if result is not None else []
+
+    def summary(self) -> str:
+        per_analysis = ", ".join(
+            f"{name}: {result.finding_count}"
+            for name, result in sorted(self.results.items()))
+        return (f"stream[{self.name}]: {self.stats.events} events, "
+                f"{self.stats.flushes} flushes, {self.finding_count} findings "
+                f"({per_analysis})")
+
+
+class StreamView:
+    """What an attached analysis sees of the stream: a name and a snapshot
+    of the currently buffered events (memoised per flush point)."""
+
+    def __init__(self, engine: "StreamEngine") -> None:
+        self._engine = engine
+
+    @property
+    def name(self) -> str:
+        return self._engine.name
+
+    @property
+    def position(self) -> int:
+        """Events consumed so far."""
+        return self._engine.cursor
+
+    def snapshot(self) -> Trace:
+        """The buffered events as a trace (re-indexed if windowed)."""
+        return self._engine.snapshot()[0]
+
+
+@dataclass
+class _Attachment:
+    """One analysis attached to the stream."""
+
+    analysis: Analysis
+    name: str
+    native: bool
+    emitted: set = field(default_factory=set)
+    last_result: Optional[AnalysisResult] = None
+    last_error: Optional[str] = None
+
+
+# --------------------------------------------------------------------------- #
+# Engine
+# --------------------------------------------------------------------------- #
+class StreamEngine:
+    """Online analysis over an event stream (see module docstring).
+
+    Parameters
+    ----------
+    analyses:
+        Analysis names (registry keys) or instances to attach.  Instances
+        must use *named* backend specs so flushes can rebuild fresh orders.
+    backend:
+        Backend name forced on analyses constructed from names (default:
+        each analysis's own default backend).
+    window:
+        A :class:`~repro.stream.window.Window` policy (default unbounded).
+    backbone:
+        Maintain the shared sync-order backbone (default: on for unbounded
+        windows, off for bounded ones -- the backbone cannot evict, so it
+        would break the window's memory bound).
+    on_finding:
+        Callback invoked with each :class:`StreamFinding` as it is emitted.
+    """
+
+    def __init__(self, analyses: Sequence[Union[str, Analysis]],
+                 *, backend: Optional[str] = None,
+                 window: Optional[Window] = None,
+                 name: str = "stream",
+                 backbone: Optional[bool] = None,
+                 on_finding: Optional[Callable[[StreamFinding], None]] = None
+                 ) -> None:
+        if not analyses:
+            raise StreamError("StreamEngine needs at least one analysis")
+        if backend is not None:
+            from repro.core import BACKENDS
+
+            if backend not in BACKENDS:
+                known = ", ".join(sorted(BACKENDS))
+                raise StreamError(
+                    f"unknown partial-order backend {backend!r}; "
+                    f"known: {known}")
+        self.name = name
+        self.backend_option = backend
+        self.window = window if window is not None else UnboundedWindow()
+        self.on_finding = on_finding
+        self.stats = StreamStats()
+        self._findings: List[StreamFinding] = []
+        self._cursor = 0
+        self._next_index: Dict[int, int] = {}
+        self._evicted_per_thread: Dict[int, int] = {}
+        self._buffer: List[Event] = []
+        self._live_trace: Optional[Trace] = (
+            None if self.window.bounded else Trace(name=name))
+        self._snapshot_cache: Optional[Tuple[int, Trace, Dict[int, int]]] = None
+        self._last_flush_cursor: Optional[int] = None
+        self._finished = False
+
+        # Shared sync-order backbone.
+        if backbone is None:
+            backbone = not self.window.bounded
+        if backbone and self.window.bounded:
+            raise StreamError(
+                "the shared backbone order cannot evict events; disable it "
+                "(backbone=False) when using a bounded window")
+        self._order: Optional[GrowableOrder] = (
+            GrowableOrder(BACKBONE_BACKEND, num_chains=1, capacity_hint=256)
+            if backbone else None)
+        self._last_release: Dict[object, Event] = {}
+        self._pending_forks: Dict[int, Node] = {}
+        self._last_node: Dict[int, Node] = {}
+
+        # Attach analyses.
+        self._view = StreamView(self)
+        self._attachments: List[_Attachment] = []
+        for spec in analyses:
+            analysis = self._build_analysis(spec)
+            native = bool(analysis.streaming_native) and not self.window.bounded
+            analysis.begin(self._view)
+            self._attachments.append(
+                _Attachment(analysis=analysis, name=analysis.name,
+                            native=native))
+        names = [attachment.name for attachment in self._attachments]
+        if len(set(names)) != len(names):
+            raise StreamError(f"duplicate analyses attached: {names}")
+
+    def _build_analysis(self, spec: Union[str, Analysis]) -> Analysis:
+        if isinstance(spec, Analysis):
+            if not isinstance(spec._backend_spec, str):
+                raise StreamError(
+                    f"analysis {spec.name!r}: streaming requires a named "
+                    "backend spec (flushes rebuild fresh backend instances)")
+            return spec
+        cls = Analysis.by_name(spec)
+        backend = self.backend_option or cls.default_backend()
+        if backend not in cls.applicable_backends():
+            backend = cls.default_backend()
+        return cls(backend)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def cursor(self) -> int:
+        """Total events consumed from the source so far."""
+        return self._cursor
+
+    @property
+    def analyses(self) -> List[str]:
+        return [attachment.name for attachment in self._attachments]
+
+    @property
+    def order(self) -> Optional[GrowableOrder]:
+        """The shared sync-order backbone (``None`` when disabled)."""
+        return self._order
+
+    @property
+    def buffered_events(self) -> int:
+        """Events currently retained (window buffer, or the whole history
+        under an unbounded window)."""
+        if self._live_trace is not None:
+            return len(self._live_trace)
+        return len(self._buffer)
+
+    @property
+    def findings(self) -> List[StreamFinding]:
+        return list(self._findings)
+
+    # ------------------------------------------------------------------ #
+    # Ingestion
+    # ------------------------------------------------------------------ #
+    def feed(self, event: Event) -> None:
+        """Consume one event: index it, maintain the shared state, give it
+        to every native analysis, and flush/evict at window boundaries."""
+        if self._finished:
+            raise StreamError("stream already finished")
+        self._cursor += 1
+        self._ingest(event)
+        self.stats.events = self._cursor
+        self.stats.threads = len(self._next_index)
+        if self.window.boundary(self._cursor):
+            self.flush()
+            self._evict()
+
+    def _ingest(self, event: Event) -> None:
+        """Shared per-event bookkeeping (also used for checkpoint replay)."""
+        expected = self._next_index.get(event.thread, 0)
+        if event.index != expected:
+            raise StreamError(
+                f"out-of-order stream: event {event} has index "
+                f"{event.index}, expected {expected} for thread "
+                f"{event.thread}")
+        self._next_index[event.thread] = expected + 1
+        # Exactly one retained copy: the live trace under an unbounded
+        # window (it never evicts), the window buffer under a bounded one.
+        if self._live_trace is not None:
+            self._live_trace.add(event)
+        else:
+            self._buffer.append(event)
+            self._snapshot_cache = None
+        self._maintain_backbone(event)
+        for attachment in self._attachments:
+            if attachment.native:
+                for finding in attachment.analysis.feed(event):
+                    key = finding_key(finding)
+                    # The dedup check matters during checkpoint replay:
+                    # re-feeding the buffer rediscovers findings whose keys
+                    # were restored, and those must not re-emit.
+                    if key not in attachment.emitted:
+                        self._emit(attachment, finding, key)
+
+    def _maintain_backbone(self, event: Event) -> None:
+        """Insert the event's sync edges into the shared order, online."""
+        order = self._order
+        if order is None:
+            return
+        # A fork recorded before the child's first event resolves now.
+        pending = self._pending_forks.pop(event.thread, None) \
+            if event.index == 0 else None
+        if pending is not None:
+            order.insert_edge(pending, event.node)
+        if event.kind is EventKind.ACQUIRE:
+            previous = self._last_release.get(event.variable)
+            if previous is not None and previous.thread != event.thread:
+                if not order.reachable(previous.node, event.node):
+                    order.insert_edge(previous.node, event.node)
+        elif event.kind is EventKind.RELEASE:
+            self._last_release[event.variable] = event
+        elif event.kind is EventKind.FORK and event.target is not None:
+            if event.target != event.thread:
+                self._pending_forks[event.target] = event.node
+        elif event.kind is EventKind.JOIN and event.target is not None:
+            last = self._last_node.get(event.target)
+            if last is not None and event.target != event.thread:
+                if not order.reachable(last, event.node):
+                    order.insert_edge(last, event.node)
+        self._last_node[event.thread] = event.node
+        self.stats.backbone_edges = order.edge_count
+
+    # ------------------------------------------------------------------ #
+    # Windowing
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Tuple[Trace, Dict[int, int]]:
+        """The buffered events as a trace, plus per-thread index offsets.
+
+        Unbounded windows return the live trace itself (zero copy, offsets
+        empty); bounded windows materialize a fresh trace whose per-thread
+        indexes are re-based to 0, with ``offsets[thread]`` recording how
+        much was subtracted.
+        """
+        if self._live_trace is not None:
+            return self._live_trace, {}
+        cache = self._snapshot_cache
+        if cache is not None and cache[0] == self._cursor:
+            return cache[1], cache[2]
+        offsets = {thread: count
+                   for thread, count in self._evicted_per_thread.items()
+                   if count}
+        trace = Trace(name=f"{self.name}@{self._cursor}")
+        for event in self._buffer:
+            shift = offsets.get(event.thread, 0)
+            trace.add(dataclasses.replace(event, index=event.index - shift)
+                      if shift else event)
+        self._snapshot_cache = (self._cursor, trace, offsets)
+        return trace, offsets
+
+    def _evict(self) -> None:
+        retain = self.window.retain()
+        if retain is None or len(self._buffer) <= retain:
+            return
+        cut = len(self._buffer) - retain
+        for event in self._buffer[:cut]:
+            self._evicted_per_thread[event.thread] = (
+                self._evicted_per_thread.get(event.thread, 0) + 1)
+        del self._buffer[:cut]
+        self._snapshot_cache = None
+        self.stats.evicted += cut
+
+    # ------------------------------------------------------------------ #
+    # Flushing / emission
+    # ------------------------------------------------------------------ #
+    def flush(self) -> Dict[str, AnalysisResult]:
+        """Flush every attachment over the current window contents.
+
+        Native analyses report their accumulated state (cheap); batch
+        fallbacks re-run over the snapshot.  Findings not yet emitted are
+        emitted now.  Returns the per-analysis results of this flush.
+
+        A flush can legitimately fail for an individual analysis when the
+        stream stopped mid-state -- e.g. a linearizability history whose
+        operations are still pending -- so per-analysis errors are recorded
+        (``stats.flush_errors``, ``StreamResult.errors``) rather than
+        killing the monitor: the next flush simply re-evaluates.
+        """
+        from repro.errors import ReproError
+
+        self.stats.flushes += 1
+        self._last_flush_cursor = self._cursor
+        results: Dict[str, AnalysisResult] = {}
+        offsets: Dict[int, int] = {}
+        for attachment in self._attachments:
+            try:
+                if attachment.native:
+                    result = attachment.analysis.flush()
+                else:
+                    snapshot, offsets = self.snapshot()
+                    result = attachment.analysis.run(snapshot)
+            except ReproError as error:
+                attachment.last_error = str(error)
+                self.stats.flush_errors += 1
+                continue
+            attachment.last_error = None
+            for finding in result.findings:
+                key = finding_key(finding,
+                                  None if attachment.native else offsets)
+                if key not in attachment.emitted:
+                    self._emit(attachment, finding, key)
+            attachment.last_result = result
+            results[attachment.name] = result
+        return results
+
+    def _emit(self, attachment: _Attachment, finding: Any, key: str) -> None:
+        attachment.emitted.add(key)
+        item = StreamFinding(analysis=attachment.name, finding=finding,
+                             position=self._cursor)
+        self._findings.append(item)
+        self.stats.emitted += 1
+        if self.on_finding is not None:
+            self.on_finding(item)
+
+    def finish(self) -> StreamResult:
+        """Final flush and result assembly.  Idempotent.
+
+        The final flush is skipped when a window boundary already flushed
+        at the current cursor -- flushing again would evaluate the
+        post-eviction (possibly empty) buffer and overwrite the results of
+        the complete window.
+        """
+        if not self._finished:
+            if self._last_flush_cursor != self._cursor:
+                self.flush()
+            self._finished = True
+        return StreamResult(
+            name=self.name,
+            findings=list(self._findings),
+            results={attachment.name: attachment.last_result
+                     for attachment in self._attachments
+                     if attachment.last_result is not None},
+            stats=self.stats,
+            errors={attachment.name: attachment.last_error
+                    for attachment in self._attachments
+                    if attachment.last_error is not None},
+        )
+
+    # ------------------------------------------------------------------ #
+    # Driving
+    # ------------------------------------------------------------------ #
+    def run(self, source: Union[EventSource, Iterable[Event]],
+            *, skip: int = 0, max_events: Optional[int] = None,
+            checkpoint_path: Optional[str] = None,
+            checkpoint_every: Optional[int] = None) -> StreamResult:
+        """Consume ``source`` to exhaustion (or ``max_events``) and finish.
+
+        ``skip`` drops the first N source events (used when resuming from a
+        checkpoint whose cursor is N).  ``checkpoint_path`` +
+        ``checkpoint_every`` save the engine state every that many events
+        (and once more at the end).
+        """
+        from repro.stream.checkpoint import save_checkpoint
+
+        if isinstance(source, EventSource):
+            iterator = source.events(skip)
+        else:
+            iterator = (event for position, event in enumerate(source)
+                        if position >= skip)
+        consumed = 0
+        for event in iterator:
+            self.feed(event)
+            consumed += 1
+            if (checkpoint_path is not None and checkpoint_every
+                    and consumed % checkpoint_every == 0):
+                save_checkpoint(self, checkpoint_path)
+            if max_events is not None and consumed >= max_events:
+                break
+        result = self.finish()
+        if checkpoint_path is not None:
+            save_checkpoint(self, checkpoint_path)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint support (state capture/restore; file I/O lives in
+    # repro.stream.checkpoint)
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, Any]:
+        """Serializable engine state: cursor, window buffer, dedup keys."""
+        from repro.trace.formats import format_event
+
+        flush_every = getattr(self.window, "flush_every", None)
+        return {
+            "version": 1,
+            "name": self.name,
+            "cursor": self._cursor,
+            "window": self.window.spec(),
+            "flush_every": flush_every,
+            "backbone": self._order is not None,
+            "backend": self.backend_option,
+            "analyses": [
+                {"name": attachment.name,
+                 "backend": str(attachment.analysis._backend_spec)}
+                for attachment in self._attachments],
+            "next_index": {str(thread): count
+                           for thread, count in self._next_index.items()},
+            "evicted": {str(thread): count
+                        for thread, count in self._evicted_per_thread.items()},
+            "buffer": [format_event(event) for event in
+                       (self._live_trace if self._live_trace is not None
+                        else self._buffer)],
+            "emitted": {attachment.name: sorted(attachment.emitted)
+                        for attachment in self._attachments},
+            "stats": self.stats.as_dict(),
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any],
+                   *, on_finding: Optional[Callable[[StreamFinding], None]]
+                   = None) -> "StreamEngine":
+        """Rebuild an engine from :meth:`state_dict` output.
+
+        The window buffer is replayed through the normal ingestion path, so
+        the live trace, the shared backbone order and every native
+        analysis's state are reconstructed deterministically; the restored
+        dedup keys suppress re-emission of findings already reported before
+        the checkpoint.
+
+        Each analysis is rebuilt from its registry name and the *backend*
+        recorded per attachment.  Extra constructor keyword arguments of a
+        hand-built analysis instance are not captured by a checkpoint --
+        monitors that must survive restarts should attach analyses by name
+        (as the ``watch`` CLI does).
+        """
+        from repro.errors import CheckpointError
+        from repro.stream.checkpoint import CHECKPOINT_VERSION
+        from repro.stream.window import parse_window
+        from repro.trace.formats import parse_trace_line
+
+        if state.get("version") != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint version {state.get('version')!r}")
+        window = parse_window(state["window"],
+                              flush_every=state.get("flush_every"))
+        engine = cls(
+            analyses=[Analysis.by_name(item["name"])(item["backend"])
+                      for item in state["analyses"]],
+            backend=state.get("backend"),
+            window=window,
+            name=state.get("name", "stream"),
+            backbone=state.get("backbone"),
+            on_finding=on_finding,
+        )
+        for attachment in engine._attachments:
+            attachment.emitted = set(
+                state.get("emitted", {}).get(attachment.name, ()))
+        evicted = {int(thread): count
+                   for thread, count in state.get("evicted", {}).items()}
+        engine._evicted_per_thread = dict(evicted)
+        engine._next_index = dict(evicted)
+        engine._cursor = state["cursor"]
+        counters = dict(evicted)
+        for line_number, line in enumerate(state.get("buffer", ()), start=1):
+            event = parse_trace_line(line, counters, line_number)
+            if event is not None:
+                engine._ingest(event)
+        expected = {int(thread): count
+                    for thread, count in state.get("next_index", {}).items()}
+        if engine._next_index != expected:
+            raise CheckpointError(
+                f"checkpoint buffer does not reproduce its per-thread "
+                f"counters (got {engine._next_index}, expected {expected})")
+        stats = state.get("stats", {})
+        engine.stats.events = engine._cursor
+        engine.stats.threads = len(engine._next_index)
+        engine.stats.flushes = stats.get("flushes", 0)
+        engine.stats.flush_errors = stats.get("flush_errors", 0)
+        engine.stats.evicted = stats.get("evicted", 0)
+        engine.stats.checkpoints = stats.get("checkpoints", 0)
+        # Findings emitted before the checkpoint are represented by their
+        # dedup keys; the emitted counter reflects the full history.
+        engine.stats.emitted = stats.get("emitted", 0)
+        return engine

@@ -1,0 +1,362 @@
+"""Event sources for the streaming engine.
+
+A source is anything that yields :class:`~repro.trace.event.Event` objects
+in observed (total) order, with per-thread indexes assigned consecutively
+from 0 -- exactly the invariant :class:`~repro.trace.trace.Trace` enforces.
+Sources support ``events(skip=N)`` so a restored monitor can resume mid-
+stream: the source re-derives (or re-reads) the first ``N`` events to keep
+index assignment identical, and yields only what comes after.
+
+Four concrete sources ship:
+
+* :class:`IterableSource` -- wraps any iterable (or a replayable factory);
+* :class:`TraceSource` / :class:`GeneratorSource` -- in-memory traces,
+  either pre-built or regenerated deterministically from a registered
+  workload kind;
+* :class:`FileSource` -- an STD-format file (optionally ``.gz``), read
+  incrementally; with ``follow=True`` it keeps polling for appended lines,
+  ``tail -f`` style;
+* :class:`FeedSource` -- a thread-safe push queue with *bounded buffering*:
+  producers block (backpressure) when the consumer falls behind.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, Optional, Union
+
+from repro.errors import StreamError
+from repro.trace.event import Event, EventKind
+from repro.trace.formats import open_trace, parse_header, parse_trace_line
+from repro.trace.generators import GENERATOR_REGISTRY, build_trace
+from repro.trace.trace import Trace
+
+
+class EventSource:
+    """Abstract event source (see module docstring)."""
+
+    #: Human-readable stream name (used as the trace name in results).
+    name: str = "stream"
+
+    def events(self, skip: int = 0) -> Iterator[Event]:
+        """Yield events in observed order, skipping the first ``skip``.
+
+        Skipped events are still *processed* internally where index
+        assignment requires it (e.g. file parsing), just not yielded.
+        """
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[Event]:
+        return self.events()
+
+
+class IterableSource(EventSource):
+    """Source over an in-memory iterable of events.
+
+    Pass a zero-argument callable returning a fresh iterator to make the
+    source *replayable* (required when resuming from a checkpoint more than
+    once); a plain iterable/iterator supports a single pass.
+    """
+
+    def __init__(self, events: Union[Iterable[Event], Callable[[], Iterable[Event]]],
+                 name: str = "stream") -> None:
+        self.name = name
+        if callable(events):
+            self._factory: Optional[Callable[[], Iterable[Event]]] = events
+            self._iterable: Optional[Iterable[Event]] = None
+        else:
+            self._factory = None
+            self._iterable = events
+
+    def events(self, skip: int = 0) -> Iterator[Event]:
+        if self._factory is not None:
+            iterable: Iterable[Event] = self._factory()
+        else:
+            if self._iterable is None:
+                raise StreamError(
+                    f"source {self.name!r} is single-pass and already consumed")
+            iterable, self._iterable = self._iterable, None
+        for position, event in enumerate(iterable):
+            if position >= skip:
+                yield event
+
+
+class TraceSource(EventSource):
+    """Replay a pre-built trace as a stream."""
+
+    def __init__(self, trace: Trace, name: Optional[str] = None) -> None:
+        self._trace = trace
+        self.name = name if name is not None else trace.name
+
+    def events(self, skip: int = 0) -> Iterator[Event]:
+        return self._trace.iter_from(skip)
+
+
+class GeneratorSource(EventSource):
+    """Regenerate a registered synthetic workload and stream it.
+
+    The trace is deterministic given its parameters, so the source is
+    replayable for free -- a restored monitor simply rebuilds it and skips.
+    """
+
+    def __init__(self, kind: str, threads: int = 4, events: int = 200,
+                 seed: int = 0, **params) -> None:
+        if kind not in GENERATOR_REGISTRY:
+            known = ", ".join(sorted(GENERATOR_REGISTRY))
+            raise StreamError(f"unknown trace kind {kind!r}; known: {known}")
+        self.kind = kind
+        self.threads = threads
+        self.size = events
+        self.seed = seed
+        self.params = dict(params)
+        self.name = f"{kind}-t{threads}-n{events}-s{seed}"
+        self._trace: Optional[Trace] = None
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "GeneratorSource":
+        """Parse ``kind[:key=value,...]``, e.g. ``racy:threads=3,events=40``.
+
+        Integer-looking values are converted; everything else stays a
+        string.
+        """
+        kind, _, tail = spec.partition(":")
+        params: Dict[str, object] = {}
+        if tail:
+            for item in tail.split(","):
+                if not item.strip():
+                    continue
+                key, separator, value = item.partition("=")
+                if not separator:
+                    raise StreamError(
+                        f"malformed generator parameter {item!r} in {spec!r}")
+                key = key.strip()
+                value = value.strip()
+                try:
+                    params[key] = int(value)
+                except ValueError:
+                    try:
+                        params[key] = float(value)
+                    except ValueError:
+                        params[key] = value
+        return cls(kind, **params)  # type: ignore[arg-type]
+
+    def _materialize(self) -> Trace:
+        if self._trace is None:
+            try:
+                self._trace = build_trace(self.kind,
+                                          num_threads=self.threads,
+                                          events=self.size, seed=self.seed,
+                                          name=self.name, **self.params)
+            except TypeError as error:
+                # Bad parameter names/types from a CLI spec surface as the
+                # library's error type, not a raw traceback.
+                raise StreamError(
+                    f"invalid generator parameters for {self.name!r}: "
+                    f"{error}") from error
+        return self._trace
+
+    def events(self, skip: int = 0) -> Iterator[Event]:
+        return self._materialize().iter_from(skip)
+
+
+class FileSource(EventSource):
+    """Stream events from an STD-format trace file (optionally ``.gz``).
+
+    Parameters
+    ----------
+    path:
+        The trace file.  ``.gz`` files are read transparently (but cannot
+        be followed: gzip streams have no stable notion of "appended
+        since").
+    follow:
+        Keep polling for appended lines once EOF is reached (``tail -f``).
+        Partial lines (no trailing newline yet) are buffered until the
+        writer completes them.
+    poll_interval:
+        Seconds between polls while following.
+    idle_timeout:
+        Stop following after this many seconds without new data
+        (``None`` = follow forever).
+    """
+
+    def __init__(self, path: Union[str, Path], follow: bool = False,
+                 poll_interval: float = 0.2,
+                 idle_timeout: Optional[float] = None,
+                 name: Optional[str] = None) -> None:
+        self._path = Path(path)
+        if follow and str(path).endswith(".gz"):
+            raise StreamError("--follow is not supported for .gz traces")
+        self.follow = follow
+        self.poll_interval = poll_interval
+        self.idle_timeout = idle_timeout
+        self.name = name if name is not None else self._path.stem
+
+    def events(self, skip: int = 0) -> Iterator[Event]:
+        next_index: Dict[int, int] = {}
+        seen = 0
+        pending = ""
+        line_number = 0
+        last_data = time.monotonic()
+        with open_trace(self._path, "r") as stream:
+            while True:
+                chunk = stream.readline()
+                if chunk:
+                    last_data = time.monotonic()
+                    if self.follow and not chunk.endswith("\n"):
+                        # The writer is mid-line; wait for the rest.
+                        pending += chunk
+                        continue
+                    line, pending = pending + chunk, ""
+                    line_number += 1
+                    header = parse_header(line)
+                    if header is not None:
+                        self.name = header
+                        continue
+                    event = parse_trace_line(line, next_index, line_number)
+                    if event is None:
+                        continue
+                    seen += 1
+                    if seen > skip:
+                        yield event
+                    continue
+                if not self.follow:
+                    # pending is only populated while following (a final
+                    # partial line is returned by readline and parsed
+                    # through the normal path above).
+                    return
+                if (self.idle_timeout is not None
+                        and time.monotonic() - last_data > self.idle_timeout):
+                    # Treat a dangling partial line like the non-follow
+                    # path does an unterminated final line: parse it.
+                    if pending:
+                        line_number += 1
+                        event = parse_trace_line(pending, next_index,
+                                                 line_number)
+                        if event is not None:
+                            seen += 1
+                            if seen > skip:
+                                yield event
+                    return
+                time.sleep(self.poll_interval)
+
+
+class FeedSource(EventSource):
+    """Thread-safe push feed with bounded buffering and backpressure.
+
+    A producer thread calls :meth:`emit` (or :meth:`push` with pre-built
+    events); the engine consumes via :meth:`events`.  When the internal
+    buffer holds ``maxsize`` events, producers block until the consumer
+    drains -- or raise :class:`~repro.errors.StreamError` once ``timeout``
+    expires, so a stalled monitor surfaces as an error instead of unbounded
+    memory growth.
+    """
+
+    def __init__(self, maxsize: int = 1024, name: str = "feed") -> None:
+        if maxsize < 1:
+            raise StreamError(f"maxsize must be >= 1, got {maxsize}")
+        self.name = name
+        self._maxsize = maxsize
+        self._buffer: deque = deque()
+        self._condition = threading.Condition()
+        self._closed = False
+        self._next_index: Dict[int, int] = {}
+
+    def _reserve_slot(self, timeout: Optional[float]) -> None:
+        """Wait (holding the condition) until the buffer has room.
+
+        Must be called with ``self._condition`` held; raises when the feed
+        is closed or the backpressure timeout expires.
+        """
+        if self._closed:
+            raise StreamError(f"feed {self.name!r} is closed")
+        if not self._condition.wait_for(
+                lambda: len(self._buffer) < self._maxsize or self._closed,
+                timeout=timeout):
+            raise StreamError(
+                f"feed {self.name!r}: backpressure timeout after "
+                f"{timeout}s (buffer full at {self._maxsize})")
+        if self._closed:
+            raise StreamError(f"feed {self.name!r} is closed")
+
+    def push(self, event: Event, timeout: Optional[float] = None) -> None:
+        """Enqueue a pre-built event, blocking while the buffer is full."""
+        with self._condition:
+            self._reserve_slot(timeout)
+            self._buffer.append(event)
+            self._condition.notify_all()
+
+    def emit(self, thread: int, kind: Union[EventKind, str],
+             timeout: Optional[float] = None, **metadata) -> Event:
+        """Build the next event of ``thread`` and enqueue it.
+
+        The feed assigns per-thread sequence ids itself, so producers only
+        name the thread and the operation.  Index assignment and enqueue
+        happen in one critical section: two producers emitting for the
+        same thread concurrently must not be able to enqueue their events
+        out of index order.
+        """
+        kind = EventKind(kind) if not isinstance(kind, EventKind) else kind
+        with self._condition:
+            self._reserve_slot(timeout)
+            index = self._next_index.get(thread, 0)
+            self._next_index[thread] = index + 1
+            event = Event(thread=thread, index=index, kind=kind, **metadata)
+            self._buffer.append(event)
+            self._condition.notify_all()
+        return event
+
+    def close(self) -> None:
+        """Mark the feed finished; the consumer drains and stops."""
+        with self._condition:
+            self._closed = True
+            self._condition.notify_all()
+
+    def __len__(self) -> int:
+        with self._condition:
+            return len(self._buffer)
+
+    def events(self, skip: int = 0) -> Iterator[Event]:
+        if skip:
+            # A push feed carries *live* data: unlike files or generators,
+            # there is no recorded prefix to re-derive, so "skipping" would
+            # silently drop fresh events.  Resume a checkpointed monitor
+            # from a replayable source instead.
+            raise StreamError(
+                f"feed {self.name!r} cannot skip {skip} events: a push "
+                "feed has no replayable prefix")
+        while True:
+            with self._condition:
+                self._condition.wait_for(
+                    lambda: self._buffer or self._closed)
+                if not self._buffer and self._closed:
+                    return
+                event = self._buffer.popleft()
+                self._condition.notify_all()
+            yield event
+
+
+def open_source(spec: str, follow: bool = False,
+                poll_interval: float = 0.2,
+                idle_timeout: Optional[float] = None) -> EventSource:
+    """Resolve a CLI ``--source`` value into a source.
+
+    An existing file path (``.std`` or ``.std.gz``) becomes a
+    :class:`FileSource`; otherwise the value is parsed as a generator spec
+    ``kind[:key=value,...]`` (e.g. ``racy:threads=3,events=60,seed=1``).
+    """
+    if os.path.exists(spec):
+        return FileSource(spec, follow=follow, poll_interval=poll_interval,
+                          idle_timeout=idle_timeout)
+    kind = spec.partition(":")[0]
+    if kind in GENERATOR_REGISTRY:
+        if follow:
+            raise StreamError("--follow only applies to file sources")
+        return GeneratorSource.from_spec(spec)
+    raise StreamError(
+        f"source {spec!r} is neither an existing trace file nor a "
+        f"registered trace kind (known kinds: "
+        f"{', '.join(sorted(GENERATOR_REGISTRY))})")

@@ -1,0 +1,159 @@
+"""Event-count windows: when to flush, and what to keep afterwards.
+
+A window policy answers two questions for the streaming engine:
+
+* **boundary** -- after consuming the ``position``-th event (1-based), is it
+  time to flush the attached analyses?
+* **retain** -- after a flush, how many of the most recent events must stay
+  buffered?
+
+Three policies ship:
+
+* :class:`UnboundedWindow` -- never evicts; flushes only where explicitly
+  requested (``flush_every``) and at end of stream.  This is the *exact*
+  mode: every flush sees the full history, so the final results are
+  identical to a batch run.
+* :class:`TumblingWindow` -- flush every ``size`` events, then drop the
+  buffer.  Each window is analysed independently.
+* :class:`SlidingWindow` -- flush every ``slide`` events over the last
+  ``size`` events.  Consecutive windows overlap by ``size - slide`` events.
+
+Bounded windows trade exactness for memory: an analysis only sees the
+events still buffered, so findings whose evidence spans more than one
+window are missed (and the engine deduplicates findings rediscovered by
+overlapping windows).  Windows count *events*, not seconds -- the trace
+model is an ordered event sequence, so event count is the reproducible
+unit; a wall-clock flush policy can be layered on by the caller.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import StreamError
+
+
+class Window:
+    """Base window policy (see module docstring)."""
+
+    #: Whether the policy ever evicts events (bounded memory).
+    bounded: bool = False
+
+    def boundary(self, position: int) -> bool:
+        """Should the engine flush after the ``position``-th event (1-based)?"""
+        raise NotImplementedError
+
+    def retain(self) -> Optional[int]:
+        """How many most-recent events to keep after a flush (``None`` =
+        keep everything)."""
+        raise NotImplementedError
+
+    def spec(self) -> str:
+        """The string form understood by :func:`parse_window`."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.spec()!r})"
+
+
+class UnboundedWindow(Window):
+    """Keep every event; flush only on demand.
+
+    ``flush_every`` adds periodic flush boundaries (incremental emission)
+    without evicting anything, so results stay batch-identical.
+    """
+
+    bounded = False
+
+    def __init__(self, flush_every: Optional[int] = None) -> None:
+        if flush_every is not None and flush_every < 1:
+            raise StreamError(f"flush_every must be >= 1, got {flush_every}")
+        self.flush_every = flush_every
+
+    def boundary(self, position: int) -> bool:
+        return (self.flush_every is not None
+                and position % self.flush_every == 0)
+
+    def retain(self) -> Optional[int]:
+        return None
+
+    def spec(self) -> str:
+        return "none"
+
+
+class TumblingWindow(Window):
+    """Fixed-size non-overlapping windows: flush every ``size`` events and
+    start over with an empty buffer."""
+
+    bounded = True
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise StreamError(f"window size must be >= 1, got {size}")
+        self.size = size
+
+    def boundary(self, position: int) -> bool:
+        return position % self.size == 0
+
+    def retain(self) -> int:
+        return 0
+
+    def spec(self) -> str:
+        return str(self.size)
+
+
+class SlidingWindow(Window):
+    """Overlapping windows: flush every ``slide`` events over the last
+    ``size`` events."""
+
+    bounded = True
+
+    def __init__(self, size: int, slide: Optional[int] = None) -> None:
+        if size < 1:
+            raise StreamError(f"window size must be >= 1, got {size}")
+        slide = slide if slide is not None else max(1, size // 2)
+        if not 1 <= slide <= size:
+            raise StreamError(
+                f"slide must be in [1, size={size}], got {slide}")
+        self.size = size
+        self.slide = slide
+
+    def boundary(self, position: int) -> bool:
+        return position % self.slide == 0
+
+    def retain(self) -> int:
+        # Keep the part of the buffer the next window still covers.
+        return self.size - self.slide
+
+    def spec(self) -> str:
+        return f"{self.size}/{self.slide}"
+
+
+def parse_window(spec: Optional[str],
+                 flush_every: Optional[int] = None) -> Window:
+    """Parse a CLI/window spec string into a policy.
+
+    ``None`` / ``"none"`` / ``"0"`` -> unbounded; ``"N"`` -> tumbling of
+    size N; ``"N/M"`` -> sliding of size N, slide M.
+
+    ``flush_every`` only combines with the unbounded window (bounded
+    windows flush on their own boundaries); passing both is rejected
+    rather than silently ignoring one.
+    """
+    if spec is None or spec in ("none", "0", ""):
+        return UnboundedWindow(flush_every=flush_every)
+    if flush_every is not None:
+        raise StreamError(
+            "flush_every only applies to the unbounded window; use a "
+            "sliding window SIZE/SLIDE for periodic flushes with bounded "
+            "memory")
+    text = spec.strip()
+    try:
+        if "/" in text:
+            size_text, slide_text = text.split("/", 1)
+            return SlidingWindow(int(size_text), int(slide_text))
+        return TumblingWindow(int(text))
+    except ValueError:
+        raise StreamError(
+            f"cannot parse window spec {spec!r} (expected 'none', 'SIZE' "
+            f"or 'SIZE/SLIDE')") from None

@@ -12,14 +12,27 @@ traces into the analyses:
 
 Only fields whose value is set are emitted.  Values are stored as
 ``repr``-like literals for ints and strings; anything else round-trips as a
-string.
+string.  Characters that would corrupt the line structure (``|``, newlines,
+and the escape character itself) are escaped on write and unescaped on
+read, so arbitrary variable names and values survive a round-trip.
+
+Files whose name ends in ``.gz`` are transparently compressed: every
+function that accepts a path (``dump_trace``, ``load_trace``, and through
+them the ``analyze``/``sweep``/``watch`` CLI commands) reads and writes
+gzip when the suffix asks for it.
+
+Besides whole-trace (de)serialization this module exposes the line-level
+primitives -- :func:`format_event`, :func:`parse_trace_line`,
+:func:`open_trace` -- that the streaming layer (:mod:`repro.stream`) uses to
+tail files incrementally and to checkpoint event buffers.
 """
 
 from __future__ import annotations
 
+import gzip
 import io
 from pathlib import Path
-from typing import List, TextIO, Union
+from typing import Dict, List, Optional, TextIO, Union
 
 from repro.errors import TraceError
 from repro.trace.event import Event, EventKind, MemoryOrder
@@ -36,6 +49,39 @@ _FIELDS = (
     "atomic",
 )
 
+#: Escape table for characters that are structural in the line format.  A
+#: literal ``|`` would split the field, a newline would split the line, and
+#: ``\\`` is the escape character itself.  ``\r`` is escaped too so traces
+#: survive universal-newline reading unchanged.
+_ESCAPE_TABLE = {
+    ord("\\"): "\\\\",
+    ord("|"): "\\p",
+    ord("\n"): "\\n",
+    ord("\r"): "\\r",
+}
+
+_UNESCAPE_TABLE = {"\\": "\\", "p": "|", "n": "\n", "r": "\r"}
+
+
+def _escape(text: str) -> str:
+    return text.translate(_ESCAPE_TABLE)
+
+
+def _unescape(text: str) -> str:
+    if "\\" not in text:
+        return text
+    out: List[str] = []
+    i = 0
+    while i < len(text):
+        char = text[i]
+        if char == "\\" and i + 1 < len(text):
+            out.append(_UNESCAPE_TABLE.get(text[i + 1], text[i + 1]))
+            i += 2
+        else:
+            out.append(char)
+            i += 1
+    return "".join(out)
+
 
 def _encode_value(value) -> str:
     if isinstance(value, bool):
@@ -44,37 +90,130 @@ def _encode_value(value) -> str:
         return f"int:{value}"
     if isinstance(value, MemoryOrder):
         return f"mo:{value.value}"
-    return f"str:{value}"
+    return "str:" + _escape(str(value))
 
 
 def _decode_value(text: str):
     prefix, _, payload = text.partition(":")
+    # Typed payloads tolerate incidental whitespace (e.g. a hand-edited
+    # line with trailing spaces); ``str`` payloads are taken verbatim --
+    # their whitespace is data.
     if prefix == "int":
         return int(payload)
     if prefix == "bool":
         return bool(int(payload))
     if prefix == "mo":
-        return MemoryOrder(payload)
+        return MemoryOrder(payload.strip())
     if prefix == "str":
-        return payload
+        return _unescape(payload)
     raise TraceError(f"cannot decode field value {text!r}")
 
 
+def _is_gzip_path(path: Union[str, Path]) -> bool:
+    return str(path).endswith(".gz")
+
+
+def open_trace(path: Union[str, Path], mode: str = "r") -> TextIO:
+    """Open a trace file for text I/O, transparently gzipped for ``.gz``.
+
+    ``mode`` is ``"r"``, ``"w"`` or ``"a"`` (text is implied; encoding is
+    always UTF-8).
+    """
+    if mode not in ("r", "w", "a"):
+        raise TraceError(f"unsupported trace file mode {mode!r}")
+    if _is_gzip_path(path):
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+# --------------------------------------------------------------------------- #
+# Line-level primitives
+# --------------------------------------------------------------------------- #
+def format_header(name: str) -> str:
+    """The ``# trace NAME`` header line (without trailing newline)."""
+    return "# trace " + _escape(name)
+
+
+def format_event(event: Event) -> str:
+    """Serialise one event to its line (without trailing newline)."""
+    parts = [str(event.thread), event.kind.value]
+    for field in _FIELDS:
+        value = getattr(event, field)
+        if value is None or (field == "atomic" and value is False):
+            continue
+        parts.append(f"{field}={_encode_value(value)}")
+    return "|".join(parts)
+
+
+def parse_header(line: str) -> Optional[str]:
+    """Return the trace name if ``line`` is a header comment, else ``None``.
+
+    Only line terminators and leading indentation are shed -- edge
+    whitespace *inside* the name is data and round-trips, like string
+    field values do.
+    """
+    line = line.lstrip().rstrip("\r\n")
+    if line.startswith("# trace "):
+        return _unescape(line[len("# trace "):])
+    return None
+
+
+def parse_trace_line(line: str, next_index: Dict[int, int],
+                     line_number: int = 0) -> Optional[Event]:
+    """Parse one line into an :class:`Event`, or ``None`` for blank/comment.
+
+    ``next_index`` maps thread id to the next per-thread sequence id and is
+    advanced in place, so a caller feeding consecutive lines (a whole file,
+    or a tailed stream) assigns the same indexes :func:`load_trace` would.
+    """
+    # Blank/comment detection ignores surrounding whitespace, but the event
+    # line itself only sheds its terminators: trailing spaces or tabs in
+    # the final field are string-value *data* and must survive.
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    line = line.strip("\r\n")
+    parts = line.split("|")
+    if len(parts) < 2:
+        raise TraceError(f"malformed trace line {line_number}: {line!r}")
+    try:
+        thread = int(parts[0])
+    except ValueError:
+        raise TraceError(
+            f"malformed thread id {parts[0]!r} on line {line_number}"
+        ) from None
+    try:
+        kind = EventKind(parts[1])
+    except ValueError:
+        raise TraceError(
+            f"unknown event kind {parts[1]!r} on line {line_number}"
+        ) from None
+    metadata = {}
+    for part in parts[2:]:
+        field, _, encoded = part.partition("=")
+        if field not in _FIELDS:
+            raise TraceError(f"unknown field {field!r} on line {line_number}")
+        metadata[field] = _decode_value(encoded)
+    index = next_index.get(thread, 0)
+    next_index[thread] = index + 1
+    return Event(thread=thread, index=index, kind=kind, **metadata)
+
+
+# --------------------------------------------------------------------------- #
+# Whole-trace (de)serialization
+# --------------------------------------------------------------------------- #
 def dump_trace(trace: Trace, destination: Union[str, Path, TextIO]) -> None:
-    """Serialise ``trace`` to a file path or text stream."""
+    """Serialise ``trace`` to a file path or text stream.
+
+    Paths ending in ``.gz`` are written gzip-compressed.
+    """
     if isinstance(destination, (str, Path)):
-        with open(destination, "w", encoding="utf-8") as stream:
+        with open_trace(destination, "w") as stream:
             dump_trace(trace, stream)
         return
-    destination.write(f"# trace {trace.name}\n")
+    destination.write(format_header(trace.name) + "\n")
     for event in trace:
-        parts = [str(event.thread), event.kind.value]
-        for field in _FIELDS:
-            value = getattr(event, field)
-            if value is None or (field == "atomic" and value is False):
-                continue
-            parts.append(f"{field}={_encode_value(value)}")
-        destination.write("|".join(parts) + "\n")
+        destination.write(format_event(event) + "\n")
 
 
 def dumps_trace(trace: Trace) -> str:
@@ -85,40 +224,24 @@ def dumps_trace(trace: Trace) -> str:
 
 
 def load_trace(source: Union[str, Path, TextIO], name: str = "trace") -> Trace:
-    """Load a trace from a file path or text stream."""
+    """Load a trace from a file path or text stream.
+
+    Paths ending in ``.gz`` are read gzip-compressed.
+    """
     if isinstance(source, (str, Path)):
-        with open(source, "r", encoding="utf-8") as stream:
+        with open_trace(source, "r") as stream:
             return load_trace(stream, name=name)
     events: List[Event] = []
-    per_thread_counts = {}
+    next_index: Dict[int, int] = {}
     trace_name = name
     for line_number, raw_line in enumerate(source, start=1):
-        line = raw_line.strip()
-        if not line:
+        header = parse_header(raw_line)
+        if header is not None:
+            trace_name = header
             continue
-        if line.startswith("#"):
-            if line.startswith("# trace "):
-                trace_name = line[len("# trace "):].strip()
-            continue
-        parts = line.split("|")
-        if len(parts) < 2:
-            raise TraceError(f"malformed trace line {line_number}: {line!r}")
-        thread = int(parts[0])
-        try:
-            kind = EventKind(parts[1])
-        except ValueError:
-            raise TraceError(
-                f"unknown event kind {parts[1]!r} on line {line_number}"
-            ) from None
-        metadata = {}
-        for part in parts[2:]:
-            field, _, encoded = part.partition("=")
-            if field not in _FIELDS:
-                raise TraceError(f"unknown field {field!r} on line {line_number}")
-            metadata[field] = _decode_value(encoded)
-        index = per_thread_counts.get(thread, 0)
-        per_thread_counts[thread] = index + 1
-        events.append(Event(thread=thread, index=index, kind=kind, **metadata))
+        event = parse_trace_line(raw_line, next_index, line_number)
+        if event is not None:
+            events.append(event)
     return Trace(events, name=trace_name)
 
 

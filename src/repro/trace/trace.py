@@ -5,6 +5,14 @@ A :class:`Trace` stores events in observed (total) order, assigns per-thread
 sequence ids automatically, and exposes the derived views every analysis
 needs repeatedly: per-thread chains, accesses grouped by variable, critical
 sections per lock, the observed reads-from map, and fork/join edges.
+
+The derived indexes are maintained *incrementally*: every append updates the
+per-variable access lists, the reads-from map, the lock-set map and the
+critical-section list in O(1) amortised time, so a streaming consumer
+(:mod:`repro.stream`) can feed events one at a time and query the indexes
+after every event without re-scanning the trace.  The accessor methods
+return fresh copies, as they always did, so callers can mutate the returned
+containers freely.
 """
 
 from __future__ import annotations
@@ -56,6 +64,16 @@ class Trace:
         self._events: List[Event] = []
         self._per_thread: Dict[int, List[Event]] = defaultdict(list)
         self._next_index: Dict[int, int] = defaultdict(int)
+        # Incrementally maintained derived indexes (see class docstring).
+        self._accesses_by_variable: Dict = defaultdict(list)
+        self._writes_by_variable: Dict = defaultdict(list)
+        self._reads_from: Dict[Event, Optional[Event]] = {}
+        self._last_write: Dict = {}
+        self._held_now: Dict[int, frozenset] = defaultdict(frozenset)
+        self._held_map: Dict[Node, frozenset] = {}
+        self._sections: List[CriticalSection] = []
+        self._open_sections: Dict[Tuple[int, object], CriticalSection] = {}
+        self._bad_release: Optional[Event] = None
         for event in events:
             self._append_existing(event)
 
@@ -72,6 +90,43 @@ class Trace:
         self._events.append(event)
         self._per_thread[event.thread].append(event)
         self._next_index[event.thread] = expected + 1
+        self._index_event(event)
+
+    def _index_event(self, event: Event) -> None:
+        """Advance every derived index by one event (O(1) amortised)."""
+        if event.is_access:
+            self._accesses_by_variable[event.variable].append(event)
+        # Reads observe the last write *before* this event, so an RMW (both
+        # read and write) must look up its writer before registering itself.
+        if event.is_read:
+            self._reads_from[event] = self._last_write.get(event.variable)
+        if event.is_write:
+            self._writes_by_variable[event.variable].append(event)
+            self._last_write[event.variable] = event
+        if event.kind is EventKind.ACQUIRE:
+            self._held_now[event.thread] = (
+                self._held_now[event.thread] | {event.variable})
+            section = CriticalSection(event.variable, event.thread, event, None)
+            self._open_sections[(event.thread, event.variable)] = section
+            self._sections.append(section)
+        elif event.kind is EventKind.RELEASE:
+            self._held_now[event.thread] = (
+                self._held_now[event.thread] - {event.variable})
+            section = self._open_sections.pop(
+                (event.thread, event.variable), None)
+            if section is None:
+                if self._bad_release is None:
+                    self._bad_release = event
+            else:
+                section.release = event
+        self._held_map[event.node] = self._held_now[event.thread]
+
+    def add(self, event: Event) -> Event:
+        """Append a pre-built event (its index must be the next one of its
+        thread) and return it.  This is the streaming ingestion entry point:
+        every derived index is advanced incrementally."""
+        self._append_existing(event)
+        return event
 
     def append(self, thread: int, kind: EventKind, **metadata) -> Event:
         """Append a new event for ``thread`` and return it."""
@@ -141,6 +196,19 @@ class Trace:
         """Events in observed (total) order."""
         return tuple(self._events)
 
+    def iter_from(self, position: int = 0) -> Iterator[Event]:
+        """Iterate events in observed order starting at ``position``.
+
+        The iterator is *live*: it indexes into the growing event list, so a
+        consumer may interleave iteration with appends and will see events
+        appended after it was created.  (It stops when it catches up; the
+        tail-following loop belongs to the stream sources, which know how to
+        wait for more input.)
+        """
+        while position < len(self._events):
+            yield self._events[position]
+            position += 1
+
     @property
     def threads(self) -> List[int]:
         """Sorted list of thread identifiers appearing in the trace."""
@@ -177,84 +245,68 @@ class Trace:
     # ------------------------------------------------------------------ #
     def accesses_by_variable(self) -> Dict:
         """Group access events by the variable they touch."""
-        grouped: Dict = defaultdict(list)
-        for event in self._events:
-            if event.is_access:
-                grouped[event.variable].append(event)
-        return dict(grouped)
+        return {variable: list(events)
+                for variable, events in self._accesses_by_variable.items()}
 
     def writes_by_variable(self) -> Dict:
-        grouped: Dict = defaultdict(list)
-        for event in self._events:
-            if event.is_write:
-                grouped[event.variable].append(event)
-        return dict(grouped)
+        return {variable: list(events)
+                for variable, events in self._writes_by_variable.items()}
 
     def critical_sections(self) -> List[CriticalSection]:
-        """Extract all critical sections, in observed acquire order.
+        """All critical sections, in observed acquire order.
 
         Raises
         ------
         TraceError
-            If a thread releases a lock it does not hold.
+            If a thread releases a lock it does not hold (raised here, not
+            at append time, so a malformed trace can still be built and
+            inspected).
         """
-        open_sections: Dict[Tuple[int, object], CriticalSection] = {}
-        sections: List[CriticalSection] = []
-        for event in self._events:
-            key = (event.thread, event.variable)
-            if event.kind is EventKind.ACQUIRE:
-                section = CriticalSection(event.variable, event.thread, event, None)
-                open_sections[key] = section
-                sections.append(section)
-            elif event.kind is EventKind.RELEASE:
-                section = open_sections.pop(key, None)
-                if section is None:
-                    raise TraceError(
-                        f"thread {event.thread} releases lock {event.variable} "
-                        "without holding it"
-                    )
-                section.release = event
-        return sections
+        if self._bad_release is not None:
+            event = self._bad_release
+            raise TraceError(
+                f"thread {event.thread} releases lock {event.variable} "
+                "without holding it"
+            )
+        # Fresh objects per call: the internal index keeps mutating as the
+        # trace grows (an open section's release is filled in later), and
+        # callers are allowed to mutate what they get back.
+        return [CriticalSection(section.lock, section.thread,
+                                section.acquire, section.release)
+                for section in self._sections]
 
     def locks_held_at(self, event: Event) -> frozenset:
-        """Set of locks held by ``event.thread`` when ``event`` executes."""
-        held = set()
+        """Set of locks held by ``event.thread`` when ``event`` executes.
+
+        Events of this trace are answered in O(1) from the incrementally
+        maintained lock-set map; an event whose node is not in the trace
+        (e.g. a hypothetical one) falls back to scanning its thread prefix.
+        """
+        held = self._held_map.get(event.node)
+        if held is not None:
+            return held
+        current = set()
         for other in self._per_thread[event.thread]:
             if other.index > event.index:
                 break
             if other.kind is EventKind.ACQUIRE:
-                held.add(other.variable)
+                current.add(other.variable)
             elif other.kind is EventKind.RELEASE:
-                held.discard(other.variable)
-        return frozenset(held)
+                current.discard(other.variable)
+        return frozenset(current)
 
     def locks_held_map(self) -> Dict[Node, frozenset]:
-        """Locks held at every event, computed in a single pass.
+        """Locks held at every event (maintained incrementally).
 
         Analyses that query lock sets for many events should use this map
         instead of calling :meth:`locks_held_at` repeatedly.
         """
-        held_map: Dict[Node, frozenset] = {}
-        current: Dict[int, frozenset] = defaultdict(frozenset)
-        for event in self._events:
-            if event.kind is EventKind.ACQUIRE:
-                current[event.thread] = current[event.thread] | {event.variable}
-            elif event.kind is EventKind.RELEASE:
-                current[event.thread] = current[event.thread] - {event.variable}
-            held_map[event.node] = current[event.thread]
-        return held_map
+        return dict(self._held_map)
 
     def reads_from(self) -> Dict[Event, Optional[Event]]:
         """The observed reads-from map: each read maps to the last write to
         the same variable preceding it in the trace order (or ``None``)."""
-        last_write: Dict = {}
-        mapping: Dict[Event, Optional[Event]] = {}
-        for event in self._events:
-            if event.is_read:
-                mapping[event] = last_write.get(event.variable)
-            if event.is_write:
-                last_write[event.variable] = event
-        return mapping
+        return dict(self._reads_from)
 
     def fork_join_edges(self) -> List[Tuple[Node, Node]]:
         """Cross-thread ordering edges induced by fork/join events.

@@ -1,0 +1,158 @@
+"""Checkpoint/restore: state round-trips, corruption handling, resume."""
+
+import json
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.stream.checkpoint import (
+    CHECKPOINT_VERSION,
+    load_checkpoint,
+    restore_engine,
+    save_checkpoint,
+)
+from repro.stream.engine import StreamEngine
+from repro.stream.source import TraceSource
+from repro.stream.window import TumblingWindow, UnboundedWindow
+from repro.trace.generators import racy_trace
+
+
+@pytest.fixture
+def trace():
+    return racy_trace(num_threads=3, events_per_thread=40, seed=3)
+
+
+class TestStateRoundTrip:
+    def test_state_is_json_serializable(self, trace):
+        engine = StreamEngine(["race-prediction"],
+                              window=UnboundedWindow(flush_every=25))
+        engine.run(TraceSource(trace), max_events=50)
+        state = engine.state_dict()
+        restored_state = json.loads(json.dumps(state))
+        rebuilt = StreamEngine.from_state(restored_state)
+        assert rebuilt.cursor == engine.cursor
+        assert rebuilt.buffered_events == engine.buffered_events
+        assert rebuilt.analyses == engine.analyses
+
+    def test_restored_engine_reproduces_live_trace(self, trace):
+        engine = StreamEngine(["race-prediction"])
+        engine.run(TraceSource(trace), max_events=60)
+        rebuilt = StreamEngine.from_state(engine.state_dict())
+        original, _ = engine.snapshot()
+        restored, _ = rebuilt.snapshot()
+        assert list(original) == list(restored)
+
+    def test_restored_backbone_matches(self, trace):
+        engine = StreamEngine(["race-prediction"])
+        engine.run(TraceSource(trace), max_events=60)
+        rebuilt = StreamEngine.from_state(engine.state_dict())
+        assert rebuilt.order.edge_count == engine.order.edge_count
+
+    def test_windowed_state_round_trips(self, trace):
+        engine = StreamEngine(["race-prediction"],
+                              window=TumblingWindow(25))
+        engine.run(TraceSource(trace), max_events=60)
+        rebuilt = StreamEngine.from_state(engine.state_dict())
+        assert rebuilt.buffered_events == engine.buffered_events
+        assert rebuilt.order is None
+
+    def test_tampered_buffer_detected(self, trace):
+        engine = StreamEngine(["race-prediction"])
+        engine.run(TraceSource(trace), max_events=30)
+        state = engine.state_dict()
+        state["buffer"] = state["buffer"][:-1]  # lose an event
+        with pytest.raises(CheckpointError):
+            StreamEngine.from_state(state)
+
+
+class TestFiles:
+    def test_save_and_load(self, trace, tmp_path):
+        path = tmp_path / "ck.json"
+        engine = StreamEngine(["race-prediction"])
+        engine.run(TraceSource(trace), max_events=30,
+                   checkpoint_path=str(path))
+        state = load_checkpoint(path)
+        assert state["version"] == CHECKPOINT_VERSION
+        assert state["cursor"] == 30
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_checkpoint(tmp_path / "absent.json")
+
+    def test_corrupt_json(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text("{not json")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text(json.dumps({"version": 999}))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_periodic_checkpoints_count(self, trace, tmp_path):
+        path = tmp_path / "ck.json"
+        engine = StreamEngine(["race-prediction"])
+        engine.run(TraceSource(trace), checkpoint_path=str(path),
+                   checkpoint_every=25)
+        # every 25 events plus the final save
+        assert engine.stats.checkpoints == len(trace) // 25 + 1
+
+
+class TestResume:
+    def test_resume_completes_to_batch_findings(self, trace, tmp_path):
+        from repro.analyses.common.base import Analysis
+
+        batch = Analysis.by_name("race-prediction")(
+            "incremental-csst").run(trace)
+        path = tmp_path / "ck.json"
+        first = StreamEngine(["race-prediction"],
+                             window=UnboundedWindow(flush_every=20))
+        first.run(TraceSource(trace), max_events=len(trace) // 2,
+                  checkpoint_path=str(path))
+        resumed = restore_engine(path)
+        assert resumed.cursor == len(trace) // 2
+        result = resumed.run(TraceSource(trace), skip=resumed.cursor)
+        assert result.results["race-prediction"].findings == batch.findings
+
+    def test_restore_preserves_per_analysis_backend(self, trace):
+        engine = StreamEngine(["race-prediction"], backend="vc")
+        engine.run(TraceSource(trace), max_events=30)
+        rebuilt = StreamEngine.from_state(engine.state_dict())
+        assert rebuilt._attachments[0].analysis._backend_spec == "vc"
+        result = rebuilt.run(TraceSource(trace), skip=rebuilt.cursor)
+        assert result.results["race-prediction"].backend == "vc"
+
+    def test_native_restore_does_not_re_emit_during_replay(self, tmp_path):
+        """Replaying the buffer rediscovers a native analysis's findings;
+        the restored dedup keys must suppress their re-emission."""
+        from repro.trace.generators import c11_trace
+
+        trace = c11_trace(num_threads=3, events_per_thread=40, seed=1)
+        path = tmp_path / "ck.json"
+        first = StreamEngine(["c11-races"])
+        first.run(TraceSource(trace), max_events=len(trace) // 2,
+                  checkpoint_path=str(path))
+        assert first.findings, "fixture must emit before the checkpoint"
+        replay_emissions = []
+        resumed = restore_engine(path, on_finding=replay_emissions.append)
+        assert replay_emissions == []  # nothing re-emitted by the replay
+        result = resumed.run(TraceSource(trace), skip=resumed.cursor)
+        first_keys = {str(item.finding) for item in first.findings}
+        second_keys = {str(item.finding) for item in result.findings}
+        assert not (first_keys & second_keys)
+
+    def test_resume_does_not_re_emit(self, trace, tmp_path):
+        path = tmp_path / "ck.json"
+        first = StreamEngine(["race-prediction"],
+                             window=UnboundedWindow(flush_every=20))
+        first.run(TraceSource(trace), max_events=len(trace) // 2,
+                  checkpoint_path=str(path))
+        first_keys = {(item.analysis, str(item.finding))
+                      for item in first.findings}
+        resumed = restore_engine(path)
+        result = resumed.run(TraceSource(trace), skip=resumed.cursor)
+        second_keys = {(item.analysis, str(item.finding))
+                       for item in result.findings}
+        assert not (first_keys & second_keys)

@@ -1,0 +1,221 @@
+"""Event sources: iterables, traces, generators, files (plain/gz/followed),
+and the backpressured push feed."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import StreamError
+from repro.stream.source import (
+    FeedSource,
+    FileSource,
+    GeneratorSource,
+    IterableSource,
+    TraceSource,
+    open_source,
+)
+from repro.trace import dump_trace, dumps_trace
+from repro.trace.generators import racy_trace
+from repro.trace.trace import Trace
+
+
+def small_trace() -> Trace:
+    trace = Trace(name="small")
+    trace.write(0, "x", value=1)
+    trace.read(1, "x")
+    trace.write(0, "y", value=2)
+    trace.read(1, "y")
+    return trace
+
+
+class TestIterableSource:
+    def test_yields_in_order(self):
+        trace = small_trace()
+        source = IterableSource(list(trace))
+        assert list(source) == list(trace)
+
+    def test_single_pass_consumed(self):
+        source = IterableSource(iter(small_trace()))
+        list(source.events())
+        with pytest.raises(StreamError):
+            list(source.events())
+
+    def test_factory_is_replayable_and_skips(self):
+        trace = small_trace()
+        source = IterableSource(lambda: iter(trace))
+        assert list(source.events()) == list(trace)
+        assert list(source.events(skip=2)) == list(trace)[2:]
+
+
+class TestTraceSource:
+    def test_name_and_skip(self):
+        trace = small_trace()
+        source = TraceSource(trace)
+        assert source.name == "small"
+        assert list(source.events(skip=1)) == list(trace)[1:]
+
+
+class TestGeneratorSource:
+    def test_deterministic_replay(self):
+        source = GeneratorSource("racy", threads=3, events=20, seed=7)
+        first = list(source.events())
+        again = list(GeneratorSource("racy", threads=3, events=20,
+                                     seed=7).events())
+        assert first == again
+        assert first == list(racy_trace(num_threads=3, events_per_thread=20,
+                                        seed=7, name=source.name))
+
+    def test_from_spec_parses_parameters(self):
+        source = GeneratorSource.from_spec("racy:threads=2,events=10,seed=3")
+        assert (source.kind, source.threads, source.size, source.seed) == (
+            "racy", 2, 10, 3)
+
+    def test_from_spec_rejects_unknown_kind(self):
+        with pytest.raises(StreamError):
+            GeneratorSource.from_spec("nonsense")
+
+    def test_from_spec_rejects_malformed_parameter(self):
+        with pytest.raises(StreamError):
+            GeneratorSource.from_spec("racy:threads")
+
+
+class TestFileSource:
+    def test_reads_std_file(self, tmp_path):
+        trace = small_trace()
+        path = tmp_path / "t.std"
+        dump_trace(trace, path)
+        source = FileSource(path)
+        assert list(source.events()) == list(trace)
+        assert source.name == "small"  # picked up from the header
+
+    def test_reads_gzip(self, tmp_path):
+        trace = small_trace()
+        path = tmp_path / "t.std.gz"
+        dump_trace(trace, path)
+        assert list(FileSource(path).events()) == list(trace)
+
+    def test_follow_rejected_for_gzip(self, tmp_path):
+        with pytest.raises(StreamError):
+            FileSource(tmp_path / "t.std.gz", follow=True)
+
+    def test_skip(self, tmp_path):
+        trace = small_trace()
+        path = tmp_path / "t.std"
+        dump_trace(trace, path)
+        assert list(FileSource(path).events(skip=3)) == list(trace)[3:]
+
+    def test_follow_sees_appended_events(self, tmp_path):
+        trace = small_trace()
+        text = dumps_trace(trace)
+        head, tail = text.splitlines(True)[:3], text.splitlines(True)[3:]
+        path = tmp_path / "t.std"
+        path.write_text("".join(head))
+        source = FileSource(path, follow=True, poll_interval=0.01,
+                            idle_timeout=1.0)
+
+        def append_rest():
+            time.sleep(0.05)
+            with open(path, "a", encoding="utf-8") as stream:
+                stream.write("".join(tail))
+
+        writer = threading.Thread(target=append_rest)
+        writer.start()
+        events = list(source.events())
+        writer.join()
+        assert events == list(trace)
+
+    def test_follow_idle_timeout_terminates(self, tmp_path):
+        path = tmp_path / "t.std"
+        dump_trace(small_trace(), path)
+        source = FileSource(path, follow=True, poll_interval=0.01,
+                            idle_timeout=0.05)
+        assert list(source.events()) == list(small_trace())
+
+
+class TestFeedSource:
+    def test_emit_assigns_indexes_and_drains(self):
+        feed = FeedSource(maxsize=16)
+        feed.emit(0, "write", variable="x", value=1)
+        feed.emit(1, "read", variable="x")
+        feed.emit(0, "read", variable="x")
+        feed.close()
+        events = list(feed.events())
+        assert [(e.thread, e.index) for e in events] == [(0, 0), (1, 0), (0, 1)]
+
+    def test_backpressure_timeout(self):
+        feed = FeedSource(maxsize=1)
+        feed.emit(0, "read", variable="x")
+        with pytest.raises(StreamError):
+            feed.emit(0, "read", variable="x", timeout=0.02)
+
+    def test_push_after_close_rejected(self):
+        feed = FeedSource()
+        feed.close()
+        with pytest.raises(StreamError):
+            feed.emit(0, "read", variable="x")
+
+    def test_concurrent_emitters_keep_per_thread_index_order(self):
+        """Index assignment and enqueue are one critical section: parallel
+        producers emitting for the same logical thread must enqueue in
+        index order (a race here crashes the engine with 'out-of-order
+        stream')."""
+        feed = FeedSource(maxsize=10_000)
+        errors = []
+
+        def producer():
+            try:
+                for _ in range(500):
+                    feed.emit(0, "read", variable="x")
+            except StreamError as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        workers = [threading.Thread(target=producer) for _ in range(4)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        feed.close()
+        assert not errors
+        indexes = [event.index for event in feed.events()]
+        assert indexes == sorted(indexes)
+        assert len(indexes) == 2000
+
+    def test_skip_rejected_on_push_feed(self):
+        feed = FeedSource()
+        with pytest.raises(StreamError, match="no replayable prefix"):
+            next(feed.events(skip=5))
+
+    def test_threaded_producer_consumer(self):
+        feed = FeedSource(maxsize=4)
+        trace = racy_trace(num_threads=2, events_per_thread=20, seed=1)
+
+        def produce():
+            for event in trace:
+                feed.push(event, timeout=5.0)
+            feed.close()
+
+        producer = threading.Thread(target=produce)
+        producer.start()
+        events = list(feed.events())
+        producer.join()
+        assert events == list(trace)
+
+
+class TestOpenSource:
+    def test_existing_file(self, tmp_path):
+        path = tmp_path / "t.std"
+        dump_trace(small_trace(), path)
+        assert isinstance(open_source(str(path)), FileSource)
+
+    def test_generator_spec(self):
+        source = open_source("racy:threads=2,events=10")
+        assert isinstance(source, GeneratorSource)
+
+    def test_follow_with_generator_rejected(self):
+        with pytest.raises(StreamError):
+            open_source("racy:threads=2,events=10", follow=True)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(StreamError):
+            open_source("/no/such/file.std")

@@ -1,0 +1,91 @@
+"""Window policies: boundaries, retention, spec round-trips."""
+
+import pytest
+
+from repro.errors import StreamError
+from repro.stream.window import (
+    SlidingWindow,
+    TumblingWindow,
+    UnboundedWindow,
+    parse_window,
+)
+
+
+class TestUnboundedWindow:
+    def test_never_bounded_never_flushes_by_default(self):
+        window = UnboundedWindow()
+        assert not window.bounded
+        assert not any(window.boundary(i) for i in range(1, 100))
+        assert window.retain() is None
+
+    def test_flush_every_marks_boundaries_without_eviction(self):
+        window = UnboundedWindow(flush_every=10)
+        assert [i for i in range(1, 31) if window.boundary(i)] == [10, 20, 30]
+        assert window.retain() is None
+
+    def test_flush_every_must_be_positive(self):
+        with pytest.raises(StreamError):
+            UnboundedWindow(flush_every=0)
+
+
+class TestTumblingWindow:
+    def test_boundary_every_size_events(self):
+        window = TumblingWindow(5)
+        assert [i for i in range(1, 16) if window.boundary(i)] == [5, 10, 15]
+
+    def test_retains_nothing(self):
+        assert TumblingWindow(5).retain() == 0
+
+    def test_size_validation(self):
+        with pytest.raises(StreamError):
+            TumblingWindow(0)
+
+
+class TestSlidingWindow:
+    def test_boundary_every_slide_events(self):
+        window = SlidingWindow(10, 4)
+        assert [i for i in range(1, 13) if window.boundary(i)] == [4, 8, 12]
+
+    def test_retains_overlap(self):
+        assert SlidingWindow(10, 4).retain() == 6
+
+    def test_default_slide_is_half(self):
+        assert SlidingWindow(10).slide == 5
+
+    def test_slide_validation(self):
+        with pytest.raises(StreamError):
+            SlidingWindow(10, 0)
+        with pytest.raises(StreamError):
+            SlidingWindow(10, 11)
+
+
+class TestParseWindow:
+    def test_none_spellings(self):
+        for spec in (None, "none", "0", ""):
+            assert isinstance(parse_window(spec), UnboundedWindow)
+
+    def test_tumbling(self):
+        window = parse_window("25")
+        assert isinstance(window, TumblingWindow)
+        assert window.size == 25
+
+    def test_sliding(self):
+        window = parse_window("40/10")
+        assert isinstance(window, SlidingWindow)
+        assert (window.size, window.slide) == (40, 10)
+
+    def test_flush_every_applies_to_unbounded(self):
+        window = parse_window("none", flush_every=7)
+        assert window.flush_every == 7
+
+    def test_garbage_rejected(self):
+        with pytest.raises(StreamError):
+            parse_window("ten")
+
+    def test_flush_every_with_bounded_window_rejected(self):
+        with pytest.raises(StreamError, match="flush_every only applies"):
+            parse_window("500", flush_every=50)
+
+    def test_spec_round_trip(self):
+        for spec in ("none", "25", "40/10"):
+            assert parse_window(spec).spec() == spec

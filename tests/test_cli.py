@@ -203,3 +203,217 @@ class TestSweep:
         assert main(["analyze", "race-prediction", str(trace_file),
                      "--backend", "vcc"]) == 2
         assert "unknown partial-order backend" in capsys.readouterr().err
+
+
+class TestSweepDiscovery:
+    def test_list_suites(self, capsys):
+        assert main(["sweep", "--list-suites"]) == 0
+        output = capsys.readouterr().out
+        for suite in ("smoke", "quick", "seeds", "scaling", "full"):
+            assert suite in output
+        assert "description" in output
+
+    def test_list_analyses(self, capsys):
+        assert main(["sweep", "--list-analyses"]) == 0
+        output = capsys.readouterr().out
+        for name in ANALYSES:
+            assert name in output
+        assert "incremental-csst" in output
+        assert "racy" in output  # the feeding workload kinds are shown
+
+    def test_both_flags_run_nothing_else(self, capsys):
+        assert main(["sweep", "--list-suites", "--list-analyses"]) == 0
+        output = capsys.readouterr().out
+        assert "smoke" in output and "race-prediction" in output
+        assert "sweep[" not in output  # no sweep actually ran
+
+
+class TestAnalysisNameResolution:
+    def test_exact_underscore_and_prefix_spellings(self):
+        from repro.cli import resolve_analysis_name
+
+        assert resolve_analysis_name("race-prediction") == "race-prediction"
+        assert resolve_analysis_name("race_prediction") == "race-prediction"
+        assert resolve_analysis_name("deadlock") == "deadlock-prediction"
+        assert resolve_analysis_name("lin") == "linearizability"
+
+    def test_unknown_name_rejected(self):
+        from repro.cli import resolve_analysis_name
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="unknown analysis"):
+            resolve_analysis_name("quantum")
+
+
+class TestWatch:
+    def test_watch_file_source_emits_and_summarises(self, trace_file, capsys):
+        assert main(["watch", "--source", str(trace_file), "--analyses",
+                     "race_prediction,deadlock", "--flush-every", "60"]) == 0
+        output = capsys.readouterr().out
+        assert "race-prediction:" in output  # at least one emitted finding
+        assert "stream[" in output
+        assert "final[race-prediction]" in output
+        assert "final[deadlock-prediction]" in output
+
+    def test_watch_final_set_matches_batch(self, trace_file, capsys):
+        from repro.analyses.common.base import Analysis
+
+        trace = load_trace(trace_file)
+        batch = Analysis.by_name("race-prediction")(
+            "incremental-csst").run(trace)
+        assert main(["watch", "--source", str(trace_file), "--analyses",
+                     "race-prediction", "--format", "jsonl"]) == 0
+        lines = [json.loads(line)
+                 for line in capsys.readouterr().out.splitlines()]
+        summary = [line for line in lines if line["type"] == "summary"][0]
+        assert summary["final"]["race-prediction"] == \
+            [str(finding) for finding in batch.findings]
+
+    def test_watch_generator_source_defaults_analyses(self, capsys):
+        assert main(["watch", "--source",
+                     "deadlock:threads=3,events=24,seed=5"]) == 0
+        assert "final[deadlock-prediction]" in capsys.readouterr().out
+
+    def test_watch_gzip_source(self, tmp_path, capsys):
+        path = tmp_path / "t.std.gz"
+        main(["generate", "racy", "--threads", "2", "--events", "20",
+              "--out", str(path)])
+        assert main(["watch", "--source", str(path), "--analyses",
+                     "race-prediction"]) == 0
+        assert "final[race-prediction]" in capsys.readouterr().out
+
+    def test_watch_windowed_run(self, trace_file, capsys):
+        assert main(["watch", "--source", str(trace_file), "--analyses",
+                     "race-prediction", "--window", "50"]) == 0
+        assert "stream[" in capsys.readouterr().out
+
+    def test_watch_checkpoint_resume_round_trip(self, trace_file, tmp_path,
+                                                capsys):
+        from repro.analyses.common.base import Analysis
+
+        trace = load_trace(trace_file)
+        batch = Analysis.by_name("race-prediction")(
+            "incremental-csst").run(trace)
+        checkpoint = tmp_path / "ck.json"
+        assert main(["watch", "--source", str(trace_file), "--analyses",
+                     "race-prediction", "--max-events", "90",
+                     "--checkpoint", str(checkpoint)]) == 0
+        capsys.readouterr()
+        assert checkpoint.exists()
+        assert main(["watch", "--source", str(trace_file), "--analyses",
+                     "race-prediction", "--format", "jsonl",
+                     "--checkpoint", str(checkpoint)]) == 0
+        lines = [json.loads(line)
+                 for line in capsys.readouterr().out.splitlines()]
+        summary = [line for line in lines if line["type"] == "summary"][0]
+        assert summary["events"] == len(trace)
+        assert summary["final"]["race-prediction"] == \
+            [str(finding) for finding in batch.findings]
+
+    def test_watch_typoed_backend_is_a_clean_error(self, trace_file, capsys):
+        assert main(["watch", "--source", str(trace_file), "--analyses",
+                     "race-prediction", "--backend", "vcc"]) == 2
+        assert "unknown partial-order backend" in capsys.readouterr().err
+
+    def test_watch_window_with_flush_every_rejected(self, trace_file, capsys):
+        assert main(["watch", "--source", str(trace_file), "--analyses",
+                     "race-prediction", "--window", "50",
+                     "--flush-every", "10"]) == 2
+        assert "flush_every only applies" in capsys.readouterr().err
+
+    def test_watch_plain_resume_does_not_warn(self, trace_file, tmp_path,
+                                              capsys):
+        checkpoint = tmp_path / "ck.json"
+        assert main(["watch", "--source", str(trace_file), "--analyses",
+                     "race-prediction", "--flush-every", "30",
+                     "--max-events", "60", "--checkpoint",
+                     str(checkpoint)]) == 0
+        capsys.readouterr()
+        # Resuming with the flags simply omitted is the documented flow
+        # and must not warn about configuration mismatches.
+        assert main(["watch", "--source", str(trace_file), "--analyses",
+                     "race-prediction", "--checkpoint",
+                     str(checkpoint)]) == 0
+        assert "warning" not in capsys.readouterr().err
+
+    def test_watch_conflicting_resume_flags_warn(self, trace_file, tmp_path,
+                                                 capsys):
+        checkpoint = tmp_path / "ck.json"
+        assert main(["watch", "--source", str(trace_file), "--analyses",
+                     "race-prediction", "--max-events", "60",
+                     "--checkpoint", str(checkpoint)]) == 0
+        capsys.readouterr()
+        assert main(["watch", "--source", str(trace_file), "--analyses",
+                     "race-prediction", "--window", "50",
+                     "--checkpoint", str(checkpoint)]) == 0
+        err = capsys.readouterr().err
+        assert "--window is fixed at checkpoint creation" in err
+
+    def test_watch_file_source_requires_analyses(self, trace_file, capsys):
+        assert main(["watch", "--source", str(trace_file)]) == 2
+        assert "need --analyses" in capsys.readouterr().err
+
+    def test_watch_generator_resume_without_analyses_does_not_warn(
+            self, tmp_path, capsys):
+        """Resuming a generator-source watch with --analyses omitted must
+        not manufacture a mismatch warning from the kind's defaults."""
+        checkpoint = tmp_path / "ck.json"
+        spec = "memory:threads=3,events=24,seed=2"
+        assert main(["watch", "--source", spec, "--analyses",
+                     "use_after_free", "--max-events", "30",
+                     "--checkpoint", str(checkpoint)]) == 0
+        capsys.readouterr()
+        assert main(["watch", "--source", spec,
+                     "--checkpoint", str(checkpoint)]) == 0
+        captured = capsys.readouterr()
+        assert "warning" not in captured.err
+        assert "final[use-after-free]" in captured.out
+        assert "final[memory-bugs]" not in captured.out
+
+    def test_watch_resume_equivalent_window_spellings_do_not_warn(
+            self, trace_file, tmp_path, capsys):
+        checkpoint = tmp_path / "ck.json"
+        assert main(["watch", "--source", str(trace_file), "--analyses",
+                     "race-prediction", "--max-events", "60",
+                     "--checkpoint", str(checkpoint)]) == 0
+        capsys.readouterr()
+        # '0' and 'none' both mean unbounded; no warning for a spelling.
+        assert main(["watch", "--source", str(trace_file), "--analyses",
+                     "race-prediction", "--window", "0",
+                     "--checkpoint", str(checkpoint)]) == 0
+        assert "warning" not in capsys.readouterr().err
+
+    def test_watch_resume_without_analyses_uses_checkpoint(self, trace_file,
+                                                           tmp_path, capsys):
+        checkpoint = tmp_path / "ck.json"
+        assert main(["watch", "--source", str(trace_file), "--analyses",
+                     "race-prediction", "--max-events", "60",
+                     "--checkpoint", str(checkpoint)]) == 0
+        capsys.readouterr()
+        # The checkpoint records the analyses; resuming needs no flag.
+        assert main(["watch", "--source", str(trace_file),
+                     "--checkpoint", str(checkpoint)]) == 0
+        captured = capsys.readouterr()
+        assert "final[race-prediction]" in captured.out
+        assert "warning" not in captured.err
+
+    def test_watch_unknown_source_is_clean_error(self, capsys):
+        assert main(["watch", "--source", "/no/such/trace.std",
+                     "--analyses", "race-prediction"]) == 2
+        assert "neither an existing trace file" in capsys.readouterr().err
+
+    def test_watch_bad_generator_parameters_are_clean_errors(self, capsys):
+        assert main(["watch", "--source", "racy:threads=abc"]) == 2
+        assert "invalid generator parameters" in capsys.readouterr().err
+        assert main(["watch", "--source", "racy:bogus=1"]) == 2
+        assert "invalid generator parameters" in capsys.readouterr().err
+
+    def test_watch_final_flush_failure_exits_1(self, tmp_path, capsys):
+        """A stream truncated mid-operation leaves the analysis without a
+        final result; like sweep, that is not a clean exit."""
+        path = tmp_path / "h.std"
+        main(["generate", "history", "--threads", "2", "--events", "8",
+              "--out", str(path)])
+        assert main(["watch", "--source", str(path), "--analyses",
+                     "linearizability", "--max-events", "3"]) == 1
+        assert "last flush failed" in capsys.readouterr().err

@@ -67,6 +67,86 @@ class TestRoundTrip:
         assert restored[0].kind is EventKind.READ
 
 
+#: Values that would corrupt the line format without escaping: field
+#: separators, the key/value separator, newlines, carriage returns, the
+#: escape character itself, and combinations thereof.
+ADVERSARIAL_VALUES = [
+    "a|b",
+    "x=y",
+    "line1\nline2",
+    "cr\rlf\n",
+    "back\\slash",
+    "\\p literal",
+    "|=\\\n|",
+    "trailing\\",
+    "# trace impostor",
+    "trailing spaces  ",
+    "\ttabs\t",
+]
+
+
+class TestEscaping:
+    @pytest.mark.parametrize("value", ADVERSARIAL_VALUES)
+    def test_adversarial_variable_names_round_trip(self, value):
+        trace = Trace(name="adversarial")
+        trace.write(0, value, value=1)
+        trace.read(1, value)
+        restored = loads_trace(dumps_trace(trace))
+        assert list(restored.events) == list(trace.events)
+
+    @pytest.mark.parametrize("value", ADVERSARIAL_VALUES)
+    def test_adversarial_string_values_round_trip(self, value):
+        trace = Trace(name="adversarial")
+        trace.write(0, "x", value=value)
+        restored = loads_trace(dumps_trace(trace))
+        assert restored[0].value == value
+
+    @pytest.mark.parametrize("value", ADVERSARIAL_VALUES)
+    def test_adversarial_operation_arguments_round_trip(self, value):
+        trace = Trace(name="adversarial")
+        trace.begin(0, "add", argument=value)
+        trace.end(0, "add", result=value)
+        restored = loads_trace(dumps_trace(trace))
+        assert restored[0].argument == value
+        assert restored[1].result == value
+
+    def test_adversarial_trace_name_round_trips(self):
+        trace = Trace(name="a|b\nc")
+        trace.read(0, "x")
+        assert loads_trace(dumps_trace(trace)).name == "a|b\nc"
+
+    def test_trace_name_edge_whitespace_round_trips(self):
+        trace = Trace(name="run 7  ")
+        trace.read(0, "x")
+        assert loads_trace(dumps_trace(trace)).name == "run 7  "
+
+    def test_event_count_preserved_under_newline_values(self):
+        trace = Trace(name="n")
+        trace.write(0, "x", value="one\ntwo\nthree")
+        trace.read(0, "x")
+        text = dumps_trace(trace)
+        assert len(loads_trace(text)) == 2
+
+
+class TestGzip:
+    def test_gz_file_round_trip(self, tmp_path):
+        trace = racy_trace(num_threads=3, events_per_thread=20, seed=1)
+        path = tmp_path / "trace.std.gz"
+        dump_trace(trace, path)
+        # Really compressed, not a plain file with a funny name.
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        restored = load_trace(path)
+        assert list(restored.events) == list(trace.events)
+        assert restored.name == trace.name
+
+    def test_gz_string_path_round_trip(self, tmp_path):
+        trace = Trace(name="gz")
+        trace.write(0, "x", value=1)
+        path = str(tmp_path / "t.std.gz")
+        dump_trace(trace, path)
+        assert load_trace(path)[0].value == 1
+
+
 class TestErrorHandling:
     def test_unknown_kind_rejected(self):
         with pytest.raises(TraceError, match="unknown event kind"):

@@ -127,6 +127,24 @@ class TestDerivedIndexes:
         assert sections[0].release is None
         assert sections[0].contains(trace.event_at((0, 1)))
 
+    def test_critical_sections_returns_fresh_objects(self):
+        """Mutating a returned section must not corrupt the trace's index,
+        and a section handed out while open must not change under the
+        caller when the release arrives later (streaming ingestion)."""
+        trace = Trace()
+        trace.acquire(0, "l")
+        trace.write(0, "x")
+        open_view = trace.critical_sections()[0]
+        assert open_view.release is None
+        release = trace.release(0, "l")
+        # The earlier snapshot is unaffected; a fresh call sees the close.
+        assert open_view.release is None
+        assert trace.critical_sections()[0].release is release
+        # Caller-side mutation does not leak back into the trace.
+        tampered = trace.critical_sections()
+        tampered[0].release = None
+        assert trace.critical_sections()[0].release is release
+
     def test_locks_held_at(self, locking_trace):
         inside = locking_trace.event_at((0, 2))
         outside = locking_trace.event_at((0, 0))
