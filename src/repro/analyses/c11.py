@@ -26,6 +26,7 @@ from repro.core.growable import GrowableOrder
 from repro.core.instrumented import InstrumentedOrder
 from repro.core.interface import PartialOrder
 from repro.errors import AnalysisError
+from repro.trace.columns import ACQUIRE_CODE, RELEASE_CODE
 from repro.trace.event import Event, EventKind
 from repro.trace.trace import Trace
 
@@ -97,9 +98,33 @@ class C11RaceAnalysis(Analysis):
     # ------------------------------------------------------------------ #
     def _run(self, trace: Trace, order: InstrumentedOrder,
              result: AnalysisResult) -> None:
+        # The batch loop dispatches on the trace's columnar view so events
+        # the detector ignores (forks, joins, alloc/free, begin/end) are
+        # skipped on int codes without materialising their Event objects.
+        # The dispatch mirrors _step exactly -- the online feed() path still
+        # goes through _step, and both produce identical findings.
         state = _DetectorState()
-        for event in trace:
-            self._step(order, state, event, result.findings)
+        findings = result.findings
+        columns = trace.columns()
+        kinds = columns.kinds
+        atomic_flags = columns.atomic_flags
+        access_flags = columns.access_flags
+        events = columns.events
+        last_release = state.last_release
+        handle_atomic = self._handle_atomic
+        handle_lock = self._handle_lock
+        check_races = self._check_races
+        sw_edges = 0
+        for position in range(len(columns)):
+            if atomic_flags[position]:
+                sw_edges += handle_atomic(order, last_release, events[position])
+            elif access_flags[position]:
+                check_races(order, state, events[position], findings)
+            else:
+                code = kinds[position]
+                if code == ACQUIRE_CODE or code == RELEASE_CODE:
+                    sw_edges += handle_lock(order, last_release, events[position])
+        state.sw_edges += sw_edges
         result.details["sw_edges"] = state.sw_edges
         result.details["plain_accesses"] = state.plain_accesses
 

@@ -125,12 +125,24 @@ class RacePredictionAnalysis(Analysis):
         writer is inside the cone as well, and no write that overwrites it
         is forced between the writer and the read.  Every check is a
         reachability query against the maintained partial order.
+
+        The per-thread window scan runs over the trace's columnar view:
+        non-read events are skipped on a one-byte flag without touching
+        their :class:`Event` objects.
         """
         cone = self._cone(trace, order, first, second)
+        columns = trace.columns()
+        read_flags = columns.read_flags
+        events = columns.events
+        positions_by_thread = columns.thread_positions
         for thread, limit in cone.items():
             window_start = max(0, limit + 1 - self._witness_window)
-            for event in trace.thread_events(thread)[window_start : limit + 1]:
-                if event is first or event is second or not event.is_read:
+            positions = positions_by_thread.get(thread, ())
+            for position in positions[window_start : limit + 1]:
+                if not read_flags[position]:
+                    continue
+                event = events[position]
+                if event is first or event is second:
                     continue
                 writer = reads_from.get(event)
                 if writer is None:

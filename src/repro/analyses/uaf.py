@@ -23,7 +23,8 @@ from repro.analyses.common.base import Analysis, AnalysisResult
 from repro.analyses.common.hb import build_sync_order
 from repro.analyses.common.saturation import CycleDetected, SaturationEngine
 from repro.core.instrumented import InstrumentedOrder
-from repro.trace.event import Event, EventKind
+from repro.trace.columns import ALLOC_CODE, FREE_CODE
+from repro.trace.event import Event
 from repro.trace.trace import Trace
 
 
@@ -119,20 +120,30 @@ class UseAfterFreeAnalysis(Analysis):
     # ------------------------------------------------------------------ #
     @staticmethod
     def _candidates(trace: Trace) -> List[Tuple[Event, Event]]:
-        frees: Dict[object, List[Event]] = {}
-        uses: Dict[object, List[Event]] = {}
+        # The scan runs over the columnar view: kind codes and interned
+        # address ids classify each event without touching its Event object;
+        # only allocs, frees and uses of allocated addresses materialise one.
+        columns = trace.columns()
+        kinds = columns.kinds
+        var_ids = columns.var_ids
+        access_flags = columns.access_flags
+        events = columns.events
+        frees: Dict[int, List[Event]] = {}
+        uses: Dict[int, List[Event]] = {}
         allocated = set()
-        for event in trace:
-            if event.kind is EventKind.ALLOC:
-                allocated.add(event.variable)
-            elif event.kind is EventKind.FREE:
-                frees.setdefault(event.variable, []).append(event)
-            elif event.is_access and event.variable in allocated:
-                uses.setdefault(event.variable, []).append(event)
+        for position in range(len(columns)):
+            code = kinds[position]
+            if code == ALLOC_CODE:
+                allocated.add(var_ids[position])
+            elif code == FREE_CODE:
+                frees.setdefault(var_ids[position], []).append(events[position])
+            elif access_flags[position] and var_ids[position] in allocated:
+                uses.setdefault(var_ids[position], []).append(events[position])
         pairs: List[Tuple[Event, Event]] = []
-        for address, free_events in frees.items():
+        for address_id, free_events in frees.items():
+            use_events = uses.get(address_id, ())
             for free in free_events:
-                for use in uses.get(address, ()):
+                for use in use_events:
                     if use.thread != free.thread:
                         pairs.append((free, use))
         return pairs
@@ -150,11 +161,18 @@ class UseAfterFreeAnalysis(Analysis):
         constraints: List[OrderingConstraint] = [
             OrderingConstraint(free.node, use.node, "target order")
         ]
+        columns = trace.columns()
+        read_flags = columns.read_flags
+        events = columns.events
+        positions_by_thread = columns.thread_positions
         for thread, limit in cone.items():
             window_start = max(0, limit + 1 - self._cone_window)
-            for event in trace.thread_events(thread)[window_start : limit + 1]:
-                if not event.is_read:
+            positions = positions_by_thread.get(thread, ())
+            for position in positions[window_start : limit + 1]:
+                # Non-reads drop on the one-byte flag, no Event touched.
+                if not read_flags[position]:
                     continue
+                event = events[position]
                 writer = reads_from.get(event)
                 if writer is None:
                     continue

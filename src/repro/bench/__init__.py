@@ -1,5 +1,6 @@
-"""Benchmark harness: measurement helpers, workload configurations, and the
-functions that regenerate the paper's tables and figures."""
+"""Benchmark harness: measurement helpers, workload configurations, the
+functions that regenerate the paper's tables and figures, and the
+perf-regression suite (:mod:`repro.bench.perf`, ``repro bench perf``)."""
 
 from repro.bench.export import (
     crossover_to_csv,
@@ -35,6 +36,13 @@ from repro.bench.tables import (
     run_table6,
     run_table7,
 )
+from repro.bench.perf import (
+    DEFAULT_THRESHOLD,
+    PerfCase,
+    build_baseline,
+    compare_documents,
+    run_perf,
+)
 from repro.bench.workloads import ALL_TABLES, Workload
 
 __all__ = [
@@ -43,12 +51,17 @@ __all__ = [
     "BACKEND_LABELS",
     "BenchmarkRow",
     "CrossoverResult",
+    "DEFAULT_THRESHOLD",
     "Figure10Result",
     "Figure11Result",
     "MeasuredRun",
+    "PerfCase",
     "ScalabilityPoint",
     "TableResult",
     "Workload",
+    "build_baseline",
+    "compare_documents",
+    "run_perf",
     "crossover_to_csv",
     "figure11_to_csv",
     "geometric_mean",

@@ -29,16 +29,28 @@ class MeasuredRun:
 
 
 def measure(func: Callable[[], object], track_memory: bool = True) -> MeasuredRun:
-    """Run ``func`` once, returning wall-clock time and peak memory."""
-    if track_memory:
-        tracemalloc.start()
+    """Measure ``func``, returning wall-clock time and peak memory.
+
+    Timing and memory come from *separate* runs: the timed run executes
+    without ``tracemalloc`` (whose per-allocation hooks inflate wall-clock
+    severely on allocation-heavy workloads, which used to contaminate every
+    timing row), and, when ``track_memory`` is on, a second run under
+    ``tracemalloc`` measures peak memory.  ``value`` comes from the timed
+    run.  Consequence: with ``track_memory=True`` the callable executes
+    twice and must be re-runnable -- every harness callable is (analyses
+    build fresh state per ``run()``).
+    """
     start = time.perf_counter()
     value = func()
     elapsed = time.perf_counter() - start
     peak = 0
     if track_memory:
-        _current, peak = tracemalloc.get_traced_memory()
-        tracemalloc.stop()
+        tracemalloc.start()
+        try:
+            func()
+            _current, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
     return MeasuredRun(seconds=elapsed, peak_memory_bytes=peak, value=value)
 
 

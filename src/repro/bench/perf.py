@@ -1,0 +1,370 @@
+"""Perf-regression harness (``python -m repro bench perf``).
+
+The repo's first recorded perf trajectory: a fixed suite of kernel and
+analysis benchmarks is timed with warmup plus min-of-N repeats (timing runs
+never execute under ``tracemalloc``), written to ``BENCH_<date>.json``, and
+compared against the committed ``BENCH_baseline.json`` with a configurable
+regression threshold.
+
+Two kinds of cases:
+
+* **Kernel cases** replay the Figure 11 scalability protocol (insert random
+  windowed cross-chain edges between unordered endpoints, then issue batch
+  reachability queries) against paired object/flat backends, plus a raw
+  suffix-minima op mix on the two SST implementations.
+* **Analysis cases** run whole analyses over fixed synthetic workloads on
+  paired backends, so the columnar-trace fast paths are measured end to end.
+
+Every case exists in a ``quick`` and a ``full`` size; regression checks only
+compare like with like (the baseline file records both modes).  Absolute
+seconds are machine-dependent -- the committed baseline anchors *this*
+repo's reference machine and CI, and the default threshold (2x) absorbs
+machine-to-machine variance; the ``speedups`` section (flat over object on
+the same machine, same run) is the machine-independent signal.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import platform
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.harness import measure, render_table
+from repro.bench.workloads import FIGURE11_WINDOW
+from repro.errors import BenchmarkError
+
+PERF_FORMAT_VERSION = 1
+DEFAULT_REPEATS = 3
+DEFAULT_WARMUP = 1
+DEFAULT_THRESHOLD = 2.0
+BASELINE_FILENAME = "BENCH_baseline.json"
+
+
+@dataclass(frozen=True)
+class PerfCase:
+    """One named benchmark: ``setup(quick)`` returns the timed callable.
+
+    Setup cost (trace generation, candidate-edge precomputation) runs
+    outside the timed region; the returned callable must be re-runnable
+    (each repeat calls it afresh).
+    """
+
+    name: str
+    setup: Callable[[bool], Callable[[], object]]
+
+
+#: ``(fast case, slow case, label)`` -- pairs reported under ``speedups``.
+SPEEDUP_PAIRS: Sequence[Tuple[str, str, str]] = (
+    ("fig11/csst-flat", "fig11/csst", "csst-flat-over-csst"),
+    ("fig11/incremental-csst-flat", "fig11/incremental-csst",
+     "incremental-csst-flat-over-incremental-csst"),
+    ("fig11/vc-flat", "fig11/vc", "vc-flat-over-vc"),
+    ("sst-ops/flat", "sst-ops/object", "flat-sst-over-sst"),
+    ("race-prediction/incremental-csst-flat",
+     "race-prediction/incremental-csst",
+     "race-prediction-flat-over-object"),
+    ("c11-races/vc-flat", "c11-races/vc", "c11-flat-over-object"),
+    ("use-after-free/incremental-csst-flat",
+     "use-after-free/incremental-csst", "uaf-flat-over-object"),
+)
+
+
+# --------------------------------------------------------------------------- #
+# Case builders
+# --------------------------------------------------------------------------- #
+def _fig11_kernel(backend: str) -> Callable[[bool], Callable[[], object]]:
+    """The Figure 11 scalability protocol on one backend."""
+
+    def setup(quick: bool) -> Callable[[], object]:
+        from repro.core import make_partial_order
+        from repro.trace.generators import random_cross_edges
+
+        num_chains = 10
+        chain_length = 250 if quick else 1000
+        queries = 400 if quick else 2000
+        candidates = random_cross_edges(
+            num_chains, chain_length, count=chain_length,
+            window=FIGURE11_WINDOW, seed=7)
+        rng = random.Random(1234)
+        query_pairs = [
+            ((rng.randrange(num_chains), rng.randrange(chain_length)),
+             (rng.randrange(num_chains), rng.randrange(chain_length)))
+            for _ in range(queries)
+        ]
+
+        def run() -> object:
+            order = make_partial_order(backend, num_chains, chain_length)
+            inserted = 0
+            reachable = order.reachable
+            insert = order.insert_edge
+            for source, target in candidates:
+                if reachable(source, target) or reachable(target, source):
+                    continue
+                insert(source, target)
+                inserted += 1
+            return inserted, sum(order.query_many(query_pairs))
+
+        return run
+
+    return setup
+
+
+def _sst_kernel(flat: bool) -> Callable[[bool], Callable[[], object]]:
+    """A scripted update/clear/suffix_min/argleq mix on one SST flavour."""
+
+    def setup(quick: bool) -> Callable[[], object]:
+        from repro.core import INF
+
+        operations = 4_000 if quick else 16_000
+        rng = random.Random(99)
+        script: List[Tuple[str, int]] = []
+        live: List[int] = []
+        for _ in range(operations):
+            roll = rng.random()
+            if roll < 0.45 or not live:
+                index = rng.randrange(4096)
+                script.append(("u", index, rng.randrange(100_000)))
+                live.append(index)
+            elif roll < 0.60:
+                script.append(("c", live.pop(rng.randrange(len(live))), 0))
+            elif roll < 0.80:
+                script.append(("s", rng.randrange(4096), 0))
+            else:
+                script.append(("a", rng.randrange(100_000), 0))
+
+        def run() -> object:
+            from repro.core import FlatSparseSegmentTree, SparseSegmentTree
+
+            tree = (FlatSparseSegmentTree(1024) if flat
+                    else SparseSegmentTree(1024))
+            checksum = 0
+            for op, first, second in script:
+                if op == "u":
+                    tree.update(first, second)
+                elif op == "c":
+                    tree.update(first, INF)
+                elif op == "s":
+                    value = tree.suffix_min(first)
+                    if value != INF:
+                        checksum += int(value)
+                else:
+                    result = tree.argleq(first)
+                    if result is not None:
+                        checksum += result
+            return checksum
+
+        return run
+
+    return setup
+
+
+def _analysis_case(analysis: str, backend: str, generator: str,
+                   **generator_kwargs) -> Callable[[bool], Callable[[], object]]:
+    """One full analysis over a fixed synthetic workload."""
+
+    def setup(quick: bool) -> Callable[[], object]:
+        from repro.analyses.common.base import Analysis
+        from repro.trace.generators import build_trace
+
+        kwargs = dict(generator_kwargs)
+        if quick:
+            kwargs["events"] = max(8, kwargs["events"] // 4)
+        trace = build_trace(generator, **kwargs)
+        cls = Analysis.by_name(analysis)
+
+        def run() -> object:
+            return cls(backend).run(trace).finding_count
+
+        return run
+
+    return setup
+
+
+def _trace_load_case() -> Callable[[bool], Callable[[], object]]:
+    """STD-format parse throughput (exercises the enum lookup tables)."""
+
+    def setup(quick: bool) -> Callable[[], object]:
+        from repro.trace.formats import dumps_trace, loads_trace
+        from repro.trace.generators import build_trace
+
+        trace = build_trace("c11", num_threads=6,
+                            events=150 if quick else 600, seed=5)
+        text = dumps_trace(trace)
+
+        def run() -> object:
+            return len(loads_trace(text))
+
+        return run
+
+    return setup
+
+
+def default_cases() -> List[PerfCase]:
+    """The fixed perf suite (order is the report order)."""
+    cases = [
+        PerfCase(f"fig11/{backend}", _fig11_kernel(backend))
+        for backend in ("csst", "csst-flat", "incremental-csst",
+                        "incremental-csst-flat", "vc", "vc-flat")
+    ]
+    cases.append(PerfCase("sst-ops/object", _sst_kernel(flat=False)))
+    cases.append(PerfCase("sst-ops/flat", _sst_kernel(flat=True)))
+    for backend in ("incremental-csst", "incremental-csst-flat"):
+        cases.append(PerfCase(
+            f"race-prediction/{backend}",
+            _analysis_case("race-prediction", backend, "racy",
+                           num_threads=4, events=400, seed=11)))
+    for backend in ("vc", "vc-flat"):
+        cases.append(PerfCase(
+            f"c11-races/{backend}",
+            _analysis_case("c11-races", backend, "c11",
+                           num_threads=8, events=500, seed=12)))
+    for backend in ("incremental-csst", "incremental-csst-flat"):
+        cases.append(PerfCase(
+            f"use-after-free/{backend}",
+            _analysis_case("use-after-free", backend, "memory",
+                           num_threads=5, events=400, seed=13)))
+    cases.append(PerfCase("trace-load/std", _trace_load_case()))
+    return cases
+
+
+# --------------------------------------------------------------------------- #
+# Running
+# --------------------------------------------------------------------------- #
+def run_perf(quick: bool = False, repeats: int = DEFAULT_REPEATS,
+             warmup: int = DEFAULT_WARMUP,
+             cases: Optional[Sequence[PerfCase]] = None) -> Dict[str, object]:
+    """Run the perf suite and return the result document.
+
+    Timing is min-of-``repeats`` after ``warmup`` throwaway runs, and no
+    timing run executes under ``tracemalloc``.
+    """
+    if repeats < 1:
+        raise BenchmarkError(f"repeats must be >= 1, got {repeats}")
+    if cases is None:
+        cases = default_cases()
+    results: Dict[str, Dict[str, object]] = {}
+    for case in cases:
+        runnable = case.setup(quick)
+        for _ in range(warmup):
+            runnable()
+        runs = [measure(runnable, track_memory=False).seconds
+                for _ in range(repeats)]
+        results[case.name] = {"seconds": min(runs), "runs": runs}
+    return {
+        "version": PERF_FORMAT_VERSION,
+        "mode": "quick" if quick else "full",
+        "repeats": repeats,
+        "warmup": warmup,
+        "python": platform.python_version(),
+        "results": results,
+        "speedups": compute_speedups(results),
+    }
+
+
+def compute_speedups(results: Dict[str, Dict[str, object]]) -> Dict[str, float]:
+    """Flat-over-object ratios for every pair present in ``results``."""
+    speedups: Dict[str, float] = {}
+    for fast, slow, label in SPEEDUP_PAIRS:
+        fast_entry = results.get(fast)
+        slow_entry = results.get(slow)
+        if fast_entry is None or slow_entry is None:
+            continue
+        fast_seconds = float(fast_entry["seconds"])
+        if fast_seconds > 0:
+            speedups[label] = float(slow_entry["seconds"]) / fast_seconds
+    return speedups
+
+
+def build_baseline(repeats: int = DEFAULT_REPEATS,
+                   warmup: int = DEFAULT_WARMUP,
+                   cases: Optional[Sequence[PerfCase]] = None
+                   ) -> Dict[str, object]:
+    """Run both modes and assemble a baseline document."""
+    quick = run_perf(quick=True, repeats=repeats, warmup=warmup, cases=cases)
+    full = run_perf(quick=False, repeats=repeats, warmup=warmup, cases=cases)
+    return {
+        "version": PERF_FORMAT_VERSION,
+        "created": datetime.date.today().isoformat(),
+        "python": platform.python_version(),
+        "repeats": repeats,
+        "modes": {"quick": quick, "full": full},
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Comparison
+# --------------------------------------------------------------------------- #
+def compare_documents(current: Dict[str, object], baseline: Dict[str, object],
+                      threshold: float = DEFAULT_THRESHOLD) -> List[str]:
+    """Regressions of ``current`` against ``baseline`` (empty = clean).
+
+    Only the matching mode section of the baseline is consulted; a baseline
+    without that mode yields a single advisory entry prefixed ``note:``
+    (which :func:`is_regression` ignores).
+    """
+    if threshold <= 0:
+        raise BenchmarkError(f"threshold must be > 0, got {threshold}")
+    mode = str(current.get("mode", "full"))
+    base = baseline.get("modes", {}).get(mode)
+    if base is None:
+        return [f"note: baseline has no {mode!r} mode section; "
+                f"regression check skipped"]
+    base_results = base.get("results", {})
+    regressions: List[str] = []
+    for name, entry in current.get("results", {}).items():
+        reference = base_results.get(name)
+        if reference is None:
+            continue
+        current_seconds = float(entry["seconds"])
+        reference_seconds = float(reference["seconds"])
+        if reference_seconds > 0 and current_seconds > reference_seconds * threshold:
+            regressions.append(
+                f"{name}: {current_seconds:.4f}s vs baseline "
+                f"{reference_seconds:.4f}s "
+                f"({current_seconds / reference_seconds:.2f}x > "
+                f"{threshold:.2f}x threshold)")
+    return regressions
+
+
+def is_regression(entries: Sequence[str]) -> bool:
+    """Whether a :func:`compare_documents` result contains real regressions."""
+    return any(not entry.startswith("note:") for entry in entries)
+
+
+# --------------------------------------------------------------------------- #
+# Reporting / persistence
+# --------------------------------------------------------------------------- #
+def format_report(document: Dict[str, object]) -> str:
+    """Human-readable report of one perf run."""
+    results = document.get("results", {})
+    rows = [[name, f"{float(entry['seconds']):.4f}",
+             " ".join(f"{run:.4f}" for run in entry.get("runs", ()))]
+            for name, entry in results.items()]
+    title = (f"perf[{document.get('mode', 'full')}]: {len(rows)} cases, "
+             f"min of {document.get('repeats', '?')} repeats")
+    report = render_table(title, ["case", "seconds", "runs"], rows)
+    speedups = document.get("speedups", {})
+    if speedups:
+        lines = [f"  {label}: {ratio:.2f}x"
+                 for label, ratio in speedups.items()]
+        report += "\nflat-over-object speedups:\n" + "\n".join(lines)
+    return report
+
+
+def default_output_path() -> str:
+    """``BENCH_<date>.json`` in the current directory."""
+    return f"BENCH_{datetime.date.today().isoformat()}.json"
+
+
+def write_document(document: Dict[str, object], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(document, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+
+
+def read_document(path: str) -> Dict[str, object]:
+    with open(path, "r", encoding="utf-8") as stream:
+        return json.load(stream)

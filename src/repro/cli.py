@@ -133,7 +133,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seconds to wait for each job's result when "
                             "collecting, in submission order (parallel runs "
                             "only); overrunning jobs are recorded as "
-                            "timeouts")
+                            "timeouts; the budget covers ALL repeats of a "
+                            "job, so scale it when combining with --repeat")
+    sweep.add_argument("--repeat", type=int, default=1,
+                       help="run each job's analysis N times over the same "
+                            "trace and report min (elapsed_seconds) and "
+                            "median (elapsed_median_seconds) so numbers "
+                            "stop being single-shot noise (default: 1); "
+                            "a --timeout budget covers all N runs of a job")
     sweep.add_argument("--out", default="-",
                        help="output file ('-' for stdout)")
     sweep.add_argument("--list-suites", action="store_true",
@@ -141,6 +148,34 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--list-analyses", action="store_true",
                        help="list the registered analyses (default/"
                             "applicable backends, feeding workloads) and exit")
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="performance harness (perf: fixed kernel+analysis suite with "
+             "regression check against BENCH_baseline.json)")
+    bench.add_argument("mode", choices=("perf",),
+                       help="'perf': warmup + min-of-N timings, written to "
+                            "BENCH_<date>.json and compared to the baseline")
+    bench.add_argument("--quick", action="store_true",
+                       help="small workload sizes (CI smoke; compared "
+                            "against the baseline's quick section)")
+    bench.add_argument("--repeats", type=int, default=None,
+                       help="timed runs per case, min reported (default: 3)")
+    bench.add_argument("--out", default=None,
+                       help="output JSON path (default: BENCH_<date>.json; "
+                            "'-' prints the document to stdout only)")
+    bench.add_argument("--baseline", default=None,
+                       help="baseline JSON to compare against (default: "
+                            "BENCH_baseline.json when it exists)")
+    bench.add_argument("--threshold", type=float, default=None,
+                       help="regression threshold: fail when a case is "
+                            "slower than baseline by more than this factor "
+                            "(default: 2.0)")
+    bench.add_argument("--no-compare", action="store_true",
+                       help="skip the baseline regression check")
+    bench.add_argument("--update-baseline", action="store_true",
+                       help="run both quick and full modes and (re)write "
+                            "the baseline file instead of a dated report")
 
     watch = subparsers.add_parser(
         "watch",
@@ -223,13 +258,13 @@ def _analyze(args: argparse.Namespace) -> int:
 
 def _compare(args: argparse.Namespace) -> int:
     trace = load_trace(args.trace)
-    print(f"{'backend':20s} {'seconds':>9s} {'findings':>9s} {'inserts':>9s} "
+    print(f"{'backend':22s} {'seconds':>9s} {'findings':>9s} {'inserts':>9s} "
           f"{'deletes':>9s} {'queries':>9s}")
     for backend in _backends_for(args.analysis):
         analysis = _make_analysis(args.analysis, backend)
         result = analysis.run(trace)
         print(
-            f"{backend:20s} {result.elapsed_seconds:9.3f} {result.finding_count:9d} "
+            f"{backend:22s} {result.elapsed_seconds:9.3f} {result.finding_count:9d} "
             f"{result.insert_count:9d} {result.delete_count:9d} {result.query_count:9d}"
         )
     return 0
@@ -286,12 +321,15 @@ def _sweep(args: argparse.Namespace) -> int:
         print("warning: --timeout only applies to parallel runs; "
               "--jobs 1 runs inline and cannot be interrupted",
               file=sys.stderr)
+    if args.repeat < 1:
+        raise ReproError(f"--repeat must be >= 1, got {args.repeat}")
     result = run_suite(
         args.suite,
         workers=args.jobs,
         analyses=_split_csv_flag(args.analyses),
         backends=_split_csv_flag(args.backends),
         timeout_seconds=args.timeout,
+        repeats=args.repeat,
     )
     if args.baseline is not None and args.format != "csv" and not any(
             record.backend == args.baseline for record in result.ok_records()):
@@ -313,6 +351,64 @@ def _sweep(args: argparse.Namespace) -> int:
     if destination is not None:
         print(f"wrote {len(result.records)} records to {destination}")
     return 1 if result.failures() else 0
+
+
+def _bench(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.bench import perf
+
+    repeats = args.repeats if args.repeats is not None else perf.DEFAULT_REPEATS
+    if repeats < 1:
+        raise ReproError(f"--repeats must be >= 1, got {repeats}")
+    threshold = (args.threshold if args.threshold is not None
+                 else perf.DEFAULT_THRESHOLD)
+    if threshold <= 0:
+        raise ReproError(f"--threshold must be > 0, got {threshold}")
+
+    if args.update_baseline:
+        baseline_path = args.baseline or perf.BASELINE_FILENAME
+        document = perf.build_baseline(repeats=repeats)
+        perf.write_document(document, baseline_path)
+        full = document["modes"]["full"]
+        print(perf.format_report(full))
+        print(f"wrote baseline ({len(full['results'])} cases, quick+full) "
+              f"to {baseline_path}")
+        return 0
+
+    # Validate an explicitly requested baseline up front -- the suite takes
+    # a while and a typo'd path should not cost a full run.
+    if not args.no_compare and args.baseline is not None \
+            and not os.path.exists(args.baseline):
+        raise ReproError(f"baseline file not found: {args.baseline}")
+
+    document = perf.run_perf(quick=args.quick, repeats=repeats)
+    print(perf.format_report(document))
+    if args.out == "-":
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        out_path = args.out or perf.default_output_path()
+        perf.write_document(document, out_path)
+        print(f"wrote {len(document['results'])} cases to {out_path}")
+
+    if args.no_compare:
+        return 0
+    baseline_path = args.baseline or perf.BASELINE_FILENAME
+    if not os.path.exists(baseline_path):
+        if args.baseline is not None:
+            raise ReproError(f"baseline file not found: {baseline_path}")
+        print(f"no {perf.BASELINE_FILENAME} found; regression check skipped "
+              f"(create one with 'repro bench perf --update-baseline')")
+        return 0
+    entries = perf.compare_documents(document, perf.read_document(baseline_path),
+                                     threshold=threshold)
+    if not entries:
+        print(f"no regressions vs {baseline_path} "
+              f"(threshold {threshold:.2f}x)")
+        return 0
+    for entry in entries:
+        print(entry, file=sys.stderr if perf.is_regression([entry]) else sys.stdout)
+    return 1 if perf.is_regression(entries) else 0
 
 
 def _watch(args: argparse.Namespace) -> int:
@@ -434,7 +530,8 @@ def _watch(args: argparse.Namespace) -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"generate": _generate, "analyze": _analyze,
-                "compare": _compare, "sweep": _sweep, "watch": _watch}
+                "compare": _compare, "sweep": _sweep, "bench": _bench,
+                "watch": _watch}
     try:
         return handlers[args.command](args)
     except (ReproError, OSError) as error:

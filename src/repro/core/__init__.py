@@ -20,8 +20,16 @@ from repro.core.csst import CSST
 from repro.core.factory import (
     BACKENDS,
     DYNAMIC_BACKENDS,
+    FLAT_BACKENDS,
+    FLAT_EQUIVALENTS,
     INCREMENTAL_BACKENDS,
     make_partial_order,
+)
+from repro.core.flat import (
+    FlatCSST,
+    FlatIncrementalCSST,
+    FlatSparseSegmentTree,
+    FlatVectorClockOrder,
 )
 from repro.core.graph_po import GraphOrder
 from repro.core.growable import GrowableOrder
@@ -41,6 +49,12 @@ __all__ = [
     "DEFAULT_BLOCK_SIZE",
     "DYNAMIC_BACKENDS",
     "DeletableMinHeap",
+    "FLAT_BACKENDS",
+    "FLAT_EQUIVALENTS",
+    "FlatCSST",
+    "FlatIncrementalCSST",
+    "FlatSparseSegmentTree",
+    "FlatVectorClockOrder",
     "GraphOrder",
     "GrowableOrder",
     "INCREMENTAL_BACKENDS",

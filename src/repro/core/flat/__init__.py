@@ -1,0 +1,39 @@
+"""Flat (structure-of-arrays) fast-path kernels for the core structures.
+
+The object-based implementations in :mod:`repro.core` pay Python object tax
+on every hot operation: the sparse segment tree walks linked ``_Node``
+objects, the fully dynamic CSST allocates a dict per closure, and the vector
+clock keeps one list per event.  The ``repro.core.flat`` package provides
+drop-in replacements that store the same state in dense, index-addressed
+parallel arrays:
+
+* :class:`~repro.core.flat.sst.FlatSparseSegmentTree` -- the SST of
+  Section 3.2 with every node field (range, minima entry, children) held in
+  a parallel int list; traversal is iterative and node slots are recycled
+  through a free list, so updates allocate nothing on the steady state.
+* :class:`~repro.core.flat.csst.FlatCSST` /
+  :class:`~repro.core.flat.csst.FlatIncrementalCSST` -- Algorithms 2 and 3
+  over a flat ``k * k`` array-of-arrays matrix, with list-based closure
+  buffers, integer infinities, and an early-exit reachability fast path.
+* :class:`~repro.core.flat.vc.FlatVectorClockOrder` -- vector clocks packed
+  into one flat int list per chain (event ``j`` occupies the slice
+  ``[j*k, (j+1)*k)``), removing the per-event list allocation.
+
+All three register in :mod:`repro.core.factory` (``csst-flat``,
+``incremental-csst-flat``, ``vc-flat``) behind the existing
+:class:`~repro.core.interface.PartialOrder` interface and must answer
+identically to their object-based counterparts on every operation sequence
+-- the parity suites in ``tests/core`` and ``tests/analyses`` pin that down.
+"""
+
+from repro.core.flat.csst import FlatCSST, FlatIncrementalCSST
+from repro.core.flat.sst import INT_INF, FlatSparseSegmentTree
+from repro.core.flat.vc import FlatVectorClockOrder
+
+__all__ = [
+    "FlatCSST",
+    "FlatIncrementalCSST",
+    "FlatSparseSegmentTree",
+    "FlatVectorClockOrder",
+    "INT_INF",
+]

@@ -1,0 +1,393 @@
+"""Flat CSST kernels: Algorithms 2 and 3 over array-backed state.
+
+Both classes mirror their object-based counterparts
+(:class:`repro.core.csst.CSST` and
+:class:`repro.core.incremental_csst.IncrementalCSST`) operation for
+operation, with three mechanical differences:
+
+* The ``k x k`` matrix of suffix-minima arrays is one flat Python list
+  indexed ``t1 * k + t2`` (``None`` until a pair is first written) holding
+  :class:`~repro.core.flat.sst.FlatSparseSegmentTree` instances, and the
+  kernels call their integer fast-path methods (``suffix_min_int`` /
+  ``argleq_int`` / ``update_int``) directly -- no dict lookups, no
+  float-infinity boxing, no delegation layers.
+* Closure computations (the Bellman-Ford sweep of Algorithm 2) use plain
+  lists sized ``k`` instead of per-query dicts, and ``reachable`` exits the
+  sweep the moment the target chain's bound drops below the queried index
+  (closure values only ever decrease, so the early answer is final).
+* The incremental variant overrides the batch ``query_many`` API with a
+  loop that binds the matrix locals once per call; the other batch APIs
+  inherit the base-class defaults (their per-call cost is dwarfed by the
+  closure/insert work anyway).
+
+Answers are identical to the object implementations on every operation
+sequence; the cross-validation suites in ``tests/core`` pin this against
+the :class:`~repro.core.graph_po.GraphOrder` reference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.flat.sst import INT_INF, FlatSparseSegmentTree
+from repro.core.heap import DeletableMinHeap
+from repro.core.interface import INF, Node, PartialOrder
+from repro.core.sparse_segment_tree import DEFAULT_BLOCK_SIZE
+from repro.errors import InvalidEdgeError
+
+
+class _FlatChainOrder(PartialOrder):
+    """Shared flat-matrix bookkeeping for both CSST variants."""
+
+    def __init__(self, num_chains: int, capacity_hint: int = 1024, *,
+                 block_size: int = DEFAULT_BLOCK_SIZE) -> None:
+        super().__init__(num_chains, capacity_hint)
+        self._block_size = int(block_size)
+        self._arrays: List[Optional[FlatSparseSegmentTree]] = (
+            [None] * (num_chains * num_chains))
+
+    def _array(self, source_chain: int, target_chain: int) -> FlatSparseSegmentTree:
+        """The array of orderings ``source_chain -> target_chain`` (created
+        on first write, like the object backends' lazy matrix)."""
+        slot = source_chain * self._num_chains + target_chain
+        array = self._arrays[slot]
+        if array is None:
+            array = FlatSparseSegmentTree(self._capacity_hint,
+                                          block_size=self._block_size)
+            self._arrays[slot] = array
+        return array
+
+    # Introspection mirroring ChainMatrixOrder (benchmarks read these).
+    @property
+    def max_array_density(self) -> int:
+        """Largest density among the suffix-minima arrays."""
+        return max((a.density for a in self._arrays if a is not None),
+                   default=0)
+
+    @property
+    def total_entries(self) -> int:
+        """Total non-empty entries across every array."""
+        return sum(a.density for a in self._arrays if a is not None)
+
+
+class FlatIncrementalCSST(_FlatChainOrder):
+    """Insert-only CSST (Algorithm 3) over the flat matrix.
+
+    Reachability is a single integer suffix-minima probe; insertion closes
+    the order transitively across all chain pairs with the arrays addressed
+    directly instead of through query helpers.
+    """
+
+    supports_deletion = False
+
+    def __init__(self, num_chains: int, capacity_hint: int = 1024, *,
+                 block_size: int = DEFAULT_BLOCK_SIZE) -> None:
+        super().__init__(num_chains, capacity_hint, block_size=block_size)
+        self._edge_count = 0
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def reachable(self, source: Node, target: Node) -> bool:
+        t1, j1 = source
+        t2, j2 = target
+        num_chains = self._num_chains
+        if not (0 <= t1 < num_chains and 0 <= t2 < num_chains
+                and j1 >= 0 and j2 >= 0):
+            self._check_node(source)
+            self._check_node(target)
+        if t1 == t2:
+            return j1 <= j2
+        array = self._arrays[t1 * num_chains + t2]
+        return array is not None and array.suffix_min_int(j1) <= j2
+
+    def successor(self, node: Node, chain: int) -> Optional[int]:
+        self._check_node(node)
+        t1, j1 = node
+        if chain == t1:
+            return j1
+        if not 0 <= chain < self._num_chains:
+            return None
+        array = self._arrays[t1 * self._num_chains + chain]
+        if array is None:
+            return None
+        result = array.suffix_min_int(j1)
+        return None if result >= INT_INF else result
+
+    def predecessor(self, node: Node, chain: int) -> Optional[int]:
+        self._check_node(node)
+        t1, j1 = node
+        if chain == t1:
+            return j1
+        if not 0 <= chain < self._num_chains:
+            return None
+        array = self._arrays[chain * self._num_chains + t1]
+        if array is None:
+            return None
+        result = array.argleq_int(j1)
+        return None if result < 0 else result
+
+    def query_many(self, pairs: Iterable[Tuple[Node, Node]]) -> List[bool]:
+        num_chains = self._num_chains
+        arrays = self._arrays
+        answers: List[bool] = []
+        append = answers.append
+        for (t1, j1), (t2, j2) in pairs:
+            if not (0 <= t1 < num_chains and 0 <= t2 < num_chains
+                    and j1 >= 0 and j2 >= 0):
+                self._check_node((t1, j1))
+                self._check_node((t2, j2))
+            if t1 == t2:
+                append(j1 <= j2)
+            else:
+                array = arrays[t1 * num_chains + t2]
+                append(array is not None and array.suffix_min_int(j1) <= j2)
+        return answers
+
+    # ------------------------------------------------------------------ #
+    # Updates (Algorithm 3, arrays addressed directly)
+    # ------------------------------------------------------------------ #
+    def insert_edge(self, source: Node, target: Node) -> None:
+        self._check_edge(source, target)
+        (t1, j1), (t2, j2) = source, target
+        self._edge_count += 1
+        num_chains = self._num_chains
+        arrays = self._arrays
+        for source_chain in range(num_chains):
+            if source_chain == t1:
+                source_index = j1
+            else:
+                array = arrays[source_chain * num_chains + t1]
+                source_index = array.argleq_int(j1) if array is not None else -1
+                if source_index < 0:
+                    continue
+            row = source_chain * num_chains
+            for target_chain in range(num_chains):
+                if target_chain == source_chain:
+                    continue
+                if target_chain == t2:
+                    target_index = j2
+                else:
+                    array = arrays[t2 * num_chains + target_chain]
+                    target_index = (array.suffix_min_int(j2)
+                                    if array is not None else INT_INF)
+                    if target_index >= INT_INF:
+                        continue
+                current_array = arrays[row + target_chain]
+                if current_array is None:
+                    self._array(source_chain, target_chain).update_int(
+                        source_index, target_index)
+                elif current_array.suffix_min_int(source_index) > target_index:
+                    current_array.update_int(source_index, target_index)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of ``insert_edge`` calls performed so far."""
+        return self._edge_count
+
+
+class FlatCSST(_FlatChainOrder):
+    """Fully dynamic CSST (Algorithm 2) over the flat matrix.
+
+    Direct edges per source node live in the same lazily deletable min-heaps
+    the object CSST uses; closure sweeps run over list buffers with an
+    early-exit reachability fast path.
+    """
+
+    supports_deletion = True
+
+    def __init__(self, num_chains: int, capacity_hint: int = 1024, *,
+                 block_size: int = DEFAULT_BLOCK_SIZE) -> None:
+        super().__init__(num_chains, capacity_hint, block_size=block_size)
+        # slot (t1 * k + t2) -> {j1: multiset of j2 targets}
+        self._heaps: List[Optional[Dict[int, DeletableMinHeap]]] = (
+            [None] * (num_chains * num_chains))
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+    def insert_edge(self, source: Node, target: Node) -> None:
+        self._check_edge(source, target)
+        (t1, j1), (t2, j2) = source, target
+        slot = t1 * self._num_chains + t2
+        per_pair = self._heaps[slot]
+        if per_pair is None:
+            per_pair = self._heaps[slot] = {}
+        heap = per_pair.get(j1)
+        if heap is None:
+            heap = per_pair[j1] = DeletableMinHeap()
+        if j2 < heap.min():
+            self._array(t1, t2).update_int(j1, j2)
+        heap.insert(j2)
+
+    def delete_edge(self, source: Node, target: Node) -> None:
+        self._check_edge(source, target)
+        (t1, j1), (t2, j2) = source, target
+        per_pair = self._heaps[t1 * self._num_chains + t2]
+        heap = per_pair.get(j1) if per_pair else None
+        if heap is None or j2 not in heap:
+            raise InvalidEdgeError(f"edge {source} -> {target} is not present")
+        if j2 == heap.min():
+            heap.delete(j2)
+            minimum = heap.min()
+            self._array(t1, t2).update_int(
+                j1, INT_INF if minimum == INF else minimum)
+        else:
+            heap.delete(j2)
+
+    # ------------------------------------------------------------------ #
+    # Queries (Algorithm 2 closures over list buffers)
+    # ------------------------------------------------------------------ #
+    def reachable(self, source: Node, target: Node) -> bool:
+        t1, j1 = source
+        t2, j2 = target
+        num_chains = self._num_chains
+        if not (0 <= t1 < num_chains and 0 <= t2 < num_chains
+                and j1 >= 0 and j2 >= 0):
+            self._check_node(source)
+            self._check_node(target)
+        if t1 == t2:
+            return j1 <= j2
+        arrays = self._arrays
+        closure = [INT_INF] * num_chains
+        row = t1 * num_chains
+        seeded = False
+        for chain in range(num_chains):
+            if chain == t1:
+                continue
+            array = arrays[row + chain]
+            if array is not None:
+                value = array.suffix_min_int(j1)
+                if value < INT_INF:
+                    closure[chain] = value
+                    seeded = True
+        if closure[t2] <= j2:
+            return True
+        if not seeded:
+            return False
+        changed = True
+        while changed:
+            changed = False
+            for via in range(num_chains):
+                if via == t1:
+                    continue
+                bound = closure[via]
+                if bound >= INT_INF:
+                    continue
+                via_row = via * num_chains
+                for dest in range(num_chains):
+                    if dest == via or dest == t1:
+                        continue
+                    array = arrays[via_row + dest]
+                    if array is None:
+                        continue
+                    candidate = array.suffix_min_int(bound)
+                    if candidate < closure[dest]:
+                        # Closure values only decrease, so reaching the
+                        # query bound is a final answer.
+                        if dest == t2 and candidate <= j2:
+                            return True
+                        closure[dest] = candidate
+                        changed = True
+        return closure[t2] <= j2
+
+    def successor(self, node: Node, chain: int) -> Optional[int]:
+        self._check_node(node)
+        t1, j1 = node
+        if chain == t1:
+            return j1
+        if not 0 <= chain < self._num_chains:
+            return None
+        result = self._forward_closure(t1, j1)[chain]
+        return None if result >= INT_INF else result
+
+    def predecessor(self, node: Node, chain: int) -> Optional[int]:
+        self._check_node(node)
+        t1, j1 = node
+        if chain == t1:
+            return j1
+        if not 0 <= chain < self._num_chains:
+            return None
+        result = self._backward_closure(t1, j1)[chain]
+        return None if result < 0 else result
+
+    # ------------------------------------------------------------------ #
+    # Closure computations
+    # ------------------------------------------------------------------ #
+    def _forward_closure(self, t1: int, j1: int) -> List[int]:
+        """Earliest reachable index per chain (``INT_INF`` = unreachable)."""
+        num_chains = self._num_chains
+        arrays = self._arrays
+        closure = [INT_INF] * num_chains
+        row = t1 * num_chains
+        for chain in range(num_chains):
+            if chain == t1:
+                continue
+            array = arrays[row + chain]
+            if array is not None:
+                closure[chain] = array.suffix_min_int(j1)
+        changed = True
+        while changed:
+            changed = False
+            for via in range(num_chains):
+                if via == t1:
+                    continue
+                bound = closure[via]
+                if bound >= INT_INF:
+                    continue
+                via_row = via * num_chains
+                for dest in range(num_chains):
+                    if dest == via or dest == t1:
+                        continue
+                    array = arrays[via_row + dest]
+                    if array is None:
+                        continue
+                    candidate = array.suffix_min_int(bound)
+                    if candidate < closure[dest]:
+                        closure[dest] = candidate
+                        changed = True
+        return closure
+
+    def _backward_closure(self, t1: int, j1: int) -> List[int]:
+        """Latest index per chain that reaches ``(t1, j1)`` (``-1`` = none)."""
+        num_chains = self._num_chains
+        arrays = self._arrays
+        closure = [-1] * num_chains
+        for chain in range(num_chains):
+            if chain == t1:
+                continue
+            array = arrays[chain * num_chains + t1]
+            if array is not None:
+                closure[chain] = array.argleq_int(j1)
+        changed = True
+        while changed:
+            changed = False
+            for via in range(num_chains):
+                if via == t1:
+                    continue
+                bound = closure[via]
+                if bound < 0:
+                    continue
+                for dest in range(num_chains):
+                    if dest == via or dest == t1:
+                        continue
+                    array = arrays[dest * num_chains + via]
+                    if array is None:
+                        continue
+                    candidate = array.argleq_int(bound)
+                    if candidate > closure[dest]:
+                        closure[dest] = candidate
+                        changed = True
+        return closure
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def edge_count(self) -> int:
+        """Number of cross-chain edges currently stored."""
+        return sum(
+            len(heap)
+            for per_pair in self._heaps if per_pair is not None
+            for heap in per_pair.values()
+        )

@@ -1,0 +1,507 @@
+"""Array-backed Sparse Segment Tree (the flat SST kernel).
+
+Same algorithm as :class:`repro.core.sparse_segment_tree.SparseSegmentTree`
+(minima indexing, sparse representation, block nodes -- Section 3.2 of the
+paper), but the tree is stored as a structure of arrays: node ``n`` is the
+``n``-th entry of six parallel int lists (``start``, ``end``, ``pos``,
+``min``, ``left``, ``right``) plus a ``block`` list holding either ``None``
+(regular node) or the block dictionary.  ``-1`` encodes a missing child,
+and removed nodes are pushed on a free list and recycled, so the structure
+stops allocating once it reaches its working-set size.
+
+Two further differences against the object implementation, both invisible
+through the public :class:`~repro.core.suffix_minima.SuffixMinima` API:
+
+* Empty entries are the integer sentinel :data:`INT_INF` internally, so
+  every hot comparison is int-vs-int.  The public methods translate to the
+  ``float('inf')`` convention of the interface at the boundary; the
+  ``*_int`` variants skip that translation and are what the flat CSSTs call
+  in their inner loops.
+* All traversals are iterative (explicit stacks / parent tracking), so no
+  Python frame is created per tree level.
+
+Answers are identical to the object SST on every operation sequence; the
+property tests in ``tests/core`` cross-check both against the naive oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.interface import INF
+from repro.core.sparse_segment_tree import DEFAULT_BLOCK_SIZE, _next_power_of_two
+from repro.core.suffix_minima import SuffixMinima, Value
+from repro.errors import InvalidNodeError
+
+#: Integer "empty entry" sentinel.  Strictly larger than any event index the
+#: analyses can produce, and safely summable without overflow surprises.
+INT_INF = 1 << 60
+
+#: Missing child / missing node marker in the parallel arrays.
+_NIL = -1
+
+
+class FlatSparseSegmentTree(SuffixMinima):
+    """Dynamic suffix minima over parallel int arrays (no node objects).
+
+    Parameters mirror :class:`~repro.core.sparse_segment_tree.SparseSegmentTree`:
+
+    capacity:
+        Initial capacity hint (rounded up to a power of two; grows
+        automatically).
+    block_size:
+        Threshold ``b`` below which subtrees are flattened to block
+        dictionaries (``0`` disables block nodes).
+    minima_indexing:
+        Ablation switch for the suffix-query early exit (answers are
+        unaffected).
+    """
+
+    __slots__ = (
+        "_capacity", "_block_size", "_minima_indexing", "_root", "_density",
+        "_start", "_end", "_pos", "_min", "_left", "_right", "_block",
+        "_free",
+    )
+
+    def __init__(self, capacity: int = 1, block_size: int = DEFAULT_BLOCK_SIZE,
+                 minima_indexing: bool = True) -> None:
+        if capacity < 1:
+            raise InvalidNodeError(f"capacity must be >= 1, got {capacity}")
+        if block_size < 0:
+            raise InvalidNodeError(f"block_size must be >= 0, got {block_size}")
+        self._capacity = _next_power_of_two(capacity)
+        self._block_size = int(block_size)
+        self._minima_indexing = bool(minima_indexing)
+        self._root = _NIL
+        self._density = 0
+        # Parallel node arrays; slot n is one tree node.
+        self._start: List[int] = []
+        self._end: List[int] = []
+        self._pos: List[int] = []
+        self._min: List[int] = []
+        self._left: List[int] = []
+        self._right: List[int] = []
+        self._block: List[Optional[Dict[int, int]]] = []
+        self._free: List[int] = []
+
+    # ------------------------------------------------------------------ #
+    # SuffixMinima interface (float-INF convention at the boundary)
+    # ------------------------------------------------------------------ #
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def density(self) -> int:
+        return self._density
+
+    @property
+    def block_size(self) -> int:
+        """The block-size threshold ``b`` used by this tree."""
+        return self._block_size
+
+    def update(self, index: int, value: Value) -> None:
+        self._check_index(index)
+        self.update_int(index, INT_INF if value == INF else int(value))
+
+    def get(self, index: int) -> Value:
+        self._check_index(index)
+        value = self.get_int(index)
+        return INF if value >= INT_INF else value
+
+    def suffix_min(self, index: int) -> Value:
+        self._check_index(index)
+        value = self.suffix_min_int(index)
+        return INF if value >= INT_INF else value
+
+    def argleq(self, value: Value) -> Optional[int]:
+        best = self.argleq_int(value)
+        return best if best >= 0 else None
+
+    def items(self) -> List[Tuple[int, int]]:
+        return sorted(self._entries())
+
+    # ------------------------------------------------------------------ #
+    # Integer fast-path API (used by the flat CSST kernels)
+    # ------------------------------------------------------------------ #
+    def update_int(self, index: int, value: int) -> None:
+        """Set ``A[index] = value`` (:data:`INT_INF` clears the entry)."""
+        if index >= self._capacity:
+            self._grow(index + 1)
+        current = self.get_int(index)
+        if current == value:
+            return
+        if current != INT_INF:
+            self._remove_entry(index)
+            self._density -= 1
+        if value != INT_INF:
+            self._insert(index, value)
+            self._density += 1
+
+    def get_int(self, index: int) -> int:
+        """``A[index]`` with the :data:`INT_INF` empty convention."""
+        if index >= self._capacity:
+            return INT_INF
+        pos_a = self._pos
+        min_a = self._min
+        block_a = self._block
+        mid_base = self._start
+        end_a = self._end
+        left_a = self._left
+        right_a = self._right
+        node = self._root
+        while node != _NIL:
+            blk = block_a[node]
+            if blk is not None:
+                return blk.get(index, INT_INF)
+            if pos_a[node] == index:
+                return min_a[node]
+            start = mid_base[node]
+            mid = start + (end_a[node] - start) // 2
+            node = left_a[node] if index <= mid else right_a[node]
+        return INT_INF
+
+    def suffix_min_int(self, index: int) -> int:
+        """``min(A[index:])`` with the :data:`INT_INF` empty convention."""
+        root = self._root
+        if root == _NIL:
+            return INT_INF
+        end_a = self._end
+        if index > end_a[root]:
+            return INT_INF
+        pos_a = self._pos
+        min_a = self._min
+        # Root fast path: most queries on minima-indexed trees resolve at
+        # the root (its entry is the whole array's best); skip the stack
+        # machinery for them.
+        if self._minima_indexing and pos_a[root] >= index \
+                and self._block[root] is None:
+            return min_a[root]
+        left_a = self._left
+        right_a = self._right
+        block_a = self._block
+        minima_indexing = self._minima_indexing
+        best = INT_INF
+        stack = [root]
+        pop = stack.pop
+        push = stack.append
+        while stack:
+            node = pop()
+            if index > end_a[node]:
+                continue
+            blk = block_a[node]
+            if blk is not None:
+                if pos_a[node] >= index:
+                    candidate = min_a[node]
+                else:
+                    candidate = INT_INF
+                    for pos, value in blk.items():
+                        if pos >= index and value < candidate:
+                            candidate = value
+                if candidate < best:
+                    best = candidate
+                continue
+            node_min = min_a[node]
+            if minima_indexing:
+                # The node's entry is the minimum of its whole subtree: a
+                # subtree that cannot beat ``best`` is skipped, and an entry
+                # already inside the suffix resolves immediately.
+                if node_min >= best:
+                    continue
+                if pos_a[node] >= index:
+                    best = node_min
+                    continue
+            elif pos_a[node] >= index and node_min < best:
+                best = node_min
+            child = left_a[node]
+            if child != _NIL:
+                push(child)
+            child = right_a[node]
+            if child != _NIL:
+                push(child)
+        return best
+
+    def argleq_int(self, value) -> int:
+        """Largest index with ``A[i] <= value`` (``-1`` when none)."""
+        pos_a = self._pos
+        min_a = self._min
+        left_a = self._left
+        right_a = self._right
+        block_a = self._block
+        node = self._root
+        best = -1
+        while node != _NIL:
+            if min_a[node] > value:
+                break
+            blk = block_a[node]
+            if blk is not None:
+                for pos, entry in blk.items():
+                    if entry <= value and pos > best:
+                        best = pos
+                break
+            if pos_a[node] > best:
+                best = pos_a[node]
+            right = right_a[node]
+            if right != _NIL and min_a[right] <= value:
+                # Any qualifying index on the right beats every left index.
+                node = right
+            else:
+                node = left_a[node]
+        return best
+
+    # ------------------------------------------------------------------ #
+    # Structural introspection (Lemma 1 checks in tests)
+    # ------------------------------------------------------------------ #
+    @property
+    def height(self) -> int:
+        """Nodes on the longest root-to-leaf path (0 when empty)."""
+        if self._root == _NIL:
+            return 0
+        left_a, right_a = self._left, self._right
+        best = 0
+        stack = [(self._root, 1)]
+        while stack:
+            node, depth = stack.pop()
+            if depth > best:
+                best = depth
+            left = left_a[node]
+            if left != _NIL:
+                stack.append((left, depth + 1))
+            right = right_a[node]
+            if right != _NIL:
+                stack.append((right, depth + 1))
+        return best
+
+    @property
+    def node_count(self) -> int:
+        """Live tree nodes (block nodes count as one)."""
+        if self._root == _NIL:
+            return 0
+        left_a, right_a = self._left, self._right
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if left_a[node] != _NIL:
+                stack.append(left_a[node])
+            if right_a[node] != _NIL:
+                stack.append(right_a[node])
+        return count
+
+    @property
+    def allocated_slots(self) -> int:
+        """Total node slots ever allocated (live plus free-listed)."""
+        return len(self._start)
+
+    # ------------------------------------------------------------------ #
+    # Node allocation
+    # ------------------------------------------------------------------ #
+    def _alloc(self, start: int, end: int, pos: int, value: int) -> int:
+        is_block = self._block_size > 0 and (end - start + 1) <= self._block_size
+        free = self._free
+        if free:
+            node = free.pop()
+            self._start[node] = start
+            self._end[node] = end
+            self._pos[node] = pos
+            self._min[node] = value
+            self._left[node] = _NIL
+            self._right[node] = _NIL
+            self._block[node] = {pos: value} if is_block else None
+            return node
+        node = len(self._start)
+        self._start.append(start)
+        self._end.append(end)
+        self._pos.append(pos)
+        self._min.append(value)
+        self._left.append(_NIL)
+        self._right.append(_NIL)
+        self._block.append({pos: value} if is_block else None)
+        return node
+
+    # ------------------------------------------------------------------ #
+    # Insertion (same push-down scheme as the object SST)
+    # ------------------------------------------------------------------ #
+    def _insert(self, pos: int, value: int) -> None:
+        if self._root == _NIL:
+            self._root = self._alloc(0, self._capacity - 1, pos, value)
+            return
+        start_a = self._start
+        end_a = self._end
+        pos_a = self._pos
+        min_a = self._min
+        left_a = self._left
+        right_a = self._right
+        block_a = self._block
+        node = self._root
+        while True:
+            blk = block_a[node]
+            if blk is not None:
+                blk[pos] = value
+                node_min = min_a[node]
+                if value < node_min or (value == node_min and pos > pos_a[node]):
+                    pos_a[node] = pos
+                    min_a[node] = value
+                return
+            node_min = min_a[node]
+            node_pos = pos_a[node]
+            if value < node_min or (value == node_min and pos > node_pos):
+                # Swap the incoming entry with the node's entry; the
+                # displaced entry keeps descending.
+                pos_a[node] = pos
+                min_a[node] = value
+                pos, value = node_pos, node_min
+            start = start_a[node]
+            mid = start + (end_a[node] - start) // 2
+            if pos <= mid:
+                child = left_a[node]
+                if child == _NIL:
+                    left_a[node] = self._alloc(start, mid, pos, value)
+                    return
+            else:
+                child = right_a[node]
+                if child == _NIL:
+                    right_a[node] = self._alloc(mid + 1, end_a[node], pos, value)
+                    return
+            node = child
+
+    # ------------------------------------------------------------------ #
+    # Removal (iterative descent plus pull-up cascade)
+    # ------------------------------------------------------------------ #
+    def _remove_entry(self, pos: int) -> None:
+        """Remove the entry at ``pos`` (the caller guarantees presence)."""
+        start_a = self._start
+        end_a = self._end
+        pos_a = self._pos
+        left_a = self._left
+        right_a = self._right
+        block_a = self._block
+        node = self._root
+        parent = _NIL
+        from_left = False
+        while True:
+            blk = block_a[node]
+            if blk is not None:
+                blk.pop(pos, None)
+                if not blk:
+                    self._detach(parent, from_left, node)
+                else:
+                    self._refresh_block(node)
+                return
+            if pos_a[node] == pos:
+                break
+            start = start_a[node]
+            mid = start + (end_a[node] - start) // 2
+            parent = node
+            from_left = pos <= mid
+            node = left_a[node] if from_left else right_a[node]
+        self._pull_up(node, parent, from_left)
+
+    def _pull_up(self, node: int, parent: int, from_left: bool) -> None:
+        """Refill ``node`` with the best entry of its children, cascading."""
+        pos_a = self._pos
+        min_a = self._min
+        left_a = self._left
+        right_a = self._right
+        block_a = self._block
+        while True:
+            left = left_a[node]
+            right = right_a[node]
+            best = left
+            best_is_left = True
+            if right != _NIL and (
+                best == _NIL
+                or min_a[right] < min_a[best]
+                or (min_a[right] == min_a[best] and pos_a[right] > pos_a[best])
+            ):
+                best = right
+                best_is_left = False
+            if best == _NIL:
+                self._detach(parent, from_left, node)
+                return
+            best_pos = pos_a[best]
+            pos_a[node] = best_pos
+            min_a[node] = min_a[best]
+            blk = block_a[best]
+            if blk is not None:
+                del blk[best_pos]
+                if not blk:
+                    self._detach(node, best_is_left, best)
+                else:
+                    self._refresh_block(best)
+                return
+            parent = node
+            from_left = best_is_left
+            node = best
+
+    def _detach(self, parent: int, from_left: bool, node: int) -> None:
+        if parent == _NIL:
+            self._root = _NIL
+        elif from_left:
+            self._left[parent] = _NIL
+        else:
+            self._right[parent] = _NIL
+        self._block[node] = None  # release the dict before recycling
+        self._free.append(node)
+
+    def _refresh_block(self, node: int) -> None:
+        """Recompute the mirrored ``(pos, min)`` of a block node."""
+        best_pos = -1
+        best_value = INT_INF
+        for pos, value in self._block[node].items():
+            if value < best_value or (value == best_value and pos > best_pos):
+                best_pos, best_value = pos, value
+        self._pos[node] = best_pos
+        self._min[node] = best_value
+
+    # ------------------------------------------------------------------ #
+    # Growth
+    # ------------------------------------------------------------------ #
+    def _grow(self, minimum_capacity: int) -> None:
+        new_capacity = self._capacity
+        while new_capacity < minimum_capacity:
+            new_capacity *= 2
+        entries = self._entries()
+        self._capacity = new_capacity
+        self._root = _NIL
+        self._density = 0
+        del self._start[:]
+        del self._end[:]
+        del self._pos[:]
+        del self._min[:]
+        del self._left[:]
+        del self._right[:]
+        del self._block[:]
+        del self._free[:]
+        for pos, value in entries:
+            self._insert(pos, value)
+            self._density += 1
+
+    # ------------------------------------------------------------------ #
+    # Traversal helpers
+    # ------------------------------------------------------------------ #
+    def _entries(self) -> List[Tuple[int, int]]:
+        if self._root == _NIL:
+            return []
+        left_a, right_a, block_a = self._left, self._right, self._block
+        out: List[Tuple[int, int]] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            blk = block_a[node]
+            if blk is not None:
+                out.extend(blk.items())
+                continue
+            out.append((self._pos[node], self._min[node]))
+            if left_a[node] != _NIL:
+                stack.append(left_a[node])
+            if right_a[node] != _NIL:
+                stack.append(right_a[node])
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FlatSparseSegmentTree(capacity={self._capacity}, "
+            f"density={self._density}, slots={len(self._start)})"
+        )

@@ -8,7 +8,7 @@ free of counting code.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, List, Optional, Tuple
 
 from repro.core.interface import Node, PartialOrder
 
@@ -59,6 +59,16 @@ class InstrumentedOrder(PartialOrder):
     def predecessor(self, node: Node, chain: int) -> Optional[int]:
         self.query_count += 1
         return self._delegate.predecessor(node, chain)
+
+    def insert_many(self, edges: Iterable[Tuple[Node, Node]]) -> None:
+        edges = list(edges)
+        self.insert_count += len(edges)
+        self._delegate.insert_many(edges)
+
+    def query_many(self, pairs: Iterable[Tuple[Node, Node]]) -> List[bool]:
+        pairs = list(pairs)
+        self.query_count += len(pairs)
+        return self._delegate.query_many(pairs)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -21,7 +21,7 @@ CSSTs a drop-in replacement inside the dynamic analyses of
 from __future__ import annotations
 
 import abc
-from typing import Iterable, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from repro.errors import InvalidEdgeError, InvalidNodeError
 
@@ -141,12 +141,26 @@ class PartialOrder(abc.ABC):
         return not self.ordered(a, b)
 
     # ------------------------------------------------------------------ #
-    # Bulk helpers
+    # Batch APIs
     # ------------------------------------------------------------------ #
-    def insert_edges(self, edges: Iterable[Tuple[Node, Node]]) -> None:
-        """Insert every edge of ``edges`` (convenience wrapper)."""
+    # The per-operation methods dominate analysis code, but batch-oriented
+    # callers (the benchmark kernels, bulk loaders) go through these so that
+    # backends can amortize per-call overhead.  The defaults simply loop;
+    # the flat backends override them with locally bound fast paths.
+    def insert_many(self, edges: Iterable[Tuple[Node, Node]]) -> None:
+        """Insert every edge of ``edges`` (batch update API)."""
         for source, target in edges:
             self.insert_edge(source, target)
+
+    def query_many(self, pairs: Iterable[Tuple[Node, Node]]) -> List[bool]:
+        """Answer ``reachable(source, target)`` for every pair (batch
+        query API); results come back in input order."""
+        return [self.reachable(source, target) for source, target in pairs]
+
+    def insert_edges(self, edges: Iterable[Tuple[Node, Node]]) -> None:
+        """Insert every edge of ``edges`` (alias of :meth:`insert_many`,
+        kept for backward compatibility)."""
+        self.insert_many(edges)
 
     # ------------------------------------------------------------------ #
     # Validation helpers shared by subclasses

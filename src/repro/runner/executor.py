@@ -25,6 +25,7 @@ record-for-record (modulo wall-clock times).
 
 from __future__ import annotations
 
+import statistics
 import traceback
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
 from dataclasses import dataclass
@@ -130,8 +131,14 @@ def plan_jobs(suite: Suite,
 _WORKER_CORPUS = TraceCorpus()
 
 
-def execute_job(job: SweepJob, corpus: Optional[TraceCorpus] = None) -> SweepRecord:
+def execute_job(job: SweepJob, corpus: Optional[TraceCorpus] = None,
+                repeats: int = 1) -> SweepRecord:
     """Run one job to completion, capturing any analysis error.
+
+    ``repeats`` re-runs the analysis that many times over the same trace
+    (fresh analysis instance per repeat) and reports min/median times, so
+    sweep numbers stop being single-shot noise.  Findings and operation
+    counts come from the first repeat (they are deterministic per job).
 
     This is the worker-side entry point; it must stay a module-level
     function so it pickles by reference under ``spawn``.
@@ -142,10 +149,18 @@ def execute_job(job: SweepJob, corpus: Optional[TraceCorpus] = None) -> SweepRec
                 analysis=job.analysis, backend=job.backend)
     try:
         trace = (corpus if corpus is not None else _WORKER_CORPUS).get(spec)
-        analysis = Analysis.by_name(job.analysis)(job.backend)
-        result = analysis.run(trace)
+        analysis_cls = Analysis.by_name(job.analysis)
+        result = None
+        times = []
+        for _ in range(max(1, repeats)):
+            outcome = analysis_cls(job.backend).run(trace)
+            times.append(outcome.elapsed_seconds)
+            if result is None:
+                result = outcome
         return SweepRecord(status=STATUS_OK,
-                           elapsed_seconds=result.elapsed_seconds,
+                           elapsed_seconds=min(times),
+                           elapsed_median_seconds=statistics.median(times),
+                           repeats=len(times),
                            finding_count=result.finding_count,
                            insert_count=result.insert_count,
                            delete_count=result.delete_count,
@@ -158,7 +173,8 @@ def execute_job(job: SweepJob, corpus: Optional[TraceCorpus] = None) -> SweepRec
 
 def run_jobs(jobs: Sequence[SweepJob], *, workers: int = 1,
              timeout_seconds: Optional[float] = None,
-             suite_name: Optional[str] = None) -> SweepResult:
+             suite_name: Optional[str] = None,
+             repeats: int = 1) -> SweepResult:
     """Execute ``jobs`` and return records in job order.
 
     ``workers=1`` runs inline (sharing one trace corpus cache across jobs);
@@ -166,10 +182,15 @@ def run_jobs(jobs: Sequence[SweepJob], *, workers: int = 1,
     ``timeout_seconds`` bounds how long the collector waits for each job's
     result; a job that exceeds it is recorded as ``status="timeout"``.
     Serial runs apply no timeout (there is no safe way to interrupt an
-    in-process computation).
+    in-process computation).  ``repeats`` re-runs each job's analysis that
+    many times and reports min/median (see :func:`execute_job`); note that
+    ``timeout_seconds`` bounds the *whole* job -- all of its repeats --
+    so callers combining both should scale the budget accordingly.
     """
     if workers < 1:
         raise ReproError(f"workers must be >= 1, got {workers}")
+    if repeats < 1:
+        raise ReproError(f"repeats must be >= 1, got {repeats}")
     name = suite_name if suite_name is not None else (
         jobs[0].suite if jobs else "empty")
     result = SweepResult(suite=name)
@@ -178,13 +199,14 @@ def run_jobs(jobs: Sequence[SweepJob], *, workers: int = 1,
 
     if workers == 1:
         corpus = TraceCorpus()
-        result.records = [execute_job(job, corpus) for job in jobs]
+        result.records = [execute_job(job, corpus, repeats) for job in jobs]
         return result
 
     pool = ProcessPoolExecutor(max_workers=min(workers, len(jobs)))
     timed_out = False
     try:
-        futures = [pool.submit(execute_job, job) for job in jobs]
+        futures = [pool.submit(execute_job, job, None, repeats)
+                   for job in jobs]
         for job, future in zip(jobs, futures):
             try:
                 record = future.result(timeout=timeout_seconds)
@@ -237,12 +259,13 @@ def run_jobs(jobs: Sequence[SweepJob], *, workers: int = 1,
 def run_suite(suite_name: str, *, workers: int = 1,
               analyses: Optional[Sequence[str]] = None,
               backends: Optional[Sequence[str]] = None,
-              timeout_seconds: Optional[float] = None) -> SweepResult:
+              timeout_seconds: Optional[float] = None,
+              repeats: int = 1) -> SweepResult:
     """Plan and execute a full sweep of a registered suite."""
     suite = get_suite(suite_name)
     jobs = plan_jobs(suite, analyses=analyses, backends=backends)
     return run_jobs(jobs, workers=workers, timeout_seconds=timeout_seconds,
-                    suite_name=suite.name)
+                    suite_name=suite.name, repeats=repeats)
 
 
 def _failure_record(job: SweepJob, status: str, message: str) -> SweepRecord:

@@ -30,7 +30,8 @@ STATUS_TIMEOUT = "timeout"
 #: Column order for CSV export (matches ``SweepRecord`` field names).
 CSV_COLUMNS: Tuple[str, ...] = (
     "suite", "trace_id", "kind", "threads", "events", "seed",
-    "analysis", "backend", "status", "elapsed_seconds", "finding_count",
+    "analysis", "backend", "status", "elapsed_seconds",
+    "elapsed_median_seconds", "repeats", "finding_count",
     "insert_count", "delete_count", "query_count", "error",
 )
 
@@ -41,6 +42,12 @@ class SweepRecord:
 
     For failed or timed-out jobs the counters are zero and ``error`` carries
     the diagnostic (a traceback for errors, a message for timeouts).
+
+    With ``--repeat N`` the job's analysis runs N times over the same trace:
+    ``elapsed_seconds`` is the *minimum* (the conventional low-noise
+    estimate), ``elapsed_median_seconds`` the median, and ``repeats``
+    records N.  Single-shot sweeps carry ``repeats=1`` with the median equal
+    to the only measurement.
     """
 
     suite: str
@@ -53,6 +60,8 @@ class SweepRecord:
     backend: str
     status: str = STATUS_OK
     elapsed_seconds: float = 0.0
+    elapsed_median_seconds: float = 0.0
+    repeats: int = 1
     finding_count: int = 0
     insert_count: int = 0
     delete_count: int = 0

@@ -1,6 +1,7 @@
 """Trace substrate: event model, trace container, serialization and
 synthetic workload generators."""
 
+from repro.trace.columns import KIND_BY_CODE, KIND_CODES, TraceColumns
 from repro.trace.event import (
     ACCESS_KINDS,
     READ_KINDS,
@@ -32,9 +33,12 @@ __all__ = [
     "Event",
     "EventKind",
     "GENERATOR_REGISTRY",
+    "KIND_BY_CODE",
+    "KIND_CODES",
     "MemoryOrder",
     "READ_KINDS",
     "Trace",
+    "TraceColumns",
     "TraceMetrics",
     "WRITE_KINDS",
     "build_trace",

@@ -1,0 +1,161 @@
+"""Columnar (structure-of-arrays) view of a trace.
+
+Analyses' inner loops historically touched :class:`~repro.trace.event.Event`
+dataclasses for every event they merely wanted to *skip* -- attribute
+access, enum identity checks, and property calls per event.
+:class:`TraceColumns` lifts the hot metadata into dense, int-encoded
+parallel arrays built once per trace and cached on it:
+
+* ``kinds`` -- one small-int code per event (:data:`KIND_CODES`);
+* ``threads`` / ``indexes`` -- the ``(t, i)`` identity columns;
+* ``var_ids`` -- the accessed variable/location interned to a dense int id
+  (``-1`` when the event has none); ``variables[id]`` recovers the object;
+* one-byte flag columns (``access_flags``, ``read_flags``, ``write_flags``,
+  ``atomic_flags``, ``acquire_mo_flags``, ``release_mo_flags``) mirroring
+  the corresponding event predicates;
+* ``thread_positions`` -- per thread, the global positions of its events in
+  program order, so per-thread windows index the columns directly.
+
+The view is *live* and append-only: it keeps a reference to the trace's
+event list and :meth:`sync` encodes only the events appended since the last
+call, so the streaming engine's growing trace pays O(new events) per flush
+instead of a rebuild.  Access it through :meth:`repro.trace.trace.Trace.columns`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.trace.event import (
+    ACCESS_KINDS,
+    READ_KINDS,
+    WRITE_KINDS,
+    Event,
+    EventKind,
+)
+
+#: Small-int code per event kind (dense; enum definition order, stable).
+KIND_CODES: Dict[EventKind, int] = {
+    kind: code for code, kind in enumerate(EventKind)
+}
+
+#: Inverse mapping: ``KIND_BY_CODE[code]`` is the :class:`EventKind`.
+KIND_BY_CODE = tuple(EventKind)
+
+ACQUIRE_CODE = KIND_CODES[EventKind.ACQUIRE]
+RELEASE_CODE = KIND_CODES[EventKind.RELEASE]
+ALLOC_CODE = KIND_CODES[EventKind.ALLOC]
+FREE_CODE = KIND_CODES[EventKind.FREE]
+FORK_CODE = KIND_CODES[EventKind.FORK]
+JOIN_CODE = KIND_CODES[EventKind.JOIN]
+
+_ACCESS_CODES = frozenset(KIND_CODES[kind] for kind in ACCESS_KINDS)
+_READ_CODES = frozenset(KIND_CODES[kind] for kind in READ_KINDS)
+_WRITE_CODES = frozenset(KIND_CODES[kind] for kind in WRITE_KINDS)
+
+
+class TraceColumns:
+    """Int-encoded columns over a live, append-only event list."""
+
+    __slots__ = (
+        "_events", "kinds", "threads", "indexes", "var_ids",
+        "access_flags", "read_flags", "write_flags", "atomic_flags",
+        "acquire_mo_flags", "release_mo_flags",
+        "variables", "_intern", "thread_positions", "_built",
+    )
+
+    def __init__(self, events: List[Event]) -> None:
+        self._events = events
+        self.kinds = bytearray()
+        self.threads: List[int] = []
+        self.indexes: List[int] = []
+        self.var_ids: List[int] = []
+        self.access_flags = bytearray()
+        self.read_flags = bytearray()
+        self.write_flags = bytearray()
+        self.atomic_flags = bytearray()
+        self.acquire_mo_flags = bytearray()
+        self.release_mo_flags = bytearray()
+        self.variables: List[Any] = []
+        self._intern: Dict[Any, int] = {}
+        self.thread_positions: Dict[int, List[int]] = {}
+        self._built = 0
+
+    def __len__(self) -> int:
+        return self._built
+
+    @property
+    def events(self) -> Sequence[Event]:
+        """The underlying event list (same objects the trace holds); use it
+        to materialise an event found through the columns."""
+        return self._events
+
+    def variable_id(self, variable: Any) -> int:
+        """The interned id of ``variable`` (``-1`` if never seen)."""
+        return self._intern.get(variable, -1)
+
+    def sync(self) -> "TraceColumns":
+        """Encode the events appended since the last call; returns self."""
+        events = self._events
+        total = len(events)
+        built = self._built
+        if built == total:
+            return self
+        kinds = self.kinds
+        threads = self.threads
+        indexes = self.indexes
+        var_ids = self.var_ids
+        access_flags = self.access_flags
+        read_flags = self.read_flags
+        write_flags = self.write_flags
+        atomic_flags = self.atomic_flags
+        acquire_mo_flags = self.acquire_mo_flags
+        release_mo_flags = self.release_mo_flags
+        variables = self.variables
+        intern = self._intern
+        thread_positions = self.thread_positions
+        kind_codes = KIND_CODES
+        access_codes = _ACCESS_CODES
+        read_codes = _READ_CODES
+        write_codes = _WRITE_CODES
+        for position in range(built, total):
+            event = events[position]
+            code = kind_codes[event.kind]
+            kinds.append(code)
+            thread = event.thread
+            threads.append(thread)
+            indexes.append(event.index)
+            variable = event.variable
+            if variable is None:
+                var_ids.append(-1)
+            else:
+                var_id = intern.get(variable)
+                if var_id is None:
+                    var_id = len(variables)
+                    intern[variable] = var_id
+                    variables.append(variable)
+                var_ids.append(var_id)
+            access_flags.append(1 if code in access_codes else 0)
+            read_flags.append(1 if code in read_codes else 0)
+            write_flags.append(1 if code in write_codes else 0)
+            atomic_flags.append(1 if event.atomic else 0)
+            memory_order = event.memory_order
+            if memory_order is None:
+                acquire_mo_flags.append(0)
+                release_mo_flags.append(0)
+            else:
+                acquire_mo_flags.append(1 if memory_order.is_acquire else 0)
+                release_mo_flags.append(1 if memory_order.is_release else 0)
+            positions = thread_positions.get(thread)
+            if positions is None:
+                positions = thread_positions[thread] = []
+            positions.append(position)
+        self._built = total
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceColumns(events={self._built}, "
+            f"variables={len(self.variables)}, "
+            f"threads={len(self.thread_positions)})"
+        )

@@ -62,6 +62,13 @@ _ESCAPE_TABLE = {
 
 _UNESCAPE_TABLE = {"\\": "\\", "p": "|", "n": "\n", "r": "\r"}
 
+#: Precomputed value->member tables.  Calling ``EventKind(text)`` routes
+#: through ``EnumMeta.__call__`` and its missing-value machinery on every
+#: event line, which is measurable on large ``.std`` loads; a dict hit is
+#: one hash lookup.
+_KIND_BY_VALUE = {kind.value: kind for kind in EventKind}
+_MEMORY_ORDER_BY_VALUE = {order.value: order for order in MemoryOrder}
+
 
 def _escape(text: str) -> str:
     return text.translate(_ESCAPE_TABLE)
@@ -103,7 +110,11 @@ def _decode_value(text: str):
     if prefix == "bool":
         return bool(int(payload))
     if prefix == "mo":
-        return MemoryOrder(payload.strip())
+        stripped = payload.strip()
+        order = _MEMORY_ORDER_BY_VALUE.get(stripped)
+        # Fall back to the enum call for unknown payloads so the error
+        # behaviour (ValueError) is unchanged.
+        return order if order is not None else MemoryOrder(stripped)
     if prefix == "str":
         return _unescape(payload)
     raise TraceError(f"cannot decode field value {text!r}")
@@ -182,12 +193,11 @@ def parse_trace_line(line: str, next_index: Dict[int, int],
         raise TraceError(
             f"malformed thread id {parts[0]!r} on line {line_number}"
         ) from None
-    try:
-        kind = EventKind(parts[1])
-    except ValueError:
+    kind = _KIND_BY_VALUE.get(parts[1])
+    if kind is None:
         raise TraceError(
             f"unknown event kind {parts[1]!r} on line {line_number}"
-        ) from None
+        )
     metadata = {}
     for part in parts[2:]:
         field, _, encoded = part.partition("=")

@@ -21,6 +21,7 @@ from collections import defaultdict
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import TraceError
+from repro.trace.columns import TraceColumns
 from repro.trace.event import Event, EventKind
 
 Node = Tuple[int, int]
@@ -74,6 +75,7 @@ class Trace:
         self._sections: List[CriticalSection] = []
         self._open_sections: Dict[Tuple[int, object], CriticalSection] = {}
         self._bad_release: Optional[Event] = None
+        self._columns: Optional[TraceColumns] = None
         for event in events:
             self._append_existing(event)
 
@@ -239,6 +241,20 @@ class Trace:
             return self._per_thread[thread][index]
         except (KeyError, IndexError):
             raise TraceError(f"no event at node {node}") from None
+
+    def columns(self) -> TraceColumns:
+        """Cached columnar view of the trace (see
+        :class:`~repro.trace.columns.TraceColumns`).
+
+        The view is built lazily on first access and advanced incrementally
+        afterwards: events appended since the previous call are encoded in
+        O(new events), so both batch analyses and the streaming engine's
+        growing live trace can call this at every flush point for free.
+        """
+        columns = self._columns
+        if columns is None:
+            columns = self._columns = TraceColumns(self._events)
+        return columns.sync()
 
     # ------------------------------------------------------------------ #
     # Derived indexes used by the analyses

@@ -117,7 +117,8 @@ class TestAnalysisRegistry:
         assert _CountingAnalysis.default_backend() == "incremental-csst"
         assert _DeletingAnalysis.default_backend() == "csst"
         assert "vc" in _CountingAnalysis.applicable_backends()
-        assert set(_DeletingAnalysis.applicable_backends()) == {"graph", "csst"}
+        assert set(_DeletingAnalysis.applicable_backends()) == {
+            "graph", "csst", "csst-flat"}
 
 
 class TestAnalysisResult:

@@ -1,0 +1,75 @@
+"""Flat/object backend parity across all seven analyses.
+
+The acceptance bar for the flat fast path: every analysis must produce
+*identical findings* (same findings, same order) on a flat backend as on
+its object-based counterpart.  This complements the end-to-end pipeline
+test (which only compares finding counts across all backends) with an
+exact finding-by-finding comparison on the paired implementations.
+"""
+
+import pytest
+
+from repro.analyses.common.base import Analysis
+from repro.core import FLAT_EQUIVALENTS
+from repro.trace.generators import (
+    c11_trace,
+    deadlock_trace,
+    history_trace,
+    memory_trace,
+    racy_trace,
+    tso_trace,
+)
+
+#: (analysis name, trace builder) -- one fixed workload per analysis.
+WORKLOADS = [
+    ("race-prediction",
+     lambda: racy_trace(num_threads=4, events_per_thread=80, seed=41)),
+    ("deadlock-prediction",
+     lambda: deadlock_trace(num_threads=4, events_per_thread=80, seed=42)),
+    ("memory-bugs",
+     lambda: memory_trace(num_threads=4, events_per_thread=80, seed=43)),
+    ("tso-consistency",
+     lambda: tso_trace(num_threads=3, events_per_thread=70, seed=44,
+                       stale_read_fraction=0.1)),
+    ("use-after-free",
+     lambda: memory_trace(num_threads=4, events_per_thread=80, seed=45)),
+    ("c11-races",
+     lambda: c11_trace(num_threads=5, events_per_thread=80, seed=46)),
+    ("linearizability",
+     lambda: history_trace(num_threads=3, operations_per_thread=8, seed=47)),
+]
+
+
+def _pairs_for(analysis_cls):
+    """The (object, flat) backend pairs applicable to an analysis."""
+    applicable = set(analysis_cls.applicable_backends())
+    return [(object_name, flat_name)
+            for object_name, flat_name in FLAT_EQUIVALENTS.items()
+            if object_name in applicable]
+
+
+@pytest.mark.parametrize("analysis_name, build_trace",
+                         WORKLOADS, ids=[w[0] for w in WORKLOADS])
+def test_flat_backend_findings_identical(analysis_name, build_trace):
+    analysis_cls = Analysis.by_name(analysis_name)
+    pairs = _pairs_for(analysis_cls)
+    assert pairs, f"no flat pair applies to {analysis_name}"
+    trace = build_trace()
+    for object_name, flat_name in pairs:
+        object_result = analysis_cls(object_name).run(trace)
+        flat_result = analysis_cls(flat_name).run(trace)
+        object_findings = [str(finding) for finding in object_result.findings]
+        flat_findings = [str(finding) for finding in flat_result.findings]
+        assert flat_findings == object_findings, (
+            f"{analysis_name}: {flat_name} disagrees with {object_name}")
+        # The analyses issue the same operation mix regardless of backend.
+        assert flat_result.insert_count == object_result.insert_count
+        assert flat_result.query_count == object_result.query_count
+        assert flat_result.delete_count == object_result.delete_count
+        assert sorted(flat_result.details) == sorted(object_result.details)
+
+
+def test_every_analysis_is_covered():
+    covered = {name for name, _build in WORKLOADS}
+    assert covered == set(Analysis.registered()), (
+        "parity workloads out of sync with the analysis registry")

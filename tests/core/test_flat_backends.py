@@ -1,0 +1,334 @@
+"""Flat (structure-of-arrays) backends: unit behaviour, parity with the
+object-based implementations, and the batch APIs.
+
+The flat kernels must answer *identically* to their object counterparts on
+every operation sequence -- that is what makes them drop-in fast paths.
+These tests pin that against the naive suffix-minima oracle and the
+GraphOrder reachability reference.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    BACKENDS,
+    CSST,
+    FLAT_BACKENDS,
+    FLAT_EQUIVALENTS,
+    FlatCSST,
+    FlatIncrementalCSST,
+    FlatSparseSegmentTree,
+    FlatVectorClockOrder,
+    GraphOrder,
+    IncrementalCSST,
+    InstrumentedOrder,
+    NaiveSuffixMinima,
+    SparseSegmentTree,
+    VectorClockOrder,
+    INF,
+    make_partial_order,
+)
+from repro.core.flat.sst import INT_INF
+from repro.errors import InvalidEdgeError, InvalidNodeError, ReproError
+
+
+def _random_cross_pair(rng, num_chains, per_chain):
+    source = (rng.randrange(num_chains), rng.randrange(per_chain))
+    target_chain = (source[0] + rng.randrange(1, num_chains)) % num_chains
+    return source, (target_chain, rng.randrange(per_chain))
+
+
+class TestFlatSparseSegmentTree:
+    def test_empty_tree(self):
+        tree = FlatSparseSegmentTree(8)
+        assert tree.suffix_min(0) == INF
+        assert tree.argleq(100) is None
+        assert tree.get(3) == INF
+        assert tree.density == 0
+        assert tree.height == 0
+
+    def test_update_get_roundtrip(self):
+        tree = FlatSparseSegmentTree(16)
+        tree.update(3, 7)
+        tree.update(9, 2)
+        assert tree.get(3) == 7
+        assert tree.get(9) == 2
+        assert tree.get(4) == INF
+        assert tree.suffix_min(0) == 2
+        assert tree.suffix_min(4) == 2
+        assert tree.suffix_min(10) == INF
+        assert tree.argleq(7) == 9
+        assert tree.items() == [(3, 7), (9, 2)]
+
+    def test_clear_via_inf(self):
+        tree = FlatSparseSegmentTree(8)
+        tree.update(2, 5)
+        tree.update(2, INF)
+        assert tree.get(2) == INF
+        assert tree.density == 0
+        assert tree.suffix_min(0) == INF
+
+    def test_grows_beyond_capacity(self):
+        tree = FlatSparseSegmentTree(4)
+        tree.update(100, 1)
+        assert tree.capacity >= 101
+        assert tree.get(100) == 1
+        assert tree.suffix_min(0) == 1
+
+    def test_negative_index_rejected(self):
+        tree = FlatSparseSegmentTree(4)
+        with pytest.raises(InvalidNodeError):
+            tree.update(-1, 3)
+        with pytest.raises(InvalidNodeError):
+            tree.get(-2)
+        with pytest.raises(InvalidNodeError):
+            tree.suffix_min(-1)
+
+    def test_bad_construction_rejected(self):
+        with pytest.raises(InvalidNodeError):
+            FlatSparseSegmentTree(0)
+        with pytest.raises(InvalidNodeError):
+            FlatSparseSegmentTree(4, block_size=-1)
+
+    def test_slots_are_recycled_after_removal(self):
+        tree = FlatSparseSegmentTree(64, block_size=0)
+        for index in range(32):
+            tree.update(index, index)
+        allocated = tree.allocated_slots
+        for index in range(32):
+            tree.update(index, INF)
+        assert tree.density == 0
+        for index in range(32):
+            tree.update(index, 100 + index)
+        # Reinsertions reuse the free-listed slots instead of growing.
+        assert tree.allocated_slots == allocated
+
+    @pytest.mark.parametrize("block_size", [0, 1, 4, 32])
+    @pytest.mark.parametrize("minima_indexing", [True, False])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_ops_match_oracle_and_object(self, block_size,
+                                                minima_indexing, seed):
+        rng = random.Random(seed * 31 + block_size)
+        oracle = NaiveSuffixMinima(8)
+        flat = FlatSparseSegmentTree(8, block_size=block_size,
+                                     minima_indexing=minima_indexing)
+        obj = SparseSegmentTree(8, block_size=block_size,
+                                minima_indexing=minima_indexing)
+        live = []
+        for _ in range(600):
+            roll = rng.random()
+            if roll < 0.5 or not live:
+                index, value = rng.randrange(200), rng.randrange(60)
+                for array in (oracle, flat, obj):
+                    array.update(index, value)
+                live.append(index)
+            elif roll < 0.7:
+                index = live.pop(rng.randrange(len(live)))
+                for array in (oracle, flat, obj):
+                    array.update(index, INF)
+            query = rng.randrange(200)
+            assert flat.suffix_min(query) == oracle.suffix_min(query) \
+                == obj.suffix_min(query)
+            value = rng.randrange(70)
+            assert flat.argleq(value) == oracle.argleq(value)
+            probe = rng.randrange(200)
+            assert flat.get(probe) == oracle.get(probe)
+            assert flat.density == oracle.density
+        assert flat.items() == oracle.items()
+
+    def test_int_api_uses_int_sentinel(self):
+        tree = FlatSparseSegmentTree(8)
+        assert tree.suffix_min_int(0) == INT_INF
+        tree.update_int(3, 4)
+        assert tree.suffix_min_int(0) == 4
+        tree.update_int(3, INT_INF)
+        assert tree.suffix_min_int(0) == INT_INF
+        assert tree.density == 0
+
+
+class TestFlatBackendsFactory:
+    def test_flat_backends_registered(self):
+        for name in FLAT_BACKENDS:
+            assert name in BACKENDS
+        assert isinstance(make_partial_order("csst-flat", 3), FlatCSST)
+        assert isinstance(make_partial_order("incremental-csst-flat", 3),
+                          FlatIncrementalCSST)
+        assert isinstance(make_partial_order("vc-flat", 3),
+                          FlatVectorClockOrder)
+
+    def test_flat_equivalents_map_to_registered_backends(self):
+        for object_name, flat_name in FLAT_EQUIVALENTS.items():
+            assert object_name in BACKENDS
+            assert flat_name in BACKENDS
+            assert BACKENDS[object_name].supports_deletion == \
+                BACKENDS[flat_name].supports_deletion
+
+    def test_unknown_backend_still_rejected(self):
+        with pytest.raises(ReproError, match="unknown partial-order backend"):
+            make_partial_order("flat", 3)
+
+    def test_block_size_forwarded(self):
+        order = make_partial_order("csst-flat", 3, block_size=4)
+        order.insert_edge((0, 1), (1, 2))
+        assert order.reachable((0, 0), (1, 5))
+
+
+class TestFlatBackendParity:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    @pytest.mark.parametrize("num_chains, per_chain", [(3, 40), (6, 25)])
+    def test_incremental_agreement_on_long_runs(self, seed, num_chains,
+                                                per_chain):
+        rng = random.Random(seed * 997 + num_chains)
+        reference = GraphOrder(num_chains)
+        backends = [
+            IncrementalCSST(num_chains, 8),
+            FlatIncrementalCSST(num_chains, 8),
+            VectorClockOrder(num_chains, 8),
+            FlatVectorClockOrder(num_chains, 8),
+            CSST(num_chains, 8),
+            FlatCSST(num_chains, 8),
+        ]
+        for _ in range(200):
+            source, target = _random_cross_pair(rng, num_chains, per_chain)
+            if not reference.reachable(target, source) and \
+                    not reference.reachable(source, target):
+                reference.insert_edge(source, target)
+                for backend in backends:
+                    backend.insert_edge(source, target)
+            query_source = _random_cross_pair(rng, num_chains, per_chain)[0]
+            query_target = _random_cross_pair(rng, num_chains, per_chain)[0]
+            expected = reference.reachable(query_source, query_target)
+            expected_successor = reference.successor(query_source,
+                                                     query_target[0])
+            expected_predecessor = reference.predecessor(query_source,
+                                                         query_target[0])
+            for backend in backends:
+                name = type(backend).__name__
+                assert backend.reachable(query_source, query_target) \
+                    == expected, name
+                assert backend.successor(query_source, query_target[0]) \
+                    == expected_successor, name
+                assert backend.predecessor(query_source, query_target[0]) \
+                    == expected_predecessor, name
+
+    @pytest.mark.parametrize("seed", [11, 12, 13])
+    def test_fully_dynamic_agreement_under_churn(self, seed):
+        num_chains, per_chain = 5, 20
+        rng = random.Random(seed)
+        reference = GraphOrder(num_chains)
+        object_csst = CSST(num_chains, 8)
+        flat_csst = FlatCSST(num_chains, 8)
+        live, live_set = [], set()
+        for _ in range(400):
+            if rng.random() < 0.35 and live:
+                edge = live.pop(rng.randrange(len(live)))
+                live_set.discard(edge)
+                reference.delete_edge(*edge)
+                object_csst.delete_edge(*edge)
+                flat_csst.delete_edge(*edge)
+            else:
+                source, target = _random_cross_pair(rng, num_chains, per_chain)
+                if (source, target) not in live_set and \
+                        not reference.reachable(target, source):
+                    live.append((source, target))
+                    live_set.add((source, target))
+                    reference.insert_edge(source, target)
+                    object_csst.insert_edge(source, target)
+                    flat_csst.insert_edge(source, target)
+            query_source = _random_cross_pair(rng, num_chains, per_chain)[0]
+            query_target = _random_cross_pair(rng, num_chains, per_chain)[0]
+            assert flat_csst.reachable(query_source, query_target) \
+                == reference.reachable(query_source, query_target)
+            assert flat_csst.successor(query_source, query_target[0]) \
+                == object_csst.successor(query_source, query_target[0])
+            assert flat_csst.predecessor(query_source, query_target[0]) \
+                == object_csst.predecessor(query_source, query_target[0])
+        assert flat_csst.edge_count == object_csst.edge_count
+
+    def test_vc_flat_clock_of_matches_object(self):
+        rng = random.Random(7)
+        num_chains, per_chain = 4, 25
+        obj = VectorClockOrder(num_chains, 8)
+        flat = FlatVectorClockOrder(num_chains, 8)
+        reference = GraphOrder(num_chains)
+        for _ in range(150):
+            source, target = _random_cross_pair(rng, num_chains, per_chain)
+            if not reference.reachable(target, source):
+                reference.insert_edge(source, target)
+                obj.insert_edge(source, target)
+                flat.insert_edge(source, target)
+        for _ in range(100):
+            node = (rng.randrange(num_chains), rng.randrange(per_chain))
+            assert flat.clock_of(node) == obj.clock_of(node)
+        assert flat.materialised_clocks == obj.materialised_clocks
+        assert flat.total_entries == obj.total_entries
+
+
+class TestFlatValidationAndErrors:
+    @pytest.mark.parametrize("name", FLAT_BACKENDS)
+    def test_same_chain_edge_rejected(self, name):
+        order = make_partial_order(name, 3)
+        with pytest.raises(InvalidEdgeError):
+            order.insert_edge((1, 0), (1, 5))
+
+    @pytest.mark.parametrize("name", FLAT_BACKENDS)
+    def test_bad_node_rejected(self, name):
+        order = make_partial_order(name, 3)
+        with pytest.raises(InvalidNodeError):
+            order.reachable((5, 0), (1, 2))
+        with pytest.raises(InvalidNodeError):
+            order.reachable((0, -1), (1, 2))
+
+    def test_flat_csst_delete_missing_edge_rejected(self):
+        order = FlatCSST(3)
+        order.insert_edge((0, 1), (1, 2))
+        with pytest.raises(InvalidEdgeError):
+            order.delete_edge((0, 1), (1, 3))
+
+    def test_flat_incremental_deletion_unsupported(self):
+        from repro.errors import UnsupportedOperationError
+
+        for order in (FlatIncrementalCSST(3), FlatVectorClockOrder(3)):
+            with pytest.raises(UnsupportedOperationError):
+                order.delete_edge((0, 1), (1, 2))
+
+
+class TestBatchAPIs:
+    @pytest.mark.parametrize("name", sorted(BACKENDS))
+    def test_insert_many_matches_individual_inserts(self, name):
+        rng = random.Random(5)
+        edges = []
+        reference = GraphOrder(4)
+        for _ in range(40):
+            source, target = _random_cross_pair(rng, 4, 20)
+            if not reference.reachable(target, source):
+                reference.insert_edge(source, target)
+                edges.append((source, target))
+        batch = make_partial_order(name, 4, 8)
+        single = make_partial_order(name, 4, 8)
+        batch.insert_many(edges)
+        for source, target in edges:
+            single.insert_edge(source, target)
+        pairs = [_random_cross_pair(rng, 4, 20) for _ in range(60)]
+        assert batch.query_many(pairs) == single.query_many(pairs) \
+            == [reference.reachable(s, t) for s, t in pairs]
+
+    def test_query_many_validates_nodes(self):
+        for name in FLAT_BACKENDS:
+            order = make_partial_order(name, 3)
+            with pytest.raises(InvalidNodeError):
+                order.query_many([((9, 0), (1, 1))])
+
+    def test_insert_edges_alias_still_works(self):
+        order = FlatIncrementalCSST(3)
+        order.insert_edges([((0, 1), (1, 2)), ((1, 3), (2, 4))])
+        assert order.reachable((0, 0), (2, 5))
+
+    def test_instrumented_order_counts_batch_operations(self):
+        order = InstrumentedOrder(FlatIncrementalCSST(3))
+        order.insert_many([((0, 1), (1, 2)), ((1, 3), (2, 4))])
+        assert order.insert_count == 2
+        answers = order.query_many([((0, 0), (1, 5)), ((2, 0), (0, 0))])
+        assert order.query_count == 2
+        assert answers == [True, False]

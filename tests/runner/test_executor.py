@@ -33,11 +33,12 @@ class TestPlanning:
 
     def test_plan_expands_trace_x_analysis_x_backend(self):
         jobs = plan_jobs(tiny_suite())
-        # racy -> race-prediction on 3 incremental backends;
-        # history -> linearizability on 2 dynamic backends.
-        assert len(jobs) == 5
+        # racy -> race-prediction on 5 incremental backends;
+        # history -> linearizability on 3 dynamic backends.
+        assert len(jobs) == 8
         assert [job.backend for job in jobs] == [
-            "vc", "st", "incremental-csst", "graph", "csst"]
+            "vc", "st", "incremental-csst", "vc-flat", "incremental-csst-flat",
+            "graph", "csst", "csst-flat"]
 
     def test_plan_is_deterministic(self):
         assert plan_jobs(tiny_suite()) == plan_jobs(tiny_suite())
@@ -139,8 +140,9 @@ class TestRunJobs:
         assert len(serial.records) == len(parallel.records) == len(jobs)
         for left, right in zip(serial.records, parallel.records):
             left_data, right_data = left.to_dict(), right.to_dict()
-            left_data.pop("elapsed_seconds")
-            right_data.pop("elapsed_seconds")
+            for timing_field in ("elapsed_seconds", "elapsed_median_seconds"):
+                left_data.pop(timing_field)
+                right_data.pop(timing_field)
             assert left_data == right_data
 
     def test_records_come_back_in_plan_order(self):
@@ -188,7 +190,7 @@ class TestRunJobs:
 class TestRunSuite:
     def test_smoke_suite_runs_clean(self):
         result = run_suite("smoke", workers=2)
-        assert len(result.records) == 20
+        assert len(result.records) == 33
         assert not result.failures()
         analyses = {record.analysis for record in result.records}
         assert len(analyses) == 7  # every analysis of the paper
@@ -198,3 +200,42 @@ class TestRunSuite:
                            analyses=["race-prediction"], backends=["vc", "st"])
         assert {record.analysis for record in result.records} == {"race-prediction"}
         assert {record.backend for record in result.records} == {"vc", "st"}
+
+
+class TestRepeats:
+    def test_single_shot_defaults(self):
+        job = plan_jobs(tiny_suite(), analyses=["race-prediction"],
+                        backends=["vc"])[0]
+        record = execute_job(job)
+        assert record.repeats == 1
+        assert record.elapsed_median_seconds == record.elapsed_seconds
+
+    def test_repeats_report_min_and_median(self):
+        job = plan_jobs(tiny_suite(), analyses=["race-prediction"],
+                        backends=["vc"])[0]
+        record = execute_job(job, repeats=3)
+        assert record.status == STATUS_OK
+        assert record.repeats == 3
+        # min <= median by construction, and both are real measurements.
+        assert 0 <= record.elapsed_seconds <= record.elapsed_median_seconds
+
+    def test_repeats_keep_findings_deterministic(self):
+        job = plan_jobs(tiny_suite(), analyses=["race-prediction"],
+                        backends=["incremental-csst"])[0]
+        single = execute_job(job, repeats=1)
+        repeated = execute_job(job, repeats=4)
+        assert repeated.finding_count == single.finding_count
+        assert repeated.insert_count == single.insert_count
+        assert repeated.query_count == single.query_count
+
+    def test_run_jobs_propagates_repeats_serial_and_parallel(self):
+        jobs = plan_jobs(tiny_suite(), analyses=["race-prediction"],
+                         backends=["vc", "st"])
+        serial = run_jobs(jobs, workers=1, repeats=2)
+        parallel = run_jobs(jobs, workers=2, repeats=2)
+        assert all(record.repeats == 2 for record in serial.records)
+        assert all(record.repeats == 2 for record in parallel.records)
+
+    def test_repeats_must_be_positive(self):
+        with pytest.raises(ReproError, match="repeats"):
+            run_jobs([], workers=1, repeats=0)

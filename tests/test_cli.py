@@ -128,6 +128,20 @@ class TestCompare:
 
 
 class TestSweep:
+    def test_sweep_repeat_reports_min_and_median(self, capsys):
+        assert main(["sweep", "--suite", "smoke", "--analyses",
+                     "race-prediction", "--backends", "vc", "--repeat", "3",
+                     "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        for record in document["records"]:
+            assert record["repeats"] == 3
+            assert record["elapsed_seconds"] <= \
+                record["elapsed_median_seconds"]
+
+    def test_sweep_repeat_must_be_positive(self, capsys):
+        assert main(["sweep", "--suite", "smoke", "--repeat", "0"]) == 2
+        assert "--repeat" in capsys.readouterr().err
+
     def test_sweep_table_output(self, capsys):
         assert main(["sweep", "--suite", "smoke", "--analyses",
                      "race-prediction", "--backends", "vc,st"]) == 0
@@ -139,7 +153,7 @@ class TestSweep:
         assert main(["sweep", "--suite", "smoke", "--jobs", "2",
                      "--format", "json"]) == 0
         document = json.loads(capsys.readouterr().out)
-        assert document["jobs"] == 20 and document["failures"] == 0
+        assert document["jobs"] == 33 and document["failures"] == 0
         first = document["records"][0]
         for key in ("backend", "analysis", "trace_id", "kind", "threads",
                     "events", "seed", "elapsed_seconds", "finding_count",
@@ -154,17 +168,18 @@ class TestSweep:
         assert main(argv + ["--jobs", "2"]) == 0
         parallel = json.loads(capsys.readouterr().out)["records"]
         for left, right in zip(serial, parallel):
-            left.pop("elapsed_seconds"), right.pop("elapsed_seconds")
+            for timing_field in ("elapsed_seconds", "elapsed_median_seconds"):
+                left.pop(timing_field), right.pop(timing_field)
         assert serial == parallel
 
     def test_sweep_csv_to_file(self, tmp_path, capsys):
         path = tmp_path / "sweep.csv"
         assert main(["sweep", "--suite", "smoke", "--analyses", "c11-races",
                      "--format", "csv", "--out", str(path)]) == 0
-        assert "wrote 3 records" in capsys.readouterr().out
+        assert "wrote 5 records" in capsys.readouterr().out
         lines = path.read_text().strip().splitlines()
         assert lines[0].startswith("suite,trace_id,kind")
-        assert len(lines) == 4
+        assert len(lines) == 6
 
     def test_sweep_unknown_suite_rejected(self):
         with pytest.raises(SystemExit):
