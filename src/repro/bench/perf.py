@@ -69,6 +69,10 @@ SPEEDUP_PAIRS: Sequence[Tuple[str, str, str]] = (
     ("c11-races/vc-flat", "c11-races/vc", "c11-flat-over-object"),
     ("use-after-free/incremental-csst-flat",
      "use-after-free/incremental-csst", "uaf-flat-over-object"),
+    ("scn-locked-mix/incremental-csst-flat",
+     "scn-locked-mix/incremental-csst", "scn-locked-mix-flat-over-object"),
+    ("scn-mpmc-queue/vc-flat", "scn-mpmc-queue/vc",
+     "scn-mpmc-flat-over-object"),
 )
 
 
@@ -226,6 +230,20 @@ def default_cases() -> List[PerfCase]:
             f"use-after-free/{backend}",
             _analysis_case("use-after-free", backend, "memory",
                            num_threads=5, events=400, seed=13)))
+    # Scenario-program (repro.gen) workloads: schedule-driven interleavings
+    # whose cross-chain shape the hand-rolled generators cannot produce.
+    for backend in ("incremental-csst", "incremental-csst-flat"):
+        cases.append(PerfCase(
+            f"scn-locked-mix/{backend}",
+            _analysis_case("race-prediction", backend, "locked-mix",
+                           num_threads=6, events=300, seed=21,
+                           scheduler="adversarial")))
+    for backend in ("vc", "vc-flat"):
+        cases.append(PerfCase(
+            f"scn-mpmc-queue/{backend}",
+            _analysis_case("c11-races", backend, "mpmc-queue",
+                           num_threads=8, events=260, seed=22,
+                           scheduler="weighted")))
     cases.append(PerfCase("trace-load/std", _trace_load_case()))
     return cases
 

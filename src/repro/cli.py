@@ -12,6 +12,8 @@ a whole corpus, monitor a growing trace -- does not require writing Python:
     python -m repro compare tso-consistency trace.txt
     python -m repro sweep --suite smoke --jobs 2 --format json
     python -m repro watch --source trace.txt --analyses race_prediction,deadlock
+    python -m repro gen corpus --out corpus/ --kinds locked-mix,heap-churn
+    python -m repro fuzz --seeds 50 --quick
 """
 
 from __future__ import annotations
@@ -141,6 +143,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "median (elapsed_median_seconds) so numbers "
                             "stop being single-shot noise (default: 1); "
                             "a --timeout budget covers all N runs of a job")
+    sweep.add_argument("--seed", type=int, default=None,
+                       help="override the seed pinned in every suite spec; "
+                            "the effective seed is recorded per job in the "
+                            "table/CSV/JSON output either way")
+    sweep.add_argument("--corpus", default=None,
+                       help="corpus manifest.json (from 'repro gen corpus') "
+                            "to sweep instead of a registered --suite")
     sweep.add_argument("--out", default="-",
                        help="output file ('-' for stdout)")
     sweep.add_argument("--list-suites", action="store_true",
@@ -177,12 +186,84 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run both quick and full modes and (re)write "
                             "the baseline file instead of a dated report")
 
+    gen = subparsers.add_parser(
+        "gen",
+        help="scenario-program generation: unified kind table and corpus "
+             "builder")
+    gen.add_argument("mode", nargs="?", choices=("corpus",),
+                     help="'corpus': write a .std.gz trace corpus plus "
+                          "manifest.json, registered as a sweep suite")
+    gen.add_argument("--list", action="store_true", dest="list_kinds",
+                     help="list every registered workload kind (classic "
+                          "generators and scenario families, one table) "
+                          "and exit")
+    gen.add_argument("--out", default=None,
+                     help="corpus output directory (required for 'corpus')")
+    gen.add_argument("--config", default=None,
+                     help="corpus config JSON (keys: name, kinds, count, "
+                          "seed, threads, events, params, schedulers); "
+                          "explicit flags override it")
+    gen.add_argument("--name", default=None,
+                     help="corpus name (default: corpus); the sweep suite "
+                          "is registered as corpus:<name>")
+    gen.add_argument("--kinds", default=None,
+                     help="comma-separated workload kinds (default: every "
+                          "registered kind)")
+    gen.add_argument("--count", type=int, default=None,
+                     help="traces per kind (default: 3)")
+    gen.add_argument("--seed", type=int, default=None,
+                     help="corpus base seed (default: 0)")
+    gen.add_argument("--threads", default=None,
+                     help="thread-count distribution spec (default: "
+                          "uniform:2,4; e.g. 4, uniform:2,8, choice:2,4,8)")
+    gen.add_argument("--events", default=None,
+                     help="per-thread event distribution spec (default: "
+                          "uniform:30,70)")
+    gen.add_argument("--schedulers", default=None,
+                     help="comma-separated scheduler cycle for scenario "
+                          "kinds (default: rr,weighted,adversarial)")
+
+    fuzz = subparsers.add_parser(
+        "fuzz",
+        help="differential fuzzing: every backend pair and streaming-vs-"
+             "batch on generated traces, delta-debugging divergences")
+    fuzz.add_argument("--seeds", type=int, default=50,
+                      help="number of fuzz cases (default: 50); kinds "
+                           "rotate round-robin across cases")
+    fuzz.add_argument("--quick", action="store_true",
+                      help="small trace shapes (CI smoke budget)")
+    fuzz.add_argument("--kinds", default=None,
+                      help="comma-separated workload kinds (default: every "
+                           "kind that feeds at least one analysis)")
+    fuzz.add_argument("--backends", default=None,
+                      help="comma-separated backends to compare against "
+                           "each analysis's default (default: all "
+                           "applicable)")
+    fuzz.add_argument("--no-stream", action="store_true",
+                      help="skip the streaming-vs-batch comparisons")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="base seed of the deterministic case plan "
+                           "(default: 0)")
+    fuzz.add_argument("--out", default="fuzz-out",
+                      help="directory for minimized counterexamples "
+                           "(default: fuzz-out; only written on "
+                           "divergence)")
+    fuzz.add_argument("--no-minimize", action="store_true",
+                      help="record divergences without delta-debugging "
+                           "them")
+    fuzz.add_argument("--max-checks", type=int, default=400,
+                      help="predicate-evaluation budget per minimization "
+                           "(default: 400)")
+    fuzz.add_argument("--verbose", action="store_true",
+                      help="print each case id as it runs")
+
     watch = subparsers.add_parser(
         "watch",
         help="stream a trace through analyses, emitting findings as they "
              "are discovered")
     watch.add_argument("--source", required=True,
-                       help="trace file (.std / .std.gz) or generator spec "
+                       help="trace file (.std / .std.gz), corpus manifest "
+                            "(manifest.json[#TRACE_ID]), or generator spec "
                             "kind[:key=value,...] "
                             "(e.g. racy:threads=3,events=60,seed=1)")
     watch.add_argument("--analyses", default=None,
@@ -323,13 +404,19 @@ def _sweep(args: argparse.Namespace) -> int:
               file=sys.stderr)
     if args.repeat < 1:
         raise ReproError(f"--repeat must be >= 1, got {args.repeat}")
+    suite_name = args.suite
+    if args.corpus is not None:
+        from repro.gen.corpus import register_corpus_suite
+
+        suite_name = register_corpus_suite(args.corpus).name
     result = run_suite(
-        args.suite,
+        suite_name,
         workers=args.jobs,
         analyses=_split_csv_flag(args.analyses),
         backends=_split_csv_flag(args.backends),
         timeout_seconds=args.timeout,
         repeats=args.repeat,
+        seed=args.seed,
     )
     if args.baseline is not None and args.format != "csv" and not any(
             record.backend == args.baseline for record in result.ok_records()):
@@ -409,6 +496,97 @@ def _bench(args: argparse.Namespace) -> int:
     for entry in entries:
         print(entry, file=sys.stderr if perf.is_regression([entry]) else sys.stdout)
     return 1 if perf.is_regression(entries) else 0
+
+
+def _list_generators() -> None:
+    """The unified workload-kind table: classic generators and scenario
+    families render from the single :data:`GENERATOR_REGISTRY`."""
+    print(f"{'kind':18s} {'source':9s} {'analyses':42s} description")
+    for kind, entry in sorted(GENERATOR_REGISTRY.items()):
+        analyses = ",".join(entry.analyses) or "-"
+        print(f"{kind:18s} {entry.source:9s} {analyses:42s} "
+              f"{entry.description}")
+
+
+def _gen(args: argparse.Namespace) -> int:
+    from repro.gen.corpus import CorpusConfig, build_corpus
+
+    if args.list_kinds:
+        _list_generators()
+        return 0
+    if args.mode != "corpus":
+        raise ReproError(
+            "nothing to do: pass 'corpus' to build a corpus or --list to "
+            "show the registered workload kinds")
+    if args.out is None:
+        raise ReproError("gen corpus needs --out DIRECTORY")
+    if args.config is not None:
+        config = CorpusConfig.from_file(args.config)
+    else:
+        config = CorpusConfig()
+    overrides = {}
+    if args.name is not None:
+        overrides["name"] = args.name
+    if args.kinds is not None:
+        overrides["kinds"] = tuple(_split_csv_flag(args.kinds) or ())
+    if args.count is not None:
+        overrides["count"] = args.count
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.threads is not None:
+        overrides["threads"] = args.threads
+    if args.events is not None:
+        overrides["events"] = args.events
+    if args.schedulers is not None:
+        overrides["schedulers"] = tuple(_split_csv_flag(args.schedulers)
+                                        or ())
+    if overrides:
+        import dataclasses
+
+        config = dataclasses.replace(config, **overrides)
+    manifest = build_corpus(args.out, config)
+    members = manifest["traces"]
+    total_events = sum(member["event_count"] for member in members)
+    print(f"wrote {len(members)} traces ({total_events} events) to "
+          f"{args.out}")
+    print(f"manifest: {args.out}/manifest.json")
+    print(f"registered sweep suite {manifest['suite']!r} "
+          f"(sweep it with: repro sweep --corpus {args.out}/manifest.json)")
+    return 0
+
+
+def _fuzz(args: argparse.Namespace) -> int:
+    from repro.gen.fuzz import run_fuzz
+
+    if args.seeds < 1:
+        raise ReproError(f"--seeds must be >= 1, got {args.seeds}")
+    if args.max_checks < 1:
+        raise ReproError(f"--max-checks must be >= 1, got {args.max_checks}")
+    on_case = None
+    if args.verbose:
+        def on_case(case) -> None:
+            print(f"case {case.case_id}", flush=True)
+    report = run_fuzz(
+        seeds=args.seeds,
+        quick=args.quick,
+        kinds=_split_csv_flag(args.kinds),
+        backends=_split_csv_flag(args.backends),
+        stream=not args.no_stream,
+        base_seed=args.seed,
+        out_dir=args.out,
+        minimize=not args.no_minimize,
+        max_checks=args.max_checks,
+        on_case=on_case,
+    )
+    print(report.summary())
+    if not report.ok:
+        if args.no_minimize:
+            print("divergent inputs were not written (--no-minimize); "
+                  "re-run without it to produce counterexamples",
+                  file=sys.stderr)
+        else:
+            print(f"counterexamples written to {args.out}", file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 def _watch(args: argparse.Namespace) -> int:
@@ -531,7 +709,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"generate": _generate, "analyze": _analyze,
                 "compare": _compare, "sweep": _sweep, "bench": _bench,
-                "watch": _watch}
+                "gen": _gen, "fuzz": _fuzz, "watch": _watch}
     try:
         return handlers[args.command](args)
     except (ReproError, OSError) as error:

@@ -46,6 +46,15 @@ class BenchmarkError(ReproError):
     """Raised by the benchmark harness on invalid configuration."""
 
 
+class GenerationError(ReproError):
+    """Raised by the scenario-program generation subsystem (bad distribution
+    spec, malformed scenario, corpus/manifest problems)."""
+
+
+class FuzzError(GenerationError):
+    """Raised by the differential fuzzer on invalid configuration."""
+
+
 class StreamError(ReproError):
     """Raised by the streaming engine (bad source, out-of-order feed, ...)."""
 

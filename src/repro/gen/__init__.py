@@ -1,0 +1,97 @@
+"""Scenario-program workload generation and differential fuzzing.
+
+The ``repro.gen`` subsystem models small concurrent programs (threads,
+nested locks, shared variables, SPSC/MPMC queues, barriers, fork/join,
+heap lifetimes), executes them under seeded schedulers into
+:class:`~repro.trace.trace.Trace` objects, and declares every knob as a
+named distribution LITMUS-RT-style so one configuration fans out into a
+whole corpus.  On top of the generator sit:
+
+* the corpus builder (:mod:`repro.gen.corpus`, ``repro gen corpus``):
+  writes ``.std.gz`` corpora plus a JSON manifest and registers each
+  corpus as a sweep suite / watchable file set, and
+* the differential fuzzer (:mod:`repro.gen.fuzz`, ``repro fuzz``): runs
+  every applicable backend pair and streaming-vs-batch on generated
+  traces, compares findings, and delta-debugs divergences down to minimal
+  counterexample traces.
+
+Importing this package (or :mod:`repro.trace.generators`) registers the
+scenario families in the unified generator registry, so they are
+addressable from every front end (``generate``/``sweep``/``watch``/
+``bench``) like the classic kinds.  ``corpus`` and ``fuzz`` are imported
+lazily (PEP 562) -- they pull in the runner/stream/analysis layers, which
+the plain generation path does not need.
+"""
+
+from __future__ import annotations
+
+from repro.gen.distributions import (
+    Choice,
+    Constant,
+    Distribution,
+    FloatUniform,
+    Geometric,
+    Space,
+    Uniform,
+    Zipf,
+    parse_distribution,
+)
+from repro.gen.families import (
+    FAMILY_REGISTRY,
+    ScenarioFamily,
+    build_family_trace,
+    get_family,
+)
+from repro.gen.scenario import (
+    ExecutionStats,
+    Op,
+    Scenario,
+    ScenarioExecutor,
+    execute,
+)
+from repro.gen.schedulers import (
+    SCHEDULERS,
+    AdversarialPreemption,
+    ContentionWeighted,
+    RoundRobinBursts,
+    Scheduler,
+    make_scheduler,
+)
+
+__all__ = [
+    "AdversarialPreemption",
+    "Choice",
+    "Constant",
+    "ContentionWeighted",
+    "Distribution",
+    "ExecutionStats",
+    "FAMILY_REGISTRY",
+    "FloatUniform",
+    "Geometric",
+    "Op",
+    "RoundRobinBursts",
+    "SCHEDULERS",
+    "Scenario",
+    "ScenarioExecutor",
+    "ScenarioFamily",
+    "Scheduler",
+    "Space",
+    "Uniform",
+    "Zipf",
+    "build_family_trace",
+    "corpus",
+    "execute",
+    "fuzz",
+    "get_family",
+    "make_scheduler",
+    "parse_distribution",
+]
+
+
+def __getattr__(name: str):
+    """Lazy submodule access for the heavy layers (PEP 562)."""
+    if name in ("corpus", "fuzz"):
+        import importlib
+
+        return importlib.import_module(f"repro.gen.{name}")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,339 @@
+"""Corpus builder: fan one generation config out into a trace corpus.
+
+``repro gen corpus`` materializes a set of workload kinds -- classic and
+scenario-program alike -- into ``.std.gz`` trace files plus a JSON
+*manifest* describing exactly how each trace was produced (kind, shape,
+seed, pinned parameters, scheduler).  Because every generator is
+deterministic and the gzip encoding is canonical (zeroed mtime, no
+embedded filename), a corpus is a pure function of its config: rebuilding
+with the same config yields byte-identical files.
+
+A manifest plugs back into the rest of the system two ways:
+
+* **sweeps** -- :func:`register_corpus_suite` turns the manifest into a
+  registered :class:`~repro.runner.corpus.Suite` (specs regenerate the
+  traces in worker processes; the files are for external consumers), so
+  ``repro sweep --corpus manifest.json`` fans analyses x backends over
+  the corpus like any named suite;
+* **watching** -- each member file is an ordinary STD trace consumable by
+  :class:`~repro.stream.source.FileSource`; ``repro watch --source
+  manifest.json#TRACE_ID`` (or the bare manifest, which picks the first
+  member) resolves through :func:`resolve_member`.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.errors import GenerationError
+from repro.gen.distributions import Distribution, parse_distribution
+from repro.gen.schedulers import DEFAULT_SCHEDULER_CYCLE
+from repro.trace.formats import dump_trace
+from repro.trace.generators import GENERATOR_REGISTRY, get_generator
+
+MANIFEST_VERSION = 1
+MANIFEST_FILENAME = "manifest.json"
+
+#: Default shape distributions (kept small: a corpus is a sweep input, not
+#: a stress test; scale up per config).
+DEFAULT_THREADS = "uniform:2,4"
+DEFAULT_EVENTS = "uniform:30,70"
+#: The linearizability search is exponential in history length; its corpus
+#: members stay tiny regardless of the requested event distribution.
+HISTORY_EVENTS_CAP = 10
+
+
+@dataclass(frozen=True)
+class CorpusConfig:
+    """Declarative recipe for one corpus."""
+
+    name: str = "corpus"
+    kinds: Tuple[str, ...] = ()  #: empty = every registered kind
+    count: int = 3  #: traces per kind
+    seed: int = 0
+    threads: str = DEFAULT_THREADS
+    events: str = DEFAULT_EVENTS
+    #: Pinned generator parameters per kind (values are distribution specs
+    #: only in the sense of constants; they are forwarded verbatim).
+    params: Tuple[Tuple[str, Tuple[Tuple[str, object], ...]], ...] = ()
+    #: Scheduler cycle applied to scenario kinds (index round-robin).
+    schedulers: Tuple[str, ...] = tuple(DEFAULT_SCHEDULER_CYCLE)
+
+    @classmethod
+    def from_mapping(cls, config: Mapping[str, object]) -> "CorpusConfig":
+        known = {"name", "kinds", "count", "seed", "threads", "events",
+                 "params", "schedulers"}
+        unknown = sorted(set(config) - known)
+        if unknown:
+            raise GenerationError(
+                f"unknown corpus config keys {unknown}; known: "
+                f"{sorted(known)}")
+        params = config.get("params", {})
+        if not isinstance(params, Mapping) or any(
+                not isinstance(overrides, Mapping)
+                for overrides in params.values()):
+            raise GenerationError("corpus config 'params' must map kind -> "
+                                  "{parameter: value}")
+        frozen_params = tuple(
+            (kind, tuple(sorted(overrides.items())))
+            for kind, overrides in params.items())
+        for key in ("kinds", "schedulers"):
+            value = config.get(key)
+            # A bare string would be silently exploded into characters by
+            # the tuple() below -- an easy JSON-author mistake.
+            if value is not None and (isinstance(value, str)
+                                      or not isinstance(value, (list, tuple))):
+                raise GenerationError(
+                    f"corpus config {key!r} must be a list of names, "
+                    f"got {value!r}")
+        return cls(
+            name=str(config.get("name", "corpus")),
+            kinds=tuple(config.get("kinds", ())),
+            count=int(config.get("count", 3)),
+            seed=int(config.get("seed", 0)),
+            threads=str(config.get("threads", DEFAULT_THREADS)),
+            events=str(config.get("events", DEFAULT_EVENTS)),
+            params=frozen_params,
+            schedulers=tuple(config.get("schedulers",
+                                        DEFAULT_SCHEDULER_CYCLE)),
+        )
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "CorpusConfig":
+        with open(path, "r", encoding="utf-8") as stream:
+            document = json.load(stream)
+        if not isinstance(document, dict):
+            raise GenerationError(f"corpus config {path} is not a JSON object")
+        return cls.from_mapping(document)
+
+    def resolved_kinds(self) -> Tuple[str, ...]:
+        if self.kinds:
+            unknown = sorted(set(self.kinds) - set(GENERATOR_REGISTRY))
+            if unknown:
+                known = ", ".join(sorted(GENERATOR_REGISTRY))
+                raise GenerationError(
+                    f"unknown kinds in corpus config: {unknown}; "
+                    f"known: {known}")
+            return self.kinds
+        return tuple(GENERATOR_REGISTRY)
+
+    def overrides_for(self, kind: str) -> Dict[str, object]:
+        for name, overrides in self.params:
+            if name == kind:
+                return dict(overrides)
+        return {}
+
+
+def _shape_rng_seed(base_seed: int, kind: str, index: int) -> int:
+    """Stable per-trace integer seed (no string hashing: ``hash(str)`` is
+    salted per process and would break cross-run determinism)."""
+    return (base_seed * 1_000_003 + index * 8191) ^ zlib.crc32(kind.encode())
+
+
+def _member_seed(base_seed: int, index: int) -> int:
+    return base_seed * 1000 + index
+
+
+def _int_sample(dist: Distribution, rng, name: str) -> int:
+    """Sample a shape value that must be an integer, cleanly rejecting
+    specs whose samples are not (``choice`` legitimately allows strings)."""
+    value = dist.sample(rng)
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        raise GenerationError(
+            f"corpus {name} distribution {dist.spec()!r} produced "
+            f"non-integer sample {value!r}") from None
+
+
+def plan_corpus(config: CorpusConfig) -> List[Dict[str, object]]:
+    """Expand a config into the ordered member list (no trace building).
+
+    Each entry carries everything :func:`repro.trace.generators.build_trace`
+    needs, so planning is the deterministic core both the builder and the
+    manifest tests rely on.  Member ids come from
+    :attr:`~repro.runner.corpus.TraceSpec.trace_id` -- the same property the
+    sweep runner stamps on its records -- so manifest ids and sweep output
+    always cross-reference exactly.
+    """
+    import random
+
+    from repro.runner.corpus import TraceSpec
+
+    if config.count < 1:
+        raise GenerationError(f"corpus count must be >= 1, got {config.count}")
+    threads_dist: Distribution = parse_distribution(config.threads)
+    events_dist: Distribution = parse_distribution(config.events)
+    members: List[Dict[str, object]] = []
+    for kind in config.resolved_kinds():
+        entry = get_generator(kind)
+        overrides = config.overrides_for(kind)
+        for index in range(config.count):
+            rng = random.Random(_shape_rng_seed(config.seed, kind, index))
+            threads = max(1, _int_sample(threads_dist, rng, "threads"))
+            events = max(1, _int_sample(events_dist, rng, "events"))
+            if kind == "history":
+                events = min(events, HISTORY_EVENTS_CAP)
+            params = dict(overrides)
+            if entry.source == "scenario" and "scheduler" not in params \
+                    and config.schedulers:
+                params["scheduler"] = config.schedulers[
+                    index % len(config.schedulers)]
+            spec = TraceSpec(kind=kind, threads=threads, events=events,
+                             seed=_member_seed(config.seed, index),
+                             params=tuple(sorted(params.items())))
+            members.append({
+                "kind": spec.kind,
+                "threads": spec.threads,
+                "events": spec.events,
+                "seed": spec.seed,
+                "params": dict(spec.params),
+                "trace_id": spec.trace_id,
+                "file": f"{spec.trace_id}.std.gz",
+                "analyses": list(entry.analyses),
+            })
+    return members
+
+
+def build_corpus(out_dir: Union[str, Path],
+                 config: Optional[CorpusConfig] = None,
+                 register: bool = True) -> Dict[str, object]:
+    """Materialize a corpus: trace files + ``manifest.json`` in ``out_dir``.
+
+    Returns the manifest document.  With ``register`` the corpus is also
+    registered as a sweep suite named ``corpus:<name>``.
+    """
+    from repro.trace.generators import build_trace
+
+    config = config if config is not None else CorpusConfig()
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    members = plan_corpus(config)
+    for member in members:
+        trace = build_trace(member["kind"], num_threads=member["threads"],
+                            events=member["events"], seed=member["seed"],
+                            name=member["trace_id"], **member["params"])
+        dump_trace(trace, out / member["file"])
+        member["event_count"] = len(trace)
+        member["thread_count"] = trace.num_threads
+    manifest = {
+        "version": MANIFEST_VERSION,
+        "name": config.name,
+        "suite": f"corpus:{config.name}",
+        "seed": config.seed,
+        "count": config.count,
+        "threads": config.threads,
+        "events": config.events,
+        "traces": members,
+    }
+    manifest_path = out / MANIFEST_FILENAME
+    with open(manifest_path, "w", encoding="utf-8") as stream:
+        json.dump(manifest, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    if register:
+        register_corpus_suite(manifest)
+    return manifest
+
+
+# --------------------------------------------------------------------------- #
+# Manifest consumption
+# --------------------------------------------------------------------------- #
+def read_manifest(path: Union[str, Path]) -> Optional[Dict[str, object]]:
+    """Parse ``path`` as a corpus manifest, once.
+
+    Returns ``None`` when the file is not manifest-*shaped* (unparsable
+    JSON, or no ``traces`` member) so callers probing "is this a manifest?"
+    and "give me the manifest" share one read.  A manifest-shaped document
+    with an unsupported version raises -- that is a real manifest with a
+    real problem, not a different kind of file.  A missing/unreadable file
+    raises ``OSError`` like any other path argument.
+    """
+    with open(path, "r", encoding="utf-8") as stream:
+        try:
+            document = json.load(stream)
+        except ValueError:
+            return None
+    if not isinstance(document, dict) or "traces" not in document:
+        return None
+    version = document.get("version")
+    if version != MANIFEST_VERSION:
+        raise GenerationError(
+            f"unsupported corpus manifest version {version!r} in {path} "
+            f"(this build reads version {MANIFEST_VERSION})")
+    return document
+
+
+def load_manifest(path: Union[str, Path]) -> Dict[str, object]:
+    """Read and structurally validate a corpus manifest."""
+    document = read_manifest(path)
+    if document is None:
+        raise GenerationError(f"{path} is not a corpus manifest "
+                              f"(no 'traces' member)")
+    return document
+
+
+
+
+def suite_from_manifest(manifest: Mapping[str, object],
+                        suite_name: Optional[str] = None):
+    """Build (without registering) the sweep suite a manifest describes."""
+    from repro.runner.corpus import Suite, TraceSpec
+
+    specs = []
+    for member in manifest["traces"]:
+        specs.append(TraceSpec(
+            kind=member["kind"], threads=int(member["threads"]),
+            events=int(member["events"]), seed=int(member["seed"]),
+            params=tuple(sorted(member.get("params", {}).items())),
+        ))
+    name = suite_name or str(manifest.get("suite")
+                             or f"corpus:{manifest.get('name', 'corpus')}")
+    description = (f"generated corpus '{manifest.get('name', 'corpus')}' "
+                   f"({len(specs)} traces)")
+    return Suite(name=name, description=description, specs=tuple(specs))
+
+
+def register_corpus_suite(manifest_or_path: Union[str, Path,
+                                                  Mapping[str, object]],
+                          suite_name: Optional[str] = None):
+    """Register the manifest's suite in the global suite registry."""
+    from repro.runner.corpus import register_suite
+
+    if isinstance(manifest_or_path, (str, Path)):
+        manifest = load_manifest(manifest_or_path)
+    else:
+        manifest = manifest_or_path
+    return register_suite(suite_from_manifest(manifest, suite_name))
+
+
+def resolve_member(spec: str,
+                   manifest: Optional[Mapping[str, object]] = None
+                   ) -> Tuple[str, str]:
+    """Resolve ``manifest.json[#TRACE_ID]`` to ``(file path, trace name)``.
+
+    A bare manifest path picks the first member.  Pass an already-parsed
+    ``manifest`` to skip re-reading the file.  Raises
+    :class:`~repro.errors.GenerationError` for empty corpora and unknown
+    ids (listing the known ones).
+    """
+    path, _, fragment = spec.partition("#")
+    if manifest is None:
+        manifest = load_manifest(path)
+    members = manifest["traces"]
+    if not members:
+        raise GenerationError(f"corpus manifest {path} has no traces")
+    base = Path(path).parent
+    if not fragment:
+        member = members[0]
+    else:
+        matches = [m for m in members if m.get("trace_id") == fragment]
+        if not matches:
+            known = ", ".join(str(m.get("trace_id")) for m in members)
+            raise GenerationError(
+                f"no trace {fragment!r} in corpus {path}; known: {known}")
+        member = matches[0]
+    return str(base / member["file"]), str(member["trace_id"])

@@ -1,0 +1,280 @@
+"""Named parameter distributions for scenario-program generation.
+
+The LITMUS-RT workload generator declares its task-set parameters as *named
+distributions* ("uniform light utilizations", "moderate periods", ...) and
+expands one configuration into a whole family of task sets.  This module is
+the same idea for concurrency scenarios: every knob of a scenario family
+(thread count, contention, read/write ratio, lock-nesting depth,
+reuse-after-free probability, ...) is a :class:`Distribution` that can be
+
+* written as a compact spec string (``"uniform:2,8"``, ``"choice:a,b,c"``,
+  ``"zipf:1.2,16"``) in CLI flags and JSON corpus configs, and
+* sampled deterministically from a seeded :class:`random.Random`, so one
+  config plus one seed always fans out into the same corpus.
+
+A :class:`Space` is a named mapping of distributions -- the declared
+parameter space of a scenario family.  ``Space.sample(rng)`` draws one
+concrete parameter assignment; overriding individual names with constants
+(or other distributions) narrows the space without touching the family.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import GenerationError
+
+
+class Distribution:
+    """A named, seeded sampling rule for one scenario parameter."""
+
+    def sample(self, rng: random.Random) -> Any:
+        raise NotImplementedError
+
+    def spec(self) -> str:
+        """Compact round-trippable spec string (``parse_distribution`` inverse)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.spec()!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Distribution) and self.spec() == other.spec()
+
+    def __hash__(self) -> int:
+        return hash(self.spec())
+
+
+@dataclass(frozen=True, eq=False)
+class Constant(Distribution):
+    """Always the same value (``const:V``; bare literals parse to this)."""
+
+    value: Any
+
+    def sample(self, rng: random.Random) -> Any:
+        return self.value
+
+    def spec(self) -> str:
+        return f"const:{self.value}"
+
+
+@dataclass(frozen=True, eq=False)
+class Uniform(Distribution):
+    """Integer uniform over ``[low, high]`` inclusive (``uniform:L,H``)."""
+
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise GenerationError(
+                f"uniform bounds out of order: [{self.low}, {self.high}]")
+
+    def sample(self, rng: random.Random) -> int:
+        return rng.randint(self.low, self.high)
+
+    def spec(self) -> str:
+        return f"uniform:{self.low},{self.high}"
+
+
+@dataclass(frozen=True, eq=False)
+class FloatUniform(Distribution):
+    """Float uniform over ``[low, high]`` (``funiform:L,H``)."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise GenerationError(
+                f"funiform bounds out of order: [{self.low}, {self.high}]")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def spec(self) -> str:
+        return f"funiform:{self.low},{self.high}"
+
+
+@dataclass(frozen=True, eq=False)
+class Choice(Distribution):
+    """Uniform pick from an explicit value list (``choice:a,b,c``)."""
+
+    values: Tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise GenerationError("choice distribution needs at least one value")
+
+    def sample(self, rng: random.Random) -> Any:
+        return rng.choice(self.values)
+
+    def spec(self) -> str:
+        return "choice:" + ",".join(str(value) for value in self.values)
+
+
+@dataclass(frozen=True, eq=False)
+class Zipf(Distribution):
+    """Zipf-skewed pick from ``{1..n}`` (``zipf:ALPHA,N``).
+
+    Rank ``k`` is drawn with probability proportional to ``k**-alpha`` --
+    the conventional model for skewed contention (a few hot locks or
+    variables absorb most of the traffic).
+    """
+
+    alpha: float
+    n: int
+    _cdf: Tuple[float, ...] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise GenerationError(f"zipf needs n >= 1, got {self.n}")
+        if self.alpha < 0:
+            raise GenerationError(f"zipf needs alpha >= 0, got {self.alpha}")
+        weights = [1.0 / (k ** self.alpha) for k in range(1, self.n + 1)]
+        total = sum(weights)
+        cdf, running = [], 0.0
+        for weight in weights:
+            running += weight / total
+            cdf.append(running)
+        object.__setattr__(self, "_cdf", tuple(cdf))
+
+    def sample(self, rng: random.Random) -> int:
+        roll = rng.random()
+        for rank, bound in enumerate(self._cdf, start=1):
+            if roll <= bound:
+                return rank
+        return self.n  # pragma: no cover - float round-off guard
+
+    def spec(self) -> str:
+        return f"zipf:{self.alpha},{self.n}"
+
+
+@dataclass(frozen=True, eq=False)
+class Geometric(Distribution):
+    """Geometric depth ``1 + Geom(p)`` capped at ``cap`` (``geom:P,CAP``).
+
+    The natural shape for nesting depths: depth ``d`` needs ``d - 1``
+    consecutive successes.
+    """
+
+    p: float
+    cap: int
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.p <= 1.0:
+            raise GenerationError(f"geom needs p in (0, 1], got {self.p}")
+        if self.cap < 1:
+            raise GenerationError(f"geom needs cap >= 1, got {self.cap}")
+
+    def sample(self, rng: random.Random) -> int:
+        depth = 1
+        while depth < self.cap and rng.random() < self.p:
+            depth += 1
+        return depth
+
+    def spec(self) -> str:
+        return f"geom:{self.p},{self.cap}"
+
+
+def _parse_scalar(text: str) -> Any:
+    try:
+        return int(text)
+    except ValueError:
+        try:
+            return float(text)
+        except ValueError:
+            return text
+
+
+_PARSERS = {
+    "const": lambda args: Constant(_parse_scalar(args[0])),
+    "uniform": lambda args: Uniform(int(args[0]), int(args[1])),
+    "funiform": lambda args: FloatUniform(float(args[0]), float(args[1])),
+    "choice": lambda args: Choice(tuple(_parse_scalar(a) for a in args)),
+    "zipf": lambda args: Zipf(float(args[0]), int(args[1])),
+    "geom": lambda args: Geometric(float(args[0]), int(args[1])),
+}
+
+DistributionSpec = Union[Distribution, str, int, float, bool]
+
+
+def parse_distribution(spec: DistributionSpec) -> Distribution:
+    """Turn a spec into a :class:`Distribution`.
+
+    Accepts an already-built distribution, a bare literal (``4``, ``0.6``,
+    ``"racy"`` -> :class:`Constant`), or a spec string ``NAME:ARGS``
+    (``"uniform:2,8"``).  Unknown names and malformed argument lists raise
+    :class:`~repro.errors.GenerationError`.
+    """
+    if isinstance(spec, Distribution):
+        return spec
+    if isinstance(spec, (int, float, bool)):
+        return Constant(spec)
+    if not isinstance(spec, str):
+        raise GenerationError(f"cannot parse distribution spec {spec!r}")
+    name, separator, tail = spec.partition(":")
+    if not separator:
+        return Constant(_parse_scalar(spec))
+    parser = _PARSERS.get(name)
+    if parser is None:
+        known = ", ".join(sorted(_PARSERS))
+        raise GenerationError(
+            f"unknown distribution {name!r} in spec {spec!r}; known: {known}")
+    args = [item.strip() for item in tail.split(",") if item.strip()]
+    try:
+        return parser(args)
+    except GenerationError:
+        raise
+    except (ValueError, IndexError) as error:
+        raise GenerationError(
+            f"malformed distribution spec {spec!r}: {error}") from error
+
+
+@dataclass(frozen=True)
+class Space:
+    """A named parameter space: one distribution per scenario knob.
+
+    ``sample(rng)`` draws one concrete assignment (a plain dict, stable key
+    order).  ``override`` layers replacement specs on top without mutating
+    the original -- the corpus builder narrows a family's declared space
+    with per-config constants this way.
+    """
+
+    distributions: Tuple[Tuple[str, Distribution], ...]
+
+    @classmethod
+    def from_config(cls, config: Mapping[str, DistributionSpec]) -> "Space":
+        return cls(tuple((key, parse_distribution(value))
+                         for key, value in config.items()))
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(name for name, _dist in self.distributions)
+
+    def sample(self, rng: random.Random) -> Dict[str, Any]:
+        return {name: dist.sample(rng) for name, dist in self.distributions}
+
+    def override(self, config: Optional[Mapping[str, DistributionSpec]]) -> "Space":
+        if not config:
+            return self
+        unknown = sorted(set(config) - set(self.names()))
+        if unknown:
+            raise GenerationError(
+                f"unknown parameters {unknown} for space with "
+                f"{sorted(self.names())}")
+        replaced = dict(self.distributions)
+        for key, value in config.items():
+            replaced[key] = parse_distribution(value)
+        return Space(tuple(replaced.items()))
+
+    def to_config(self) -> Dict[str, str]:
+        """Spec-string form (JSON-safe, round-trips via ``from_config``)."""
+        return {name: dist.spec() for name, dist in self.distributions}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.names()
+
+    def __len__(self) -> int:
+        return len(self.distributions)

@@ -1,0 +1,526 @@
+"""Scenario families: named, distribution-parameterized program builders.
+
+A :class:`ScenarioFamily` couples a program builder (threads x ops over
+locks, queues, barriers, the heap) with a declared :class:`~repro.gen.
+distributions.Space` of its knobs and the analyses its traces feed.  Every
+family is also registered as an ordinary trace generator in
+:data:`repro.trace.generators.GENERATOR_REGISTRY` -- the single source of
+truth for workload kinds -- so scenario traces are reachable from every
+existing front end unchanged: ``repro generate``, ``repro sweep`` suites,
+``repro watch --source kind:...`` generator sources, and the benchmark
+harness.
+
+Six families ship:
+
+==================  ====================================================
+family               shape
+==================  ====================================================
+``locked-mix``       shared variables under nested critical sections
+                     (Zipf-hot locks, occasional lock-order inversion)
+``producer-consumer``  SPSC bounded queues with racy payload aggregation
+``mpmc-queue``       one MPMC bounded queue, many producers/consumers
+``barrier-phases``   phased computation; races inside a phase, sync at
+                     the barrier
+``fork-join``        fork/join task tree over shared accumulators, with
+                     an occasionally *unjoined* (detached) worker
+``heap-churn``       alloc/use/free lifetimes with escape publication
+                     and tunable reuse-after-free placement
+==================  ====================================================
+
+Every family generator is deterministic given ``seed``: parameter
+sampling, program construction and schedule execution all draw from one
+``random.Random(seed)`` in a fixed order.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import GenerationError
+from repro.gen.distributions import Space
+from repro.gen.scenario import Op, Scenario, execute
+from repro.gen.schedulers import make_scheduler
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class ScenarioFamily:
+    """One named scenario family (see module docstring)."""
+
+    name: str
+    description: str
+    space: Space
+    analyses: Tuple[str, ...]
+    builder: Callable[..., Scenario]
+
+    def build_scenario(self, num_threads: int, events_per_thread: int,
+                       rng: random.Random, name: str, **params) -> Scenario:
+        return self.builder(num_threads, events_per_thread, rng, name,
+                            **params)
+
+
+#: Families by name (insertion order is presentation order).
+FAMILY_REGISTRY: Dict[str, ScenarioFamily] = {}
+
+
+def get_family(name: str) -> ScenarioFamily:
+    try:
+        return FAMILY_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(FAMILY_REGISTRY))
+        raise GenerationError(
+            f"unknown scenario family {name!r}; known: {known}") from None
+
+
+def _check_positive(**kwargs: int) -> None:
+    for key, value in kwargs.items():
+        if value <= 0:
+            raise GenerationError(f"{key} must be positive, got {value}")
+
+
+# --------------------------------------------------------------------------- #
+# Builders
+# --------------------------------------------------------------------------- #
+def _access_op(rng: random.Random, variable: str, write_fraction: float) -> Op:
+    if rng.random() < write_fraction:
+        return Op("write", target=variable, value=rng.randrange(1000))
+    return Op("read", target=variable)
+
+
+def build_locked_mix(num_threads: int, events_per_thread: int,
+                     rng: random.Random, name: str, *,
+                     num_locks: int = 4, num_variables: int = 8,
+                     contention: float = 0.6, write_fraction: float = 0.4,
+                     nesting_depth: int = 2,
+                     inversion_fraction: float = 0.15) -> Scenario:
+    """Nested critical sections over shared variables.
+
+    ``contention`` is the probability a block runs under locks;
+    ``nesting_depth`` bounds how many distinct locks nest (mostly acquired
+    in global ascending order, inverted with ``inversion_fraction`` --
+    the raw material of deadlock *prediction*: inverted nesting that
+    happened not to deadlock in this schedule).
+    """
+    _check_positive(num_threads=num_threads,
+                    events_per_thread=events_per_thread,
+                    num_locks=num_locks, num_variables=num_variables)
+    programs: Dict[int, List[Op]] = {}
+    for thread in range(num_threads):
+        ops: List[Op] = []
+        while len(ops) < events_per_thread:
+            variable = f"x{rng.randrange(num_variables)}"
+            if rng.random() < contention and num_locks >= 1:
+                depth = min(max(1, nesting_depth), num_locks)
+                depth = rng.randint(1, depth)
+                locks = sorted(rng.sample(range(num_locks),
+                                          min(depth, num_locks)))
+                if len(locks) > 1 and rng.random() < inversion_fraction:
+                    locks = list(reversed(locks))
+                for lock in locks:
+                    ops.append(Op("acquire", target=f"l{lock}"))
+                    ops.append(_access_op(rng, variable, write_fraction))
+                for lock in reversed(locks):
+                    ops.append(Op("release", target=f"l{lock}"))
+            else:
+                ops.append(_access_op(rng, variable, write_fraction))
+        programs[thread] = ops
+    return Scenario(name=name, programs=programs)
+
+
+def build_producer_consumer(num_threads: int, events_per_thread: int,
+                            rng: random.Random, name: str, *,
+                            queue_capacity: int = 2,
+                            racy_aggregate_fraction: float = 0.3,
+                            write_fraction: float = 0.5) -> Scenario:
+    """SPSC queue pairs: thread ``2i`` produces into ``q<i>``, ``2i+1``
+    consumes.  Consumers fold payloads into a shared ``total`` aggregate --
+    protected by ``agg_lock`` except with ``racy_aggregate_fraction``,
+    which plants genuine data races next to the clean queue synchronization.
+    """
+    _check_positive(num_threads=num_threads,
+                    events_per_thread=events_per_thread,
+                    queue_capacity=queue_capacity)
+    items = max(1, events_per_thread // 2)
+    programs: Dict[int, List[Op]] = {}
+    capacities: Dict[str, int] = {}
+    if num_threads == 1:
+        # Degenerate single-thread case: the one thread plays both roles
+        # (put then get never blocks), so the trace honours the requested
+        # thread count instead of silently growing a second chain.
+        capacities["q0"] = queue_capacity
+        ops: List[Op] = []
+        for item in range(items):
+            ops.append(Op("put", target="q0", value=item))
+            ops.append(Op("get", target="q0"))
+        programs[0] = ops
+        return Scenario(name=name, programs=programs,
+                        queue_capacity=capacities)
+    pairs = max(1, num_threads // 2)
+    for pair in range(pairs):
+        queue = f"q{pair}"
+        capacities[queue] = queue_capacity
+        producer = [Op("put", target=queue, value=item)
+                    for item in range(items)]
+        consumer: List[Op] = []
+        for _item in range(items):
+            consumer.append(Op("get", target=queue))
+            if rng.random() < racy_aggregate_fraction:
+                consumer.append(_access_op(rng, "total", write_fraction))
+            else:
+                consumer.append(Op("acquire", target="agg_lock"))
+                consumer.append(_access_op(rng, "total", write_fraction))
+                consumer.append(Op("release", target="agg_lock"))
+        programs[2 * pair] = producer
+        programs[2 * pair + 1] = consumer
+    if num_threads % 2 and num_threads > 1:
+        # Odd straggler: an auditor thread sampling the aggregate.
+        auditor = [
+            _access_op(rng, "total", write_fraction * 0.5)
+            for _ in range(max(1, events_per_thread // 2))
+        ]
+        programs[num_threads - 1] = auditor
+    return Scenario(name=name, programs=programs, queue_capacity=capacities)
+
+
+def build_mpmc_queue(num_threads: int, events_per_thread: int,
+                     rng: random.Random, name: str, *,
+                     queue_capacity: int = 4,
+                     locked_tally_fraction: float = 0.5,
+                     write_fraction: float = 0.6) -> Scenario:
+    """One MPMC bounded queue: the first half of the threads produce, the
+    rest consume; consumers update a shared tally (locked or racy)."""
+    _check_positive(num_threads=num_threads,
+                    events_per_thread=events_per_thread,
+                    queue_capacity=queue_capacity)
+    if num_threads < 2:
+        raise GenerationError("mpmc-queue needs at least two threads")
+    producers = list(range(max(1, num_threads // 2)))
+    consumers = list(range(len(producers), num_threads))
+    items_per_producer = max(1, events_per_thread // 2)
+    total_items = items_per_producer * len(producers)
+    programs: Dict[int, List[Op]] = {}
+    for producer in producers:
+        programs[producer] = [Op("put", target="q", value=item)
+                              for item in range(items_per_producer)]
+    base, extra = divmod(total_items, len(consumers))
+    for position, consumer in enumerate(consumers):
+        gets = base + (1 if position < extra else 0)
+        ops: List[Op] = []
+        for _item in range(gets):
+            ops.append(Op("get", target="q"))
+            if rng.random() < locked_tally_fraction:
+                ops.append(Op("acquire", target="tally_lock"))
+                ops.append(_access_op(rng, "tally", write_fraction))
+                ops.append(Op("release", target="tally_lock"))
+            else:
+                ops.append(_access_op(rng, "tally", write_fraction))
+        programs[consumer] = ops
+    return Scenario(name=name, programs=programs,
+                    queue_capacity={"q": queue_capacity})
+
+
+def build_barrier_phases(num_threads: int, events_per_thread: int,
+                         rng: random.Random, name: str, *,
+                         phases: int = 3, vars_per_phase: int = 3,
+                         write_fraction: float = 0.5,
+                         cross_phase_fraction: float = 0.2) -> Scenario:
+    """Phased computation: racy accesses to phase-local variables, then a
+    barrier.  With ``cross_phase_fraction`` a thread reaches back to a
+    *previous* phase's variable -- ordered by the barrier, so not a race:
+    the analysis has to tell the two apart.
+    """
+    _check_positive(num_threads=num_threads,
+                    events_per_thread=events_per_thread,
+                    phases=phases, vars_per_phase=vars_per_phase)
+    accesses = max(1, events_per_thread // phases - 1)
+    programs: Dict[int, List[Op]] = {}
+    for thread in range(num_threads):
+        ops: List[Op] = []
+        for phase in range(phases):
+            for _ in range(accesses):
+                if phase > 0 and rng.random() < cross_phase_fraction:
+                    source_phase = rng.randrange(phase)
+                else:
+                    source_phase = phase
+                variable = f"ph{source_phase}_v{rng.randrange(vars_per_phase)}"
+                ops.append(_access_op(rng, variable, write_fraction))
+            ops.append(Op("barrier", target="b"))
+        programs[thread] = ops
+    return Scenario(name=name, programs=programs)
+
+
+def build_fork_join(num_threads: int, events_per_thread: int,
+                    rng: random.Random, name: str, *,
+                    num_accumulators: int = 2, locked_fraction: float = 0.5,
+                    detach_fraction: float = 0.15,
+                    write_fraction: float = 0.7) -> Scenario:
+    """Fork/join task tree: thread 0 forks workers, each folds into shared
+    accumulators (locked or racy), then thread 0 joins and reads results.
+
+    With ``detach_fraction`` a worker is left *unjoined* (detached), so the
+    main thread's final reads race with that worker's writes -- the classic
+    join-elision bug.
+    """
+    _check_positive(num_threads=num_threads,
+                    events_per_thread=events_per_thread,
+                    num_accumulators=num_accumulators)
+    workers = list(range(1, num_threads))
+    programs: Dict[int, List[Op]] = {}
+    main: List[Op] = []
+    detached = []
+    for worker in workers:
+        main.append(Op("fork", target=worker))
+        work: List[Op] = []
+        while len(work) < events_per_thread:
+            accumulator = f"acc{rng.randrange(num_accumulators)}"
+            if rng.random() < locked_fraction:
+                work.append(Op("acquire", target="acc_lock"))
+                work.append(_access_op(rng, accumulator, write_fraction))
+                work.append(Op("release", target="acc_lock"))
+            else:
+                work.append(_access_op(rng, accumulator, write_fraction))
+        programs[worker] = work
+        if rng.random() < detach_fraction:
+            detached.append(worker)
+    for worker in workers:
+        if worker not in detached:
+            main.append(Op("join", target=worker))
+    for accumulator in range(num_accumulators):
+        main.append(Op("read", target=f"acc{accumulator}"))
+    programs[0] = main
+    # Single-thread degenerate case: just accesses.
+    if not workers:
+        programs[0] = [
+            _access_op(rng, f"acc{rng.randrange(num_accumulators)}",
+                       write_fraction)
+            for _ in range(events_per_thread)
+        ]
+    return Scenario(name=name, programs=programs, roots=[0])
+
+
+def build_heap_churn(num_threads: int, events_per_thread: int,
+                     rng: random.Random, name: str, *,
+                     num_objects: int = 12, escape_fraction: float = 0.5,
+                     uaf_fraction: float = 0.2,
+                     double_free_fraction: float = 0.05,
+                     locked_use_fraction: float = 0.3,
+                     write_fraction: float = 0.5) -> Scenario:
+    """Heap lifetimes: owners alloc/use/free objects; escaped objects are
+    used by other threads.  ``uaf_fraction`` of escaped objects have a
+    *late use* placed after the owner's free in program structure, and
+    ``double_free_fraction`` get a second free from a different thread --
+    the candidate pairs the memory-bug and UAF analyses hunt."""
+    _check_positive(num_threads=num_threads,
+                    events_per_thread=events_per_thread,
+                    num_objects=num_objects)
+    programs: Dict[int, List[Op]] = {t: [] for t in range(num_threads)}
+    uses_per_object = max(1, (events_per_thread * num_threads)
+                          // (num_objects * 2) - 2)
+    for obj in range(num_objects):
+        owner = rng.randrange(num_threads)
+        address = f"obj{obj}"
+        programs[owner].append(Op("alloc", target=address))
+        escaped = num_threads > 1 and rng.random() < escape_fraction
+        users = [owner]
+        if escaped:
+            other = rng.randrange(num_threads - 1)
+            other = other if other < owner else other + 1
+            users.append(other)
+        for use in range(uses_per_object):
+            user = users[rng.randrange(len(users))]
+            if rng.random() < locked_use_fraction:
+                programs[user].append(Op("acquire", target="heap_lock"))
+                programs[user].append(
+                    _access_op(rng, address, write_fraction))
+                programs[user].append(Op("release", target="heap_lock"))
+            else:
+                programs[user].append(_access_op(rng, address, write_fraction))
+        programs[owner].append(Op("free", target=address))
+        if escaped and rng.random() < uaf_fraction:
+            # Late use: placed after the free in the *owner's* program
+            # order; whether it races past the free is up to the schedule.
+            late_user = users[-1]
+            programs[late_user].append(
+                _access_op(rng, address, write_fraction))
+        if escaped and rng.random() < double_free_fraction:
+            programs[users[-1]].append(Op("free", target=address))
+    for thread in range(num_threads):
+        if not programs[thread]:
+            programs[thread] = [Op("read", target="idle")]
+    return Scenario(name=name, programs=programs)
+
+
+# --------------------------------------------------------------------------- #
+# Family registration
+# --------------------------------------------------------------------------- #
+def _family(name: str, description: str, builder: Callable[..., Scenario],
+            analyses: Tuple[str, ...], space: Dict[str, object]) -> None:
+    FAMILY_REGISTRY[name] = ScenarioFamily(
+        name=name, description=description, space=Space.from_config(space),
+        analyses=analyses, builder=builder)
+
+
+_family(
+    "locked-mix",
+    "nested critical sections over shared variables, Zipf-hot locks",
+    build_locked_mix,
+    ("race-prediction", "deadlock-prediction"),
+    {
+        "num_locks": "uniform:2,6",
+        "num_variables": "uniform:4,12",
+        "contention": "funiform:0.3,0.9",
+        "write_fraction": "funiform:0.2,0.6",
+        "nesting_depth": "geom:0.45,4",
+        "inversion_fraction": "funiform:0.0,0.3",
+    },
+)
+
+_family(
+    "producer-consumer",
+    "SPSC bounded queues with racy payload aggregation",
+    build_producer_consumer,
+    ("race-prediction", "c11-races"),
+    {
+        "queue_capacity": "uniform:1,4",
+        "racy_aggregate_fraction": "funiform:0.1,0.6",
+        "write_fraction": "funiform:0.3,0.7",
+    },
+)
+
+_family(
+    "mpmc-queue",
+    "one MPMC bounded queue, many producers and consumers",
+    build_mpmc_queue,
+    ("c11-races", "race-prediction"),
+    {
+        "queue_capacity": "uniform:2,8",
+        "locked_tally_fraction": "funiform:0.2,0.8",
+        "write_fraction": "funiform:0.4,0.8",
+    },
+)
+
+_family(
+    "barrier-phases",
+    "phased computation: races within a phase, barrier sync between",
+    build_barrier_phases,
+    ("race-prediction", "c11-races"),
+    {
+        "phases": "uniform:2,5",
+        "vars_per_phase": "uniform:2,5",
+        "write_fraction": "funiform:0.3,0.7",
+        "cross_phase_fraction": "funiform:0.0,0.4",
+    },
+)
+
+_family(
+    "fork-join",
+    "fork/join task tree over shared accumulators, detached workers",
+    build_fork_join,
+    ("race-prediction",),
+    {
+        "num_accumulators": "uniform:1,4",
+        "locked_fraction": "funiform:0.2,0.8",
+        "detach_fraction": "funiform:0.0,0.4",
+        "write_fraction": "funiform:0.5,0.9",
+    },
+)
+
+_family(
+    "heap-churn",
+    "alloc/use/free lifetimes with escape and reuse-after-free placement",
+    build_heap_churn,
+    ("memory-bugs", "use-after-free", "race-prediction"),
+    {
+        "num_objects": "uniform:6,20",
+        "escape_fraction": "funiform:0.2,0.8",
+        "uaf_fraction": "funiform:0.0,0.5",
+        "double_free_fraction": "funiform:0.0,0.15",
+        "locked_use_fraction": "funiform:0.1,0.5",
+        "write_fraction": "funiform:0.3,0.7",
+    },
+)
+
+
+# --------------------------------------------------------------------------- #
+# Generator-registry integration
+# --------------------------------------------------------------------------- #
+def build_family_trace(family_name: str, num_threads: int = 4,
+                       events_per_thread: int = 100,
+                       seed: Optional[int] = 0, name: Optional[str] = None,
+                       scheduler: str = "rr", **params) -> Trace:
+    """Build one trace of ``family_name``: sample unpinned knobs, build the
+    scenario program, execute it under ``scheduler``.
+
+    Explicit keyword ``params`` pin knobs; every knob left unpinned is
+    sampled from the family's declared space.  All randomness (sampling,
+    program construction, schedule) derives from one ``Random(seed)``, so
+    the trace is a pure function of ``(family, shape, seed, scheduler,
+    params)``.
+    """
+    family = get_family(family_name)
+    unknown = sorted(set(params) - set(family.space.names()))
+    if unknown:
+        raise GenerationError(
+            f"unknown parameters {unknown} for scenario family "
+            f"{family_name!r}; known: {sorted(family.space.names())}")
+    rng = random.Random(seed)
+    sampled = family.space.sample(rng)
+    sampled.update(params)
+    trace_name = name if name is not None else family_name
+    scenario = family.build_scenario(num_threads, events_per_thread, rng,
+                                     trace_name, **sampled)
+    trace, _stats = execute(scenario, make_scheduler(scheduler), rng=rng)
+    return trace
+
+
+def _make_generator(family_name: str) -> Callable[..., Trace]:
+    def generator(num_threads: int = 4, events_per_thread: int = 100,
+                  seed: Optional[int] = 0, name: Optional[str] = None,
+                  scheduler: str = "rr", **params) -> Trace:
+        return build_family_trace(family_name, num_threads=num_threads,
+                                  events_per_thread=events_per_thread,
+                                  seed=seed, name=name, scheduler=scheduler,
+                                  **params)
+
+    generator.__name__ = f"scenario_{family_name.replace('-', '_')}"
+    generator.__qualname__ = generator.__name__
+    generator.__doc__ = FAMILY_REGISTRY[family_name].description
+    return generator
+
+
+#: Kept at module scope so sweep worker processes can rebuild traces from a
+#: pickled spec: the registry entry resolves back to these functions by
+#: importing this module, never by pickling the callables themselves.
+SCENARIO_GENERATORS: Dict[str, Callable[..., Trace]] = {
+    family_name: _make_generator(family_name)
+    for family_name in FAMILY_REGISTRY
+}
+
+
+def register_scenario_generators() -> None:
+    """Register every family in the unified generator registry.
+
+    Refuses to shadow an existing non-scenario kind: the registry is the
+    single source of truth for kind names, and a silent overwrite would
+    fork the ``repro gen --list`` / ``repro sweep`` views.
+    """
+    from repro.trace.generators import (
+        GENERATOR_REGISTRY,
+        register_generator,
+    )
+
+    for family_name, family in FAMILY_REGISTRY.items():
+        existing = GENERATOR_REGISTRY.get(family_name)
+        if existing is not None and existing.source != "scenario":
+            raise GenerationError(
+                f"scenario family {family_name!r} collides with a "
+                f"registered {existing.source} generator of the same name")
+        register_generator(family_name, SCENARIO_GENERATORS[family_name],
+                           analyses=family.analyses,
+                           description=family.description,
+                           source="scenario")
+
+
+register_scenario_generators()

@@ -1,0 +1,484 @@
+"""Scenario programs: small concurrent programs executed into traces.
+
+Where the classic generators in :mod:`repro.trace.generators` emit events
+directly from one sampling loop, a *scenario program* models an actual
+concurrent program -- one operation list per thread over shared state
+(locks, variables, bounded queues, barriers, the heap, child threads) --
+and *executes* it under a pluggable seeded scheduler
+(:mod:`repro.gen.schedulers`).  The partial-order shape of the resulting
+trace is therefore an emergent property of program structure x schedule,
+which is exactly the diversity axis the hand-rolled generators cannot
+reach: the same program under a round-robin, contention-weighted or
+adversarial scheduler yields structurally different interleavings, all of
+them *well-formed* (mutual exclusion respected, queues FIFO with
+capacity, barriers releasing together, forks before first child event).
+
+Operations (:class:`Op`):
+
+=============  ======================================================
+action          trace events emitted when scheduled
+=============  ======================================================
+``read``        one ``READ`` of ``target``
+``write``       one ``WRITE`` of ``target``
+``acquire``     one ``ACQUIRE`` (blocks while another thread holds it)
+``release``     one ``RELEASE``
+``alloc``       one ``ALLOC`` of heap address ``target``
+``free``        one ``FREE``
+``atomic_*``    one C11 atomic access with ``order``
+``fork``        one ``FORK``; the child thread becomes schedulable
+``join``        one ``JOIN`` (blocks until the child finishes)
+``put``         payload ``WRITE`` + release-``ATOMIC_WRITE`` on the
+                queue cell/head (blocks while the queue is full)
+``get``         acquire-``ATOMIC_READ`` on the head + payload ``READ``
+                (blocks while the queue is empty)
+``barrier``     one ``ACQ_REL`` RMW on the per-phase barrier cell
+                (blocks until every participant arrived)
+``begin/end``   method-invocation boundaries
+=============  ======================================================
+
+The executor guarantees termination even for programs whose lock/queue/
+barrier structure can wedge under some schedule: when no thread is
+runnable it deterministically breaks the tie (skipping a blocked critical
+section to its matching release, force-starting a never-forked join
+target, releasing a barrier short-handed, dropping an unservable queue
+op) and counts the repair in :class:`ExecutionStats` -- generation must
+always produce a trace, and the repair count is a visible quality signal
+for scenario builders.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import GenerationError
+from repro.trace.event import MemoryOrder
+from repro.trace.trace import Trace
+
+#: Op actions understood by the executor.
+ACTIONS = frozenset({
+    "read", "write", "acquire", "release", "alloc", "free",
+    "atomic_read", "atomic_write", "atomic_rmw",
+    "fork", "join", "put", "get", "barrier", "begin", "end",
+})
+
+@dataclass(frozen=True)
+class Op:
+    """One scenario-program operation (see module table).
+
+    ``target`` names the lock / variable / heap address / queue / barrier /
+    child thread the operation touches; ``value`` and ``order`` carry
+    payloads for accesses, ``operation``/``argument``/``result`` the
+    method-invocation metadata of ``begin``/``end``.
+    """
+
+    action: str
+    target: Any = None
+    value: Any = None
+    order: Optional[MemoryOrder] = None
+    operation: Optional[str] = None
+    argument: Any = None
+    result: Any = None
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            known = ", ".join(sorted(ACTIONS))
+            raise GenerationError(
+                f"unknown scenario op action {self.action!r}; known: {known}")
+
+
+@dataclass
+class Scenario:
+    """A concurrent program: one op list per thread plus shared-state decls.
+
+    ``roots`` are the threads schedulable from the start; every other
+    thread must be the target of some root-reachable ``fork`` (threads that
+    are never forked are force-started only by the stuck-breaker).  Queues
+    are bounded FIFO channels (``queue_capacity`` slots each, default 2);
+    barrier participants default to every thread of the scenario.
+    """
+
+    name: str
+    programs: Dict[int, List[Op]]
+    roots: Optional[Sequence[int]] = None
+    queue_capacity: Dict[str, int] = field(default_factory=dict)
+    barrier_parties: Dict[str, Sequence[int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.programs:
+            raise GenerationError("scenario needs at least one thread program")
+        if self.roots is None:
+            forked = {op.target for ops in self.programs.values()
+                      for op in ops if op.action == "fork"}
+            self.roots = [t for t in self.programs if t not in forked]
+        if not self.roots:
+            raise GenerationError(
+                f"scenario {self.name!r} has no root threads (every thread "
+                f"is forked by another)")
+
+    @property
+    def threads(self) -> List[int]:
+        return sorted(self.programs)
+
+    def op_count(self) -> int:
+        return sum(len(ops) for ops in self.programs.values())
+
+
+@dataclass
+class ExecutionStats:
+    """Diagnostics of one scenario execution."""
+
+    steps: int = 0
+    context_switches: int = 0
+    repairs: int = 0  #: stuck-breaker interventions (0 for healthy programs)
+    skipped_sections: int = 0
+    skipped_queue_ops: int = 0
+    forced_barrier_releases: int = 0
+    forced_starts: int = 0
+
+
+class _QueueState:
+    __slots__ = ("items", "capacity", "produced", "consumed")
+
+    def __init__(self, capacity: int) -> None:
+        self.items: List[Any] = []
+        self.capacity = capacity
+        self.produced = 0
+        self.consumed = 0
+
+
+class ScenarioExecutor:
+    """Executes one :class:`Scenario` under a scheduler into a `Trace`.
+
+    The executor owns all shared-state bookkeeping (lock owners, queue
+    contents, barrier arrival sets, thread lifecycle); the scheduler only
+    ever answers "which runnable thread goes next".  Given the same
+    scenario, scheduler and rng seed the emitted trace is identical --
+    all iteration is over insertion-ordered containers.
+    """
+
+    def __init__(self, scenario: Scenario, rng: random.Random) -> None:
+        self.scenario = scenario
+        self.rng = rng
+        self.trace = Trace(name=scenario.name)
+        self.stats = ExecutionStats()
+        self._pc: Dict[int, int] = {t: 0 for t in scenario.threads}
+        self._started = set(scenario.roots or ())
+        self._finished: set = set()
+        self._lock_owner: Dict[Any, int] = {}
+        self._held: Dict[int, List[Any]] = {t: [] for t in scenario.threads}
+        self._queues: Dict[str, _QueueState] = {}
+        self._barrier_phase: Dict[str, int] = {}
+        self._barrier_arrived: Dict[str, List[int]] = {}
+        self.current: Optional[int] = None
+        #: last writer thread per variable -- exposed to schedulers so the
+        #: adversarial one can preempt at conflicting accesses.
+        self.last_writer: Dict[Any, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Thread/op introspection (also the scheduler-facing surface)
+    # ------------------------------------------------------------------ #
+    def next_op(self, thread: int) -> Optional[Op]:
+        program = self.scenario.programs[thread]
+        pc = self._pc[thread]
+        return program[pc] if pc < len(program) else None
+
+    def _queue(self, name: str) -> _QueueState:
+        state = self._queues.get(name)
+        if state is None:
+            capacity = self.scenario.queue_capacity.get(name, 2)
+            state = self._queues[name] = _QueueState(max(1, capacity))
+        return state
+
+    def _parties(self, barrier: str) -> List[int]:
+        declared = self.scenario.barrier_parties.get(barrier)
+        return list(declared) if declared is not None else self.scenario.threads
+
+    def _blocked(self, thread: int, op: Op) -> bool:
+        if op.action == "acquire":
+            # Locks are non-reentrant: a thread re-acquiring its own lock
+            # blocks on itself and is repaired by the stuck-breaker (the
+            # section is skipped), keeping the always-produce-a-trace
+            # guarantee instead of crashing on a malformed program.
+            return self._lock_owner.get(op.target) is not None
+        if op.action == "join":
+            return op.target not in self._finished
+        if op.action == "put":
+            queue = self._queue(op.target)
+            return len(queue.items) >= queue.capacity
+        if op.action == "get":
+            return not self._queue(op.target).items
+        if op.action == "barrier":
+            # A thread that already arrived waits (without re-emitting its
+            # arrival event) until the phase releases, which advances its pc
+            # past the barrier op.
+            return thread in self._barrier_arrived.get(op.target, ())
+        return False
+
+    def runnable(self) -> List[int]:
+        """Threads that can take a step right now, in sorted thread order."""
+        out = []
+        for thread in self.scenario.threads:
+            if thread in self._finished or thread not in self._started:
+                continue
+            op = self.next_op(thread)
+            if op is None:
+                # Program exhausted but not yet marked finished.
+                out.append(thread)
+                continue
+            if not self._blocked(thread, op):
+                out.append(thread)
+        return out
+
+    def unfinished(self) -> List[int]:
+        return [t for t in self.scenario.threads if t not in self._finished]
+
+    # ------------------------------------------------------------------ #
+    # Stepping
+    # ------------------------------------------------------------------ #
+    def step(self, thread: int) -> None:
+        """Execute the next op of ``thread`` (must be runnable)."""
+        op = self.next_op(thread)
+        if op is None:
+            self._finish(thread)
+            return
+        handler = getattr(self, f"_do_{op.action}")
+        handler(thread, op)
+        self.stats.steps += 1
+        if self.current is not None and self.current != thread:
+            self.stats.context_switches += 1
+        self.current = thread
+
+    def _advance(self, thread: int) -> None:
+        self._pc[thread] += 1
+        if self._pc[thread] >= len(self.scenario.programs[thread]):
+            self._finish(thread)
+
+    def _finish(self, thread: int) -> None:
+        self._finished.add(thread)
+        # Leaked locks would wedge every other contender forever; release
+        # them so a sloppy program degrades instead of deadlocking.
+        for lock in self._held[thread]:
+            if self._lock_owner.get(lock) == thread:
+                del self._lock_owner[lock]
+        self._held[thread] = []
+
+    # Per-action emitters ------------------------------------------------ #
+    def _do_read(self, thread: int, op: Op) -> None:
+        self.trace.read(thread, op.target, value=op.value)
+        self._advance(thread)
+
+    def _do_write(self, thread: int, op: Op) -> None:
+        self.trace.write(thread, op.target, value=op.value)
+        self.last_writer[op.target] = thread
+        self._advance(thread)
+
+    def _do_acquire(self, thread: int, op: Op) -> None:
+        if self._lock_owner.get(op.target) is not None:
+            raise GenerationError(
+                f"scheduler stepped thread {thread} into held lock "
+                f"{op.target!r}")
+        self._lock_owner[op.target] = thread
+        self._held[thread].append(op.target)
+        self.trace.acquire(thread, op.target)
+        self._advance(thread)
+
+    def _do_release(self, thread: int, op: Op) -> None:
+        if self._lock_owner.get(op.target) != thread:
+            raise GenerationError(
+                f"thread {thread} releases lock {op.target!r} it does not "
+                f"hold (malformed scenario program)")
+        del self._lock_owner[op.target]
+        self._held[thread].remove(op.target)
+        self.trace.release(thread, op.target)
+        self._advance(thread)
+
+    def _do_alloc(self, thread: int, op: Op) -> None:
+        self.trace.alloc(thread, op.target)
+        self._advance(thread)
+
+    def _do_free(self, thread: int, op: Op) -> None:
+        self.trace.free(thread, op.target)
+        self._advance(thread)
+
+    def _do_atomic_read(self, thread: int, op: Op) -> None:
+        self.trace.atomic_read(thread, op.target, value=op.value,
+                               memory_order=op.order or MemoryOrder.ACQUIRE)
+        self._advance(thread)
+
+    def _do_atomic_write(self, thread: int, op: Op) -> None:
+        self.trace.atomic_write(thread, op.target, value=op.value,
+                                memory_order=op.order or MemoryOrder.RELEASE)
+        self.last_writer[op.target] = thread
+        self._advance(thread)
+
+    def _do_atomic_rmw(self, thread: int, op: Op) -> None:
+        self.trace.atomic_rmw(thread, op.target, value=op.value,
+                              memory_order=op.order or MemoryOrder.ACQ_REL)
+        self.last_writer[op.target] = thread
+        self._advance(thread)
+
+    def _do_fork(self, thread: int, op: Op) -> None:
+        if op.target not in self.scenario.programs:
+            raise GenerationError(
+                f"fork target {op.target!r} has no program")
+        self.trace.fork(thread, op.target)
+        self._started.add(op.target)
+        self._advance(thread)
+
+    def _do_join(self, thread: int, op: Op) -> None:
+        self.trace.join(thread, op.target)
+        self._advance(thread)
+
+    def _do_put(self, thread: int, op: Op) -> None:
+        queue = self._queue(op.target)
+        ticket = queue.produced
+        queue.produced += 1
+        value = op.value if op.value is not None else ticket
+        queue.items.append(value)
+        slot = ticket % queue.capacity
+        cell = f"{op.target}[{slot}]"
+        self.trace.write(thread, cell, value=value)
+        self.last_writer[cell] = thread
+        self.trace.atomic_write(thread, op.target, value=ticket,
+                                memory_order=MemoryOrder.RELEASE)
+        self.last_writer[op.target] = thread
+        self._advance(thread)
+
+    def _do_get(self, thread: int, op: Op) -> None:
+        queue = self._queue(op.target)
+        ticket = queue.consumed
+        queue.consumed += 1
+        value = queue.items.pop(0)
+        slot = ticket % queue.capacity
+        self.trace.atomic_read(thread, op.target, value=ticket,
+                               memory_order=MemoryOrder.ACQUIRE)
+        self.trace.read(thread, f"{op.target}[{slot}]", value=value)
+        self._advance(thread)
+
+    def _do_barrier(self, thread: int, op: Op) -> None:
+        phase = self._barrier_phase.setdefault(op.target, 0)
+        arrived = self._barrier_arrived.setdefault(op.target, [])
+        arrived.append(thread)
+        self.trace.atomic_rmw(thread, f"{op.target}#p{phase}",
+                              value=len(arrived),
+                              memory_order=MemoryOrder.ACQ_REL)
+        alive_parties = [t for t in self._parties(op.target)
+                         if t not in self._finished]
+        if set(arrived) >= set(alive_parties):
+            self._release_barrier(op.target)
+        # The arrival event is emitted now; the pc advances when the phase
+        # releases (via _release_barrier marking this thread released).
+
+    def _release_barrier(self, barrier: str) -> None:
+        arrived = self._barrier_arrived.get(barrier, [])
+        self._barrier_phase[barrier] = self._barrier_phase.get(barrier, 0) + 1
+        self._barrier_arrived[barrier] = []
+        for waiter in arrived:
+            self._advance(waiter)
+
+    def _do_begin(self, thread: int, op: Op) -> None:
+        self.trace.begin(thread, op.operation or "op", argument=op.argument)
+        self._advance(thread)
+
+    def _do_end(self, thread: int, op: Op) -> None:
+        self.trace.end(thread, op.operation or "op", result=op.result)
+        self._advance(thread)
+
+    # ------------------------------------------------------------------ #
+    # Stuck breaking
+    # ------------------------------------------------------------------ #
+    def break_stuck(self) -> None:
+        """Deterministically unwedge the execution (see module docstring)."""
+        self.stats.repairs += 1
+        for thread in self.scenario.threads:
+            if thread in self._finished or thread not in self._started:
+                continue
+            op = self.next_op(thread)
+            if op is None or not self._blocked(thread, op):
+                continue
+            if op.action == "acquire":
+                self._skip_section(thread, op.target)
+                self.stats.skipped_sections += 1
+                return
+            if op.action in ("put", "get"):
+                self._advance(thread)
+                self.stats.skipped_queue_ops += 1
+                return
+            if op.action == "join":
+                self._started.add(op.target)
+                self.stats.forced_starts += 1
+                return
+            if op.action == "barrier":
+                self._release_barrier(op.target)
+                self.stats.forced_barrier_releases += 1
+                return
+        # Threads exist that never started and nobody joins them: start one.
+        for thread in self.scenario.threads:
+            if thread not in self._started and thread not in self._finished:
+                self._started.add(thread)
+                self.stats.forced_starts += 1
+                return
+        raise GenerationError(
+            f"scenario {self.scenario.name!r} is stuck with no repairable "
+            f"thread (unfinished: {self.unfinished()})")
+
+    def _skip_section(self, thread: int, lock: Any) -> None:
+        """Advance ``thread`` past the critical section it is blocked on.
+
+        Skips from the blocked ``acquire`` to just after its matching
+        ``release`` (tracking nesting of the same lock), dropping every op
+        in between -- the trace simply never records the section.
+        """
+        program = self.scenario.programs[thread]
+        pc = self._pc[thread]
+        depth = 0
+        for position in range(pc, len(program)):
+            op = program[position]
+            if op.action == "acquire" and op.target == lock:
+                depth += 1
+            elif op.action == "release" and op.target == lock:
+                depth -= 1
+                if depth == 0:
+                    self._pc[thread] = position + 1
+                    if self._pc[thread] >= len(program):
+                        self._finish(thread)
+                    return
+        # No matching release ahead (malformed program): drop the tail.
+        self._pc[thread] = len(program)
+        self._finish(thread)
+
+    # ------------------------------------------------------------------ #
+    # Driving loop
+    # ------------------------------------------------------------------ #
+    def run(self, scheduler) -> Trace:
+        """Execute to completion under ``scheduler`` and return the trace."""
+        guard = 0
+        limit = max(64, self.scenario.op_count() * 8 + 256)
+        while self.unfinished():
+            runnable = self.runnable()
+            if not runnable:
+                self.break_stuck()
+                guard += 1
+                if guard > limit:  # pragma: no cover - defensive bound
+                    raise GenerationError(
+                        f"scenario {self.scenario.name!r} failed to make "
+                        f"progress after {guard} repairs")
+                continue
+            thread = scheduler.pick(self.rng, runnable, self)
+            if thread not in runnable:
+                raise GenerationError(
+                    f"scheduler picked non-runnable thread {thread} "
+                    f"(runnable: {runnable})")
+            self.step(thread)
+        return self.trace
+
+
+def execute(scenario: Scenario, scheduler, seed: Optional[int] = 0,
+            rng: Optional[random.Random] = None) -> Tuple[Trace, ExecutionStats]:
+    """Run ``scenario`` under ``scheduler`` and return (trace, stats)."""
+    executor = ScenarioExecutor(scenario,
+                                rng if rng is not None else random.Random(seed))
+    trace = executor.run(scheduler)
+    return trace, executor.stats

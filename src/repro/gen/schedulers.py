@@ -1,0 +1,202 @@
+"""Seeded schedulers for scenario-program execution.
+
+A scheduler answers exactly one question -- *which runnable thread takes
+the next step* -- against the live :class:`~repro.gen.scenario.ScenarioExecutor`
+state.  Three shipped policies span the interleaving spectrum the CSST
+evaluation cares about:
+
+* ``rr`` (:class:`RoundRobinBursts`): each thread runs a random-length
+  burst, then the next runnable thread in cyclic order takes over.  Long
+  bursts mean few cross-chain edges (sparse ``q``); short bursts mean
+  dense interleaving.
+* ``weighted`` (:class:`ContentionWeighted`): threads are picked with
+  Zipf-skewed probabilities, modeling one hot thread that dominates the
+  trace while stragglers interleave around it.
+* ``adversarial`` (:class:`AdversarialPreemption`): preferentially
+  preempts right at *conflicting* accesses -- when the current thread's
+  next op touches a variable another runnable thread is about to touch
+  (one of them writing), the scheduler switches to the rival first, which
+  maximizes racy adjacency and stresses the analyses' witness search.
+
+Schedulers are addressable by spec string (``"rr"``, ``"rr:burst=6"``,
+``"weighted:skew=1.5"``, ``"adversarial:preempt=0.9"``) so corpus configs
+and CLI flags can select them declaratively.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import GenerationError
+
+
+class Scheduler:
+    """Base class: pick the next thread from the runnable set."""
+
+    #: Registry spec name (set by subclasses).
+    kind: str = "scheduler"
+
+    def pick(self, rng: random.Random, runnable: Sequence[int],
+             executor) -> int:
+        raise NotImplementedError
+
+    def spec(self) -> str:
+        return self.kind
+
+
+class RoundRobinBursts(Scheduler):
+    """Cyclic order with random burst lengths (default scheduler)."""
+
+    kind = "rr"
+
+    def __init__(self, burst: int = 4) -> None:
+        if not isinstance(burst, int) or burst < 1:
+            raise GenerationError(
+                f"rr burst must be an integer >= 1, got {burst!r}")
+        self.burst = burst
+        self._remaining = 0
+
+    def pick(self, rng: random.Random, runnable: Sequence[int],
+             executor) -> int:
+        current = executor.current
+        if current in runnable and self._remaining > 0:
+            self._remaining -= 1
+            return current
+        # Next runnable thread after the current one in cyclic order; the
+        # very first pick starts the cycle at the lowest runnable id.
+        if current is None:
+            candidates = list(runnable)
+        else:
+            candidates = [t for t in runnable if t > current] or list(runnable)
+        choice = candidates[0]
+        self._remaining = rng.randint(1, self.burst) - 1
+        return choice
+
+    def spec(self) -> str:
+        return f"rr:burst={self.burst}"
+
+
+class ContentionWeighted(Scheduler):
+    """Zipf-skewed thread selection: low thread ids run hot."""
+
+    kind = "weighted"
+
+    def __init__(self, skew: float = 1.0) -> None:
+        if skew < 0:
+            raise GenerationError(f"weighted skew must be >= 0, got {skew}")
+        self.skew = skew
+
+    def pick(self, rng: random.Random, runnable: Sequence[int],
+             executor) -> int:
+        weights = [1.0 / ((position + 1) ** self.skew)
+                   for position in range(len(runnable))]
+        total = sum(weights)
+        roll = rng.random() * total
+        running = 0.0
+        for thread, weight in zip(runnable, weights):
+            running += weight
+            if roll <= running:
+                return thread
+        return runnable[-1]  # pragma: no cover - float round-off guard
+
+    def spec(self) -> str:
+        return f"weighted:skew={self.skew}"
+
+
+class AdversarialPreemption(Scheduler):
+    """Preempt at conflicting accesses to maximize racy adjacency."""
+
+    kind = "adversarial"
+
+    def __init__(self, preempt: float = 0.8) -> None:
+        if not 0.0 <= preempt <= 1.0:
+            raise GenerationError(
+                f"adversarial preempt must be in [0, 1], got {preempt}")
+        self.preempt = preempt
+
+    @staticmethod
+    def _footprint(op) -> Optional[tuple]:
+        if op is None:
+            return None
+        if op.action in ("read", "write", "atomic_read", "atomic_write",
+                         "atomic_rmw", "alloc", "free"):
+            writes = op.action not in ("read", "atomic_read")
+            return (op.target, writes)
+        return None
+
+    def pick(self, rng: random.Random, runnable: Sequence[int],
+             executor) -> int:
+        footprints = {thread: self._footprint(executor.next_op(thread))
+                      for thread in runnable}
+        conflicted = []
+        for thread in runnable:
+            mine = footprints[thread]
+            if mine is None:
+                continue
+            variable, writes = mine
+            for other in runnable:
+                if other == thread:
+                    continue
+                theirs = footprints[other]
+                if theirs is not None and theirs[0] == variable and (
+                        writes or theirs[1]):
+                    conflicted.append(thread)
+                    break
+        if conflicted and rng.random() < self.preempt:
+            # Prefer a *different* thread than the current one among the
+            # conflicting set: that is the preemption.
+            rivals = [t for t in conflicted if t != executor.current]
+            return rng.choice(rivals or conflicted)
+        return rng.choice(list(runnable))
+
+    def spec(self) -> str:
+        return f"adversarial:preempt={self.preempt}"
+
+
+#: Scheduler factories by spec name.
+SCHEDULERS: Dict[str, Callable[..., Scheduler]] = {
+    "rr": RoundRobinBursts,
+    "weighted": ContentionWeighted,
+    "adversarial": AdversarialPreemption,
+}
+
+#: Cycle used when a corpus or fuzz run asks for scheduler diversity.
+DEFAULT_SCHEDULER_CYCLE: List[str] = ["rr", "weighted", "adversarial"]
+
+
+def make_scheduler(spec: str) -> Scheduler:
+    """Build a scheduler from ``name[:key=value,...]``.
+
+    Parameter values are parsed as int when possible, float otherwise.
+    """
+    name, _, tail = spec.partition(":")
+    factory = SCHEDULERS.get(name)
+    if factory is None:
+        known = ", ".join(sorted(SCHEDULERS))
+        raise GenerationError(
+            f"unknown scheduler {name!r}; known: {known}")
+    kwargs = {}
+    if tail:
+        for item in tail.split(","):
+            if not item.strip():
+                continue
+            key, separator, value = item.partition("=")
+            if not separator:
+                raise GenerationError(
+                    f"malformed scheduler parameter {item!r} in {spec!r}")
+            value = value.strip()
+            try:
+                kwargs[key.strip()] = int(value)
+            except ValueError:
+                try:
+                    kwargs[key.strip()] = float(value)
+                except ValueError:
+                    raise GenerationError(
+                        f"non-numeric scheduler parameter {item!r} in "
+                        f"{spec!r}") from None
+    try:
+        return factory(**kwargs)
+    except TypeError as error:
+        raise GenerationError(
+            f"invalid scheduler parameters in {spec!r}: {error}") from error

@@ -16,7 +16,7 @@ matters when several (analysis, backend) jobs share one trace in a serial
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.errors import ReproError
@@ -69,6 +69,23 @@ class Suite:
 
     def __iter__(self):
         return iter(self.specs)
+
+
+def override_seed(suite: Suite, seed: int) -> Suite:
+    """Rebind every spec of ``suite`` to ``seed`` (the ``sweep --seed``
+    path).
+
+    Suites pin seeds internally for reproducibility; the override swaps in
+    one caller-chosen seed across the board so the same grid can be
+    re-measured on fresh randomness.  Specs that collapse onto each other
+    once the seed is uniform (seed-diversity suites repeat one shape per
+    seed) are deduplicated, mirroring the ``full`` suite's registration-time
+    dedupe -- duplicate jobs would shadow each other in speedup
+    aggregation.
+    """
+    specs = tuple(dict.fromkeys(
+        replace(spec, seed=seed) for spec in suite.specs))
+    return Suite(name=suite.name, description=suite.description, specs=specs)
 
 
 def grid(kinds: Iterable[str], threads: Iterable[int], events: Iterable[int],

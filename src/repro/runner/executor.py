@@ -33,7 +33,13 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.analyses.common.base import Analysis
 from repro.errors import ReproError
-from repro.runner.corpus import Suite, TraceCorpus, TraceSpec, get_suite
+from repro.runner.corpus import (
+    Suite,
+    TraceCorpus,
+    TraceSpec,
+    get_suite,
+    override_seed,
+)
 from repro.trace.generators import GENERATOR_REGISTRY
 from repro.runner.results import (
     STATUS_ERROR,
@@ -260,9 +266,18 @@ def run_suite(suite_name: str, *, workers: int = 1,
               analyses: Optional[Sequence[str]] = None,
               backends: Optional[Sequence[str]] = None,
               timeout_seconds: Optional[float] = None,
-              repeats: int = 1) -> SweepResult:
-    """Plan and execute a full sweep of a registered suite."""
+              repeats: int = 1,
+              seed: Optional[int] = None) -> SweepResult:
+    """Plan and execute a full sweep of a registered suite.
+
+    ``seed`` overrides the seed pinned in every suite spec (see
+    :func:`repro.runner.corpus.override_seed`); the effective seed lands in
+    each :class:`~repro.runner.results.SweepRecord` (and its CSV/JSON
+    exports) either way, so a sweep is always reproducible from its output.
+    """
     suite = get_suite(suite_name)
+    if seed is not None:
+        suite = override_seed(suite, seed)
     jobs = plan_jobs(suite, analyses=analyses, backends=backends)
     return run_jobs(jobs, workers=workers, timeout_seconds=timeout_seconds,
                     suite_name=suite.name, repeats=repeats)

@@ -345,9 +345,29 @@ def open_source(spec: str, follow: bool = False,
     """Resolve a CLI ``--source`` value into a source.
 
     An existing file path (``.std`` or ``.std.gz``) becomes a
-    :class:`FileSource`; otherwise the value is parsed as a generator spec
+    :class:`FileSource`; a corpus manifest (``manifest.json`` or
+    ``manifest.json#TRACE_ID``, see :mod:`repro.gen.corpus`) resolves to a
+    :class:`FileSource` over the named member (first member by default);
+    otherwise the value is parsed as a generator spec
     ``kind[:key=value,...]`` (e.g. ``racy:threads=3,events=60,seed=1``).
     """
+    manifest_path = spec.partition("#")[0]
+    if manifest_path.endswith(".json") and os.path.isfile(manifest_path):
+        from repro.errors import GenerationError
+        from repro.gen.corpus import read_manifest, resolve_member
+
+        try:
+            manifest = read_manifest(manifest_path)
+        except GenerationError as error:  # manifest-shaped, bad version
+            raise StreamError(str(error)) from error
+        if manifest is not None:
+            try:
+                member_path, member_name = resolve_member(spec, manifest)
+            except GenerationError as error:
+                raise StreamError(str(error)) from error
+            return FileSource(member_path, follow=follow,
+                              poll_interval=poll_interval,
+                              idle_timeout=idle_timeout, name=member_name)
     if os.path.exists(spec):
         return FileSource(spec, follow=follow, poll_interval=poll_interval,
                           idle_timeout=idle_timeout)

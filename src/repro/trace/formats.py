@@ -128,13 +128,61 @@ def open_trace(path: Union[str, Path], mode: str = "r") -> TextIO:
     """Open a trace file for text I/O, transparently gzipped for ``.gz``.
 
     ``mode`` is ``"r"``, ``"w"`` or ``"a"`` (text is implied; encoding is
-    always UTF-8).
+    always UTF-8).  Gzip members are written with a zeroed mtime and no
+    embedded filename, so the same trace serialises to byte-identical
+    ``.std.gz`` output wherever and whenever it is written -- the property
+    the generator-determinism tests and the fuzzer's reproducibility
+    contract pin down.
     """
     if mode not in ("r", "w", "a"):
         raise TraceError(f"unsupported trace file mode {mode!r}")
     if _is_gzip_path(path):
-        return gzip.open(path, mode + "t", encoding="utf-8")
+        if mode == "r":
+            return gzip.open(path, "rt", encoding="utf-8")
+        raw = open(path, mode + "b")
+        try:
+            binary = gzip.GzipFile(filename="", mode=mode + "b",
+                                   fileobj=raw, mtime=0)
+        except Exception:  # pragma: no cover - constructor cannot realistically fail
+            raw.close()
+            raise
+        return io.TextIOWrapper(_OwningGzipWriter(binary, raw),
+                                encoding="utf-8")
     return open(path, mode, encoding="utf-8")
+
+
+class _OwningGzipWriter(io.BufferedIOBase):
+    """Minimal write-only wrapper closing both the gzip member and the
+    underlying file object (``GzipFile`` with an explicit ``fileobj`` leaves
+    the raw file open on close)."""
+
+    def __init__(self, member: gzip.GzipFile, raw) -> None:
+        self._member = member
+        self._raw = raw
+
+    def write(self, data) -> int:
+        return self._member.write(data)
+
+    def writable(self) -> bool:
+        return True
+
+    def flush(self) -> None:
+        if not self._member.closed:
+            self._member.flush()
+
+    def close(self) -> None:
+        if self.closed:  # pragma: no cover - double-close guard
+            return
+        try:
+            try:
+                self._member.close()
+            finally:
+                # Close the raw fd even when flushing the final compressed
+                # block fails (e.g. disk full) -- leaking it until GC would
+                # exhaust fds in long sweeps.
+                self._raw.close()
+        finally:
+            super().close()
 
 
 # --------------------------------------------------------------------------- #

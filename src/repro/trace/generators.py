@@ -411,13 +411,18 @@ class GeneratorEntry:
     """A registered trace generator plus the metadata needed to drive it
     uniformly: the name of the keyword argument that controls the per-thread
     trace size (``history_trace`` counts *operations*, everything else counts
-    *events*), and the names of the analyses the workload is meant to feed
+    *events*), the names of the analyses the workload is meant to feed
     (used by the sweep runner to plan jobs; names only, so the trace layer
-    stays independent of :mod:`repro.analyses`)."""
+    stays independent of :mod:`repro.analyses`), a one-line description for
+    the discovery tables, and the generator's ``source`` -- ``"classic"``
+    for the hand-written generators in this module, ``"scenario"`` for the
+    scenario-program families of :mod:`repro.gen.families`."""
 
     generator: Callable[..., Trace]
     size_parameter: str = "events_per_thread"
     analyses: Tuple[str, ...] = ()
+    description: str = ""
+    source: str = "classic"
 
 
 #: Registry of trace generators addressable by a short kind name.  The CLI's
@@ -429,14 +434,19 @@ GENERATOR_REGISTRY: Dict[str, GeneratorEntry] = {}
 
 def register_generator(kind: str, generator: Callable[..., Trace],
                        size_parameter: str = "events_per_thread",
-                       analyses: Sequence[str] = ()) -> None:
+                       analyses: Sequence[str] = (),
+                       description: str = "",
+                       source: str = "classic") -> None:
     """Register ``generator`` under ``kind`` (overwrites a previous entry).
 
     ``analyses`` names the analyses this workload kind targets; the sweep
     runner refuses to plan jobs for kinds registered without any.
+    ``description`` and ``source`` feed the unified discovery table
+    (``repro gen --list``).
     """
     GENERATOR_REGISTRY[kind] = GeneratorEntry(generator, size_parameter,
-                                              tuple(analyses))
+                                              tuple(analyses),
+                                              description, source)
 
 
 def get_generator(kind: str) -> GeneratorEntry:
@@ -471,12 +481,30 @@ def build_trace(kind: str, num_threads: int, events: int,
 
 # The kind -> analyses pairing mirrors the paper's tables (the table in this
 # module's docstring); ``memory`` feeds two analyses.
-register_generator("racy", racy_trace, analyses=("race-prediction",))
-register_generator("deadlock", deadlock_trace, analyses=("deadlock-prediction",))
+register_generator("racy", racy_trace, analyses=("race-prediction",),
+                   description="protected/unprotected shared-memory mix")
+register_generator("deadlock", deadlock_trace,
+                   analyses=("deadlock-prediction",),
+                   description="lock-heavy nesting with order inversions")
 register_generator("memory", memory_trace,
-                   analyses=("memory-bugs", "use-after-free"))
-register_generator("tso", tso_trace, analyses=("tso-consistency",))
-register_generator("c11", c11_trace, analyses=("c11-races",))
+                   analyses=("memory-bugs", "use-after-free"),
+                   description="heap alloc/use/free with escaping objects")
+register_generator("tso", tso_trace, analyses=("tso-consistency",),
+                   description="valued writes/reads with store-buffer "
+                               "staleness")
+register_generator("c11", c11_trace, analyses=("c11-races",),
+                   description="C11 atomics (rel/acq + relaxed) over plain "
+                               "accesses")
 register_generator("history", history_trace,
                    size_parameter="operations_per_thread",
-                   analyses=("linearizability",))
+                   analyses=("linearizability",),
+                   description="concurrent-object method history "
+                               "(set/queue/register)")
+
+# Scenario-program families (repro.gen) register themselves into this same
+# registry when their module loads; importing it here makes the registry
+# complete for every front end that only imports the trace layer (the CLI,
+# sweep workers, stream sources).  The import is circular-safe in both
+# directions: everything this module defines is above this line, and the
+# families module registers at the end of its own body.
+from repro.gen import families as _scenario_families  # noqa: E402,F401

@@ -1,0 +1,116 @@
+"""Tests for the named parameter distributions."""
+
+import random
+
+import pytest
+
+from repro.errors import GenerationError
+from repro.gen.distributions import (
+    Choice,
+    Constant,
+    FloatUniform,
+    Geometric,
+    Space,
+    Uniform,
+    Zipf,
+    parse_distribution,
+)
+
+
+class TestParsing:
+    @pytest.mark.parametrize("spec, expected", [
+        ("const:5", Constant(5)),
+        ("uniform:2,8", Uniform(2, 8)),
+        ("funiform:0.1,0.9", FloatUniform(0.1, 0.9)),
+        ("choice:a,b,c", Choice(("a", "b", "c"))),
+        ("zipf:1.2,16", Zipf(1.2, 16)),
+        ("geom:0.5,4", Geometric(0.5, 4)),
+    ])
+    def test_named_specs_round_trip(self, spec, expected):
+        parsed = parse_distribution(spec)
+        assert parsed == expected
+        assert parse_distribution(parsed.spec()) == parsed
+
+    def test_bare_literals_become_constants(self):
+        assert parse_distribution(4) == Constant(4)
+        assert parse_distribution(0.25) == Constant(0.25)
+        assert parse_distribution("7") == Constant(7)
+        assert parse_distribution("0.5") == Constant(0.5)
+        assert parse_distribution("rr") == Constant("rr")
+
+    def test_distribution_instances_pass_through(self):
+        dist = Uniform(1, 3)
+        assert parse_distribution(dist) is dist
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(GenerationError, match="unknown distribution"):
+            parse_distribution("gaussian:0,1")
+
+    def test_malformed_arguments_rejected(self):
+        with pytest.raises(GenerationError, match="malformed distribution"):
+            parse_distribution("uniform:2")
+        with pytest.raises(GenerationError, match="malformed distribution"):
+            parse_distribution("zipf:a,b")
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(GenerationError, match="out of order"):
+            Uniform(5, 2)
+        with pytest.raises(GenerationError, match="at least one value"):
+            Choice(())
+        with pytest.raises(GenerationError):
+            Zipf(-1.0, 4)
+        with pytest.raises(GenerationError):
+            Geometric(0.0, 3)
+
+
+class TestSampling:
+    def test_same_seed_same_samples(self):
+        for spec in ("uniform:1,100", "funiform:0,1", "choice:x,y,z",
+                     "zipf:1.1,8", "geom:0.5,5"):
+            dist = parse_distribution(spec)
+            left = [dist.sample(random.Random(7)) for _ in range(5)]
+            right = [dist.sample(random.Random(7)) for _ in range(5)]
+            assert left == right, spec
+
+    def test_uniform_respects_bounds(self):
+        dist = Uniform(3, 6)
+        rng = random.Random(0)
+        samples = {dist.sample(rng) for _ in range(200)}
+        assert samples <= {3, 4, 5, 6}
+        assert len(samples) == 4
+
+    def test_zipf_skews_toward_low_ranks(self):
+        dist = Zipf(1.5, 10)
+        rng = random.Random(1)
+        samples = [dist.sample(rng) for _ in range(2000)]
+        assert samples.count(1) > samples.count(10) * 3
+        assert min(samples) >= 1 and max(samples) <= 10
+
+    def test_geometric_capped(self):
+        dist = Geometric(0.9, 3)
+        rng = random.Random(2)
+        samples = {dist.sample(rng) for _ in range(200)}
+        assert samples <= {1, 2, 3}
+        assert 3 in samples
+
+
+class TestSpace:
+    def test_from_config_and_sample(self):
+        space = Space.from_config({"threads": "uniform:2,4",
+                                   "contention": 0.5})
+        sample = space.sample(random.Random(3))
+        assert set(sample) == {"threads", "contention"}
+        assert 2 <= sample["threads"] <= 4
+        assert sample["contention"] == 0.5
+
+    def test_override_replaces_and_validates(self):
+        space = Space.from_config({"a": "uniform:1,9", "b": 2})
+        narrowed = space.override({"a": 5})
+        assert narrowed.sample(random.Random(0)) == {"a": 5, "b": 2}
+        with pytest.raises(GenerationError, match="unknown parameters"):
+            space.override({"c": 1})
+
+    def test_to_config_round_trips(self):
+        space = Space.from_config({"a": "uniform:1,9", "b": "funiform:0,1"})
+        assert Space.from_config(space.to_config()).to_config() == \
+            space.to_config()

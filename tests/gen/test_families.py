@@ -1,0 +1,148 @@
+"""Tests for the scenario families and their registry integration."""
+
+import pytest
+
+from repro.analyses.common.base import Analysis
+from repro.errors import GenerationError
+from repro.gen.families import (
+    FAMILY_REGISTRY,
+    build_family_trace,
+    get_family,
+)
+from repro.trace.event import EventKind
+from repro.trace.generators import GENERATOR_REGISTRY, build_trace
+
+FAMILY_NAMES = sorted(FAMILY_REGISTRY)
+
+
+class TestRegistryUnification:
+    def test_every_family_is_a_registered_generator(self):
+        for name, family in FAMILY_REGISTRY.items():
+            entry = GENERATOR_REGISTRY[name]
+            assert entry.source == "scenario"
+            assert entry.analyses == family.analyses
+            assert entry.description == family.description
+
+    def test_no_duplicate_kind_names(self):
+        classic = {kind for kind, entry in GENERATOR_REGISTRY.items()
+                   if entry.source == "classic"}
+        assert not classic & set(FAMILY_REGISTRY)
+
+    def test_family_analyses_exist(self):
+        registered = set(Analysis.registered())
+        for family in FAMILY_REGISTRY.values():
+            assert set(family.analyses) <= registered
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(GenerationError, match="unknown scenario family"):
+            get_family("quantum")
+
+
+@pytest.mark.parametrize("family_name", FAMILY_NAMES)
+class TestEveryFamily:
+    def test_builds_through_the_unified_entry_point(self, family_name):
+        trace = build_trace(family_name, num_threads=4, events=40, seed=5)
+        assert len(trace) > 0
+        assert trace.num_threads >= 2
+        trace.critical_sections()  # must not raise: locks are balanced
+
+    def test_declared_analyses_run(self, family_name):
+        trace = build_trace(family_name, num_threads=3, events=30, seed=2)
+        for analysis in GENERATOR_REGISTRY[family_name].analyses:
+            result = Analysis.by_name(analysis)().run(trace)
+            assert result.trace_events == len(trace)
+
+    def test_some_seed_produces_findings(self, family_name):
+        analyses = GENERATOR_REGISTRY[family_name].analyses
+        found = 0
+        for seed in range(4):
+            trace = build_trace(family_name, num_threads=4, events=40,
+                                seed=seed)
+            found += sum(Analysis.by_name(a)().run(trace).finding_count
+                         for a in analyses)
+        assert found > 0, (f"{family_name} produced no findings for any of "
+                           f"its analyses on seeds 0-3")
+
+    def test_scheduler_changes_the_interleaving(self, family_name):
+        base = build_trace(family_name, num_threads=4, events=40, seed=3,
+                           scheduler="rr")
+        alt = build_trace(family_name, num_threads=4, events=40, seed=3,
+                          scheduler="adversarial")
+        assert [str(e) for e in base] != [str(e) for e in alt]
+
+
+class TestParameterPinning:
+    def test_pinned_knob_is_respected(self):
+        trace = build_family_trace("locked-mix", num_threads=3,
+                                   events_per_thread=30, seed=1,
+                                   contention=0.0)
+        assert not any(e.kind is EventKind.ACQUIRE for e in trace)
+        trace = build_family_trace("locked-mix", num_threads=3,
+                                   events_per_thread=30, seed=1,
+                                   contention=1.0)
+        assert any(e.kind is EventKind.ACQUIRE for e in trace)
+
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(GenerationError, match="unknown parameters"):
+            build_family_trace("locked-mix", num_threads=2,
+                               events_per_thread=10, seed=0, bogus=1)
+
+    def test_heap_churn_uaf_knob_feeds_the_analysis(self):
+        high = build_family_trace("heap-churn", num_threads=4,
+                                  events_per_thread=60, seed=1,
+                                  uaf_fraction=0.9, escape_fraction=0.9,
+                                  locked_use_fraction=0.0)
+        uaf = Analysis.by_name("use-after-free")().run(high)
+        assert uaf.finding_count > 0
+
+    def test_producer_consumer_single_thread_honours_thread_count(self):
+        trace = build_trace("producer-consumer", num_threads=1, events=20,
+                            seed=0)
+        assert trace.num_threads == 1
+        assert len(trace) > 0
+
+    def test_fork_join_emits_fork_join_events(self):
+        trace = build_family_trace("fork-join", num_threads=4,
+                                   events_per_thread=20, seed=0,
+                                   detach_fraction=0.0)
+        kinds = {e.kind for e in trace}
+        assert EventKind.FORK in kinds and EventKind.JOIN in kinds
+        # Every worker is forked before its first event.
+        position = {}
+        for i, event in enumerate(trace):
+            position.setdefault(event.thread, i)
+        for event in trace:
+            if event.kind is EventKind.FORK:
+                first = position[event.target]
+                fork_at = list(trace).index(event)
+                assert fork_at < first
+
+
+class TestSweepAndWatchIntegration:
+    """Acceptance: every scenario family runs end-to-end via both
+    ``repro sweep`` (suite of specs) and ``repro watch`` (generator
+    source)."""
+
+    def test_families_sweep_end_to_end(self):
+        from repro.runner.corpus import Suite, grid
+        from repro.runner.executor import run_jobs, plan_jobs
+
+        suite = Suite(name="fam-test", description="scenario families",
+                      specs=grid(FAMILY_NAMES, [3], [24]))
+        jobs = plan_jobs(suite, backends=["incremental-csst"])
+        result = run_jobs(jobs, workers=1)
+        assert not result.failures()
+        assert {record.kind for record in result.records} == \
+            set(FAMILY_NAMES)
+
+    @pytest.mark.parametrize("family_name", FAMILY_NAMES)
+    def test_families_watch_end_to_end(self, family_name):
+        from repro.stream.engine import StreamEngine
+        from repro.stream.source import open_source
+
+        source = open_source(f"{family_name}:threads=3,events=20,seed=1")
+        analyses = [a for a in GENERATOR_REGISTRY[family_name].analyses]
+        engine = StreamEngine(analyses)
+        result = engine.run(source)
+        assert set(result.results) == set(analyses)
+        assert result.stats.events == len(source._materialize())

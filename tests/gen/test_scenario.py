@@ -1,0 +1,287 @@
+"""Tests for the scenario-program model and its blocking executor.
+
+The executor's whole value is that it only emits *well-formed*
+interleavings: mutual exclusion respected, queues FIFO within capacity,
+barriers releasing together, forks before first child event.  These tests
+pin those invariants on the emitted traces directly.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import GenerationError
+from repro.gen.scenario import Op, Scenario, ScenarioExecutor, execute
+from repro.gen.schedulers import (
+    AdversarialPreemption,
+    ContentionWeighted,
+    RoundRobinBursts,
+    make_scheduler,
+)
+from repro.trace.event import EventKind
+
+
+def run_scenario(scenario, scheduler=None, seed=0):
+    return execute(scenario, scheduler or RoundRobinBursts(burst=2),
+                   seed=seed)
+
+
+def locked_increment_scenario(threads=3, sections=4):
+    programs = {}
+    for thread in range(threads):
+        ops = []
+        for _ in range(sections):
+            ops.append(Op("acquire", target="l"))
+            ops.append(Op("read", target="x"))
+            ops.append(Op("write", target="x", value=thread))
+            ops.append(Op("release", target="l"))
+        programs[thread] = ops
+    return Scenario(name="locked", programs=programs)
+
+
+class TestOpValidation:
+    def test_unknown_action_rejected(self):
+        with pytest.raises(GenerationError, match="unknown scenario op"):
+            Op("teleport", target="x")
+
+    def test_empty_scenario_rejected(self):
+        with pytest.raises(GenerationError, match="at least one thread"):
+            Scenario(name="empty", programs={})
+
+    def test_all_forked_scenario_rejected(self):
+        with pytest.raises(GenerationError, match="no root threads"):
+            Scenario(name="cycle", programs={
+                0: [Op("fork", target=1)],
+                1: [Op("fork", target=0)],
+            })
+
+
+class TestMutualExclusion:
+    @pytest.mark.parametrize("scheduler", [
+        RoundRobinBursts(burst=1),
+        ContentionWeighted(skew=1.5),
+        AdversarialPreemption(preempt=0.9),
+    ])
+    def test_critical_sections_never_overlap(self, scheduler):
+        trace, stats = run_scenario(locked_increment_scenario(), scheduler)
+        held_by = None
+        for event in trace:
+            if event.kind is EventKind.ACQUIRE:
+                assert held_by is None, "two threads inside the lock"
+                held_by = event.thread
+            elif event.kind is EventKind.RELEASE:
+                assert held_by == event.thread
+                held_by = None
+        assert held_by is None
+        assert stats.repairs == 0
+        # The derived index agrees: every section has a release.
+        for section in trace.critical_sections():
+            assert section.release is not None
+
+    def test_interleaving_actually_happens(self):
+        trace, _stats = run_scenario(locked_increment_scenario(),
+                                     RoundRobinBursts(burst=1))
+        threads_in_order = [event.thread for event in trace]
+        assert len(set(threads_in_order)) == 3
+        switches = sum(1 for a, b in zip(threads_in_order,
+                                         threads_in_order[1:]) if a != b)
+        assert switches >= 3
+
+
+class TestQueues:
+    def test_spsc_queue_is_fifo_and_capacity_bounded(self):
+        items = 6
+        scenario = Scenario(
+            name="spsc",
+            programs={
+                0: [Op("put", target="q", value=i) for i in range(items)],
+                1: [Op("get", target="q") for _ in range(items)],
+            },
+            queue_capacity={"q": 2},
+        )
+        trace, stats = run_scenario(scenario, RoundRobinBursts(burst=3))
+        assert stats.repairs == 0
+        puts = [e for e in trace if e.kind is EventKind.ATOMIC_WRITE
+                and e.variable == "q"]
+        gets = [e for e in trace if e.kind is EventKind.ATOMIC_READ
+                and e.variable == "q"]
+        assert [e.value for e in puts] == list(range(items))
+        assert [e.value for e in gets] == list(range(items))
+        # Every ticket is produced before it is consumed, and the queue
+        # never holds more than its capacity.
+        position = {id(e): i for i, e in enumerate(trace)}
+        for put, get in zip(puts, gets):
+            assert position[id(put)] < position[id(get)]
+        outstanding = 0
+        for event in trace:
+            if event.kind is EventKind.ATOMIC_WRITE and event.variable == "q":
+                outstanding += 1
+            elif event.kind is EventKind.ATOMIC_READ and event.variable == "q":
+                outstanding -= 1
+            assert 0 <= outstanding <= 2
+
+
+    def test_put_without_value_reads_back_what_was_written(self):
+        # Regression: a valueless put must write the ticket fallback to the
+        # payload cell, so the consumer's read observes a written value.
+        scenario = Scenario(
+            name="valueless",
+            programs={
+                0: [Op("put", target="q"), Op("put", target="q")],
+                1: [Op("get", target="q"), Op("get", target="q")],
+            },
+        )
+        trace, _stats = run_scenario(scenario, RoundRobinBursts(burst=2))
+        writes = {(e.variable, e.value) for e in trace
+                  if e.kind is EventKind.WRITE}
+        reads = {(e.variable, e.value) for e in trace
+                 if e.kind is EventKind.READ}
+        assert reads <= writes
+
+
+class TestBarriers:
+    def test_barrier_phases_are_totally_ordered(self):
+        scenario = Scenario(
+            name="phases",
+            programs={
+                t: [Op("write", target=f"p0_{t}"), Op("barrier", target="b"),
+                    Op("write", target=f"p1_{t}"), Op("barrier", target="b")]
+                for t in range(3)
+            },
+        )
+        trace, stats = run_scenario(scenario, RoundRobinBursts(burst=2))
+        assert stats.repairs == 0
+        arrivals = [e for e in trace if e.kind is EventKind.ATOMIC_RMW]
+        phase0 = [e for e in arrivals if e.variable == "b#p0"]
+        phase1 = [e for e in arrivals if e.variable == "b#p1"]
+        assert len(phase0) == 3 and len(phase1) == 3
+        position = {id(e): i for i, e in enumerate(trace)}
+        assert max(position[id(e)] for e in phase0) < \
+            min(position[id(e)] for e in phase1)
+
+
+class TestForkJoin:
+    def test_fork_precedes_child_and_join_follows_it(self):
+        scenario = Scenario(
+            name="fj",
+            programs={
+                0: [Op("fork", target=1), Op("write", target="x"),
+                    Op("join", target=1), Op("read", target="x")],
+                1: [Op("write", target="y"), Op("write", target="x")],
+            },
+            roots=[0],
+        )
+        trace, stats = run_scenario(scenario, RoundRobinBursts(burst=1))
+        assert stats.repairs == 0
+        position = {id(e): i for i, e in enumerate(trace)}
+        fork = next(e for e in trace if e.kind is EventKind.FORK)
+        join = next(e for e in trace if e.kind is EventKind.JOIN)
+        child_events = [e for e in trace if e.thread == 1]
+        assert position[id(fork)] < min(position[id(e)] for e in child_events)
+        assert position[id(join)] > max(position[id(e)] for e in child_events)
+
+
+class TestStuckBreaking:
+    def deadlocking_scenario(self):
+        return Scenario(name="dl", programs={
+            0: [Op("acquire", target="a"), Op("acquire", target="b"),
+                Op("read", target="x"), Op("release", target="b"),
+                Op("release", target="a")],
+            1: [Op("acquire", target="b"), Op("acquire", target="a"),
+                Op("read", target="x"), Op("release", target="a"),
+                Op("release", target="b")],
+        })
+
+    def test_inverted_lock_order_deadlock_is_repaired(self):
+        # burst=1 round-robin forces t0:acq(a), t1:acq(b), then both block.
+        trace, stats = run_scenario(self.deadlocking_scenario(),
+                                    RoundRobinBursts(burst=1))
+        assert stats.repairs >= 1
+        assert stats.skipped_sections >= 1
+        # The emitted trace is still well-formed.
+        for section in trace.critical_sections():
+            assert section.release is not None
+
+    def test_unjoined_child_is_force_started(self):
+        scenario = Scenario(
+            name="orphan",
+            programs={
+                0: [Op("join", target=1), Op("read", target="x")],
+                1: [Op("write", target="x")],
+            },
+            roots=[0],  # thread 1 is never forked
+        )
+        trace, stats = run_scenario(scenario, RoundRobinBursts(burst=1))
+        assert stats.forced_starts >= 1
+        assert any(e.thread == 1 for e in trace)
+
+    def test_reentrant_acquire_is_repaired_not_crashed(self):
+        # Locks are non-reentrant: a self-re-acquire blocks the thread on
+        # itself; the stuck-breaker must skip the inner section instead of
+        # aborting generation.
+        scenario = Scenario(name="reentrant", programs={
+            0: [Op("acquire", target="l"), Op("acquire", target="l"),
+                Op("read", target="x"), Op("release", target="l"),
+                Op("release", target="l")],
+        })
+        trace, stats = run_scenario(scenario, RoundRobinBursts(burst=1))
+        assert stats.skipped_sections >= 1
+        for section in trace.critical_sections():
+            assert section.release is not None
+
+    def test_starved_get_is_skipped(self):
+        scenario = Scenario(
+            name="starved",
+            programs={
+                0: [Op("put", target="q", value=1)],
+                1: [Op("get", target="q"), Op("get", target="q"),
+                    Op("read", target="x")],
+            },
+        )
+        trace, stats = run_scenario(scenario, RoundRobinBursts(burst=4))
+        assert stats.skipped_queue_ops >= 1
+        assert any(e.variable == "x" for e in trace)
+
+
+class TestDeterminismAndSafety:
+    def test_round_robin_first_pick_is_lowest_runnable_thread(self):
+        trace, _stats = run_scenario(locked_increment_scenario(),
+                                     RoundRobinBursts(burst=4))
+        assert trace[0].thread == 0
+
+    def test_same_seed_same_trace(self):
+        for spec in ("rr:burst=3", "weighted:skew=1.2",
+                     "adversarial:preempt=0.7"):
+            left, _ = execute(locked_increment_scenario(),
+                              make_scheduler(spec), seed=11)
+            right, _ = execute(locked_increment_scenario(),
+                               make_scheduler(spec), seed=11)
+            assert [str(e) for e in left] == [str(e) for e in right], spec
+
+    def test_release_without_hold_is_a_builder_error(self):
+        scenario = Scenario(name="bad",
+                            programs={0: [Op("release", target="l")]})
+        with pytest.raises(GenerationError, match="does not.*hold|not hold"):
+            run_scenario(scenario)
+
+    def test_non_integer_rr_burst_rejected_up_front(self):
+        from repro.errors import GenerationError
+        from repro.gen.schedulers import make_scheduler
+
+        with pytest.raises(GenerationError, match="rr burst must be"):
+            make_scheduler("rr:burst=2.5")
+
+    def test_scheduler_returning_non_runnable_thread_is_rejected(self):
+        class Rogue:
+            def pick(self, rng, runnable, executor):
+                return -99
+
+        scenario = locked_increment_scenario(threads=2, sections=1)
+        with pytest.raises(GenerationError, match="non-runnable"):
+            ScenarioExecutor(scenario, random.Random(0)).run(Rogue())
+
+    def test_fork_of_unknown_thread_rejected(self):
+        scenario = Scenario(name="badfork",
+                            programs={0: [Op("fork", target=7)]})
+        with pytest.raises(GenerationError, match="no program"):
+            run_scenario(scenario)

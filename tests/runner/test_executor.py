@@ -202,6 +202,32 @@ class TestRunSuite:
         assert {record.backend for record in result.records} == {"vc", "st"}
 
 
+class TestSeedOverride:
+    def test_run_suite_seed_rebinds_every_spec(self):
+        result = run_suite("smoke", analyses=["race-prediction"],
+                           backends=["vc"], seed=17)
+        assert result.records
+        assert all(record.seed == 17 for record in result.records)
+        assert all("-s17" in record.trace_id for record in result.records)
+
+    def test_override_seed_deduplicates_collapsed_specs(self):
+        from repro.runner.corpus import get_suite, override_seed
+
+        # The 'seeds' suite repeats each shape across four seeds; one
+        # uniform seed collapses each group to a single spec.
+        original = get_suite("seeds")
+        rebound = override_seed(original, 5)
+        assert len(rebound.specs) == len(original.specs) // 4
+        assert all(spec.seed == 5 for spec in rebound.specs)
+        assert rebound.name == original.name
+
+    def test_seed_none_leaves_suite_untouched(self):
+        baseline = run_suite("smoke", analyses=["race-prediction"],
+                             backends=["vc"])
+        seeds = {record.seed for record in baseline.records}
+        assert seeds == {0}
+
+
 class TestRepeats:
     def test_single_shot_defaults(self):
         job = plan_jobs(tiny_suite(), analyses=["race-prediction"],

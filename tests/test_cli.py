@@ -37,7 +37,10 @@ class TestGenerate:
         assert begins == 16
 
     def test_every_registered_generator_is_callable(self):
-        assert set(GENERATORS) == {"racy", "deadlock", "memory", "tso", "c11", "history"}
+        assert set(GENERATORS) == {
+            "racy", "deadlock", "memory", "tso", "c11", "history",
+            "locked-mix", "producer-consumer", "mpmc-queue",
+            "barrier-phases", "fork-join", "heap-churn"}
 
     def test_unknown_generator_rejected(self):
         with pytest.raises(SystemExit):
@@ -218,6 +221,115 @@ class TestSweep:
         assert main(["analyze", "race-prediction", str(trace_file),
                      "--backend", "vcc"]) == 2
         assert "unknown partial-order backend" in capsys.readouterr().err
+
+
+class TestSweepSeedOverride:
+    def test_seed_override_is_recorded_in_records(self, capsys):
+        assert main(["sweep", "--suite", "smoke", "--analyses",
+                     "race-prediction", "--backends", "vc", "--seed", "42",
+                     "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["records"], "expected at least one record"
+        for record in document["records"]:
+            assert record["seed"] == 42
+            assert "-s42" in record["trace_id"]
+
+    def test_seed_override_lands_in_csv_export(self, capsys):
+        assert main(["sweep", "--suite", "smoke", "--analyses",
+                     "race-prediction", "--backends", "vc", "--seed", "7",
+                     "--format", "csv"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        header = lines[0].split(",")
+        seed_column = header.index("seed")
+        for line in lines[1:]:
+            assert line.split(",")[seed_column] == "7"
+
+    def test_seed_override_changes_the_workload(self, capsys):
+        argv = ["sweep", "--suite", "smoke", "--analyses",
+                "race-prediction", "--backends", "vc", "--format", "json"]
+        assert main(argv) == 0
+        base = json.loads(capsys.readouterr().out)["records"]
+        assert main(argv + ["--seed", "3"]) == 0
+        reseeded = json.loads(capsys.readouterr().out)["records"]
+        assert [r["seed"] for r in base] != [r["seed"] for r in reseeded]
+
+
+class TestGenCommand:
+    def test_gen_list_renders_the_unified_table(self, capsys):
+        assert main(["gen", "--list"]) == 0
+        output = capsys.readouterr().out
+        # One table over one registry: classic and scenario kinds together.
+        for kind in ("racy", "history", "locked-mix", "heap-churn"):
+            assert kind in output
+        assert "classic" in output and "scenario" in output
+
+    def test_gen_without_mode_or_list_is_a_clean_error(self, capsys):
+        assert main(["gen"]) == 2
+        assert "nothing to do" in capsys.readouterr().err
+
+    def test_gen_corpus_requires_out(self, capsys):
+        assert main(["gen", "corpus"]) == 2
+        assert "--out" in capsys.readouterr().err
+
+    def test_gen_corpus_end_to_end(self, tmp_path, capsys):
+        from repro.runner.corpus import SUITES
+
+        out = tmp_path / "corpus"
+        try:
+            assert main(["gen", "corpus", "--out", str(out), "--name", "clitest",
+                         "--kinds", "locked-mix,racy", "--count", "1",
+                         "--seed", "2"]) == 0
+            printed = capsys.readouterr().out
+            assert "wrote 2 traces" in printed
+            assert "corpus:clitest" in printed
+            assert (out / "manifest.json").exists()
+            # The registered suite sweeps immediately.
+            assert main(["sweep", "--corpus", str(out / "manifest.json"),
+                         "--analyses", "race-prediction", "--backends",
+                         "vc", "--format", "json"]) == 0
+            document = json.loads(capsys.readouterr().out)
+            assert document["jobs"] == 2 and document["failures"] == 0
+            # Each member doubles as a watch source via the manifest.
+            assert main(["watch", "--source", str(out / "manifest.json"),
+                         "--analyses", "race-prediction"]) == 0
+            assert "final[race-prediction]" in capsys.readouterr().out
+        finally:
+            SUITES.pop("corpus:clitest", None)
+
+    def test_gen_corpus_config_file_with_flag_overrides(self, tmp_path,
+                                                        capsys):
+        from repro.runner.corpus import SUITES
+
+        config = tmp_path / "config.json"
+        config.write_text(json.dumps({"name": "fromfile", "count": 3,
+                                      "kinds": ["racy"]}))
+        try:
+            assert main(["gen", "corpus", "--out", str(tmp_path / "c"),
+                         "--config", str(config), "--count", "1"]) == 0
+            assert "wrote 1 traces" in capsys.readouterr().out
+        finally:
+            SUITES.pop("corpus:fromfile", None)
+
+
+class TestFuzzCommand:
+    def test_fuzz_quick_run_is_clean(self, capsys):
+        assert main(["fuzz", "--seeds", "6", "--quick",
+                     "--kinds", "racy,locked-mix"]) == 0
+        output = capsys.readouterr().out
+        assert "6 cases" in output and "0 divergence" in output
+
+    def test_fuzz_verbose_prints_cases(self, capsys):
+        assert main(["fuzz", "--seeds", "2", "--quick", "--kinds", "racy",
+                     "--verbose"]) == 0
+        assert "case fuzz0000-racy" in capsys.readouterr().out
+
+    def test_fuzz_invalid_seeds_rejected(self, capsys):
+        assert main(["fuzz", "--seeds", "0"]) == 2
+        assert "--seeds" in capsys.readouterr().err
+
+    def test_fuzz_unknown_kind_is_a_clean_error(self, capsys):
+        assert main(["fuzz", "--seeds", "1", "--kinds", "quantum"]) == 2
+        assert "unknown kinds" in capsys.readouterr().err
 
 
 class TestSweepDiscovery:

@@ -204,8 +204,16 @@ class TestGeneratorRegistry:
     def test_every_cli_kind_is_registered(self):
         from repro.trace.generators import GENERATOR_REGISTRY
 
-        assert set(GENERATOR_REGISTRY) == {
+        classic = {kind for kind, entry in GENERATOR_REGISTRY.items()
+                   if entry.source == "classic"}
+        scenario = {kind for kind, entry in GENERATOR_REGISTRY.items()
+                    if entry.source == "scenario"}
+        assert classic == {
             "racy", "deadlock", "memory", "tso", "c11", "history"}
+        assert scenario == {
+            "locked-mix", "producer-consumer", "mpmc-queue",
+            "barrier-phases", "fork-join", "heap-churn"}
+        assert classic | scenario == set(GENERATOR_REGISTRY)
 
     def test_get_generator_rejects_unknown_kind(self):
         from repro.trace.generators import get_generator
