@@ -1,51 +1,66 @@
 #!/usr/bin/env python3
-"""Predictive race detection over a synthetic workload.
+"""Predictive race detection through the ``repro.api`` facade.
 
 Generates a shared-memory trace with both lock-protected and unprotected
 accesses, runs the M2-style race prediction analysis with every incremental
-partial-order backend, and reports the predicted races together with the
-number of partial-order operations each backend served -- the drop-in
-comparison at the heart of the paper's evaluation.
+partial-order backend through one :class:`repro.api.Session`, and reports
+the predicted races together with the number of partial-order operations
+each backend served -- the drop-in comparison at the heart of the paper's
+evaluation, with zero orchestration code on the caller's side.
 
 Run with:  python examples/race_detection.py
 """
 
-import time
-
-from repro.analyses.race_prediction import predict_races
-from repro.trace.generators import racy_trace
+from repro.api import AnalyzeConfig, CompareConfig, GenerateConfig, Session
 
 
 def main() -> None:
-    trace = racy_trace(
-        num_threads=4,
-        events_per_thread=400,
-        num_variables=24,
-        num_locks=3,
-        protected_fraction=0.55,
+    session = Session()
+
+    generated = session.run(GenerateConfig(
+        kind="racy",
+        threads=4,
+        events=400,
         seed=7,
         name="example-racy-workload",
-    )
+        params={"num_variables": 24, "num_locks": 3,
+                "protected_fraction": 0.55},
+    ))
+    trace = generated.trace
     print(f"trace: {len(trace)} events, {trace.num_threads} threads")
 
-    results = {}
-    for backend in ("vc", "st", "incremental-csst"):
-        start = time.perf_counter()
-        result = predict_races(trace, backend=backend, candidate_window=10)
-        elapsed = time.perf_counter() - start
-        results[backend] = result
+    # One config, every applicable backend; the session loads nothing from
+    # disk because we hand it the live trace.  Analysis tunables travel in
+    # params -- candidate_window=10 matches the pre-facade version of this
+    # example.
+    compared = session.compare(
+        CompareConfig(analysis="race-prediction", trace=trace.name,
+                      backends="vc,st,incremental-csst",
+                      params={"candidate_window": 10}),
+        trace=trace)
+    for run in compared.runs:
         print(
-            f"  {backend:18s} {elapsed:6.2f}s  "
-            f"{result.finding_count:3d} races  "
-            f"{result.insert_count:6d} inserts  {result.query_count:8d} queries"
+            f"  {run.backend:18s} {run.elapsed_seconds:6.2f}s  "
+            f"{run.finding_count:3d} races  "
+            f"{run.insert_count:6d} inserts  {run.query_count:8d} queries"
         )
 
     # All backends must agree on the findings -- they only differ in speed.
-    counts = {result.finding_count for result in results.values()}
+    counts = {run.finding_count for run in compared.runs}
     assert len(counts) == 1, "backends disagree on the predicted races!"
 
+    # The same request as data: the structured result exports itself.
+    document = compared.to_dict()
+    assert [row["backend"] for row in document["runs"]] == \
+        ["vc", "st", "incremental-csst"]
+
+    analyzed = session.analyze(
+        AnalyzeConfig(analysis="race-prediction", trace=trace.name,
+                      backend="incremental-csst",
+                      params={"candidate_window": 10}),
+        trace=trace)
     print("\npredicted races (first five):")
-    for race in results["incremental-csst"].findings[:5]:
+    for race in analyzed.raw.findings[:5]:
         print(f"  {race}")
     print("\nrace_detection example finished OK")
 

@@ -10,8 +10,21 @@ quickstart reads naturally::
     order.insert_edge((0, 3), (2, 7))
     assert order.reachable((0, 1), (2, 9))
 
+For whole workflows (analyses, sweeps, watching, fuzzing) use the typed
+facade instead of the CLI::
+
+    from repro import AnalyzeConfig, Session
+
+    result = Session().run(AnalyzeConfig(analysis="race-prediction",
+                                         trace="trace.std"))
+    print(result.to_table())
+
 Sub-packages
 ------------
+``repro.api``
+    Library-first facade: request configs, the unified registry, the
+    ``Session`` runner, structured results (the CLI is a thin shim over
+    this).
 ``repro.core``
     CSSTs, Sparse Segment Trees and the baseline partial-order backends.
 ``repro.trace``
@@ -32,6 +45,18 @@ Sub-packages
 """
 
 from repro._version import __version__
+from repro.api import (
+    AnalyzeConfig,
+    BenchConfig,
+    CompareConfig,
+    FuzzConfig,
+    GenConfig,
+    GenerateConfig,
+    Registry,
+    Session,
+    SweepConfig,
+    WatchConfig,
+)
 from repro.core import (
     CSST,
     GraphOrder,
@@ -47,6 +72,7 @@ from repro.errors import (
     AnalysisError,
     BenchmarkError,
     CheckpointError,
+    ConfigError,
     InvalidEdgeError,
     InvalidNodeError,
     ReproError,
@@ -57,22 +83,33 @@ from repro.errors import (
 
 __all__ = [
     "AnalysisError",
+    "AnalyzeConfig",
+    "BenchConfig",
     "BenchmarkError",
     "CSST",
     "CheckpointError",
+    "CompareConfig",
+    "ConfigError",
+    "FuzzConfig",
+    "GenConfig",
+    "GenerateConfig",
     "GraphOrder",
     "IncrementalCSST",
     "InvalidEdgeError",
     "InvalidNodeError",
     "PartialOrder",
+    "Registry",
     "ReproError",
     "SegmentTree",
     "SegmentTreeOrder",
+    "Session",
     "SparseSegmentTree",
     "StreamError",
+    "SweepConfig",
     "TraceError",
     "UnsupportedOperationError",
     "VectorClockOrder",
+    "WatchConfig",
     "__version__",
     "make_partial_order",
 ]

@@ -14,10 +14,10 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Type, Union
 
 from repro.core import (
-    DYNAMIC_BACKENDS,
-    INCREMENTAL_BACKENDS,
     InstrumentedOrder,
     PartialOrder,
+    dynamic_backends,
+    incremental_backends,
     make_partial_order,
 )
 from repro.errors import AnalysisError
@@ -159,8 +159,15 @@ class Analysis:
 
     @classmethod
     def applicable_backends(cls) -> Sequence[str]:
-        """Backend names able to serve this analysis's operation mix."""
-        return DYNAMIC_BACKENDS if cls.requires_deletion else INCREMENTAL_BACKENDS
+        """Backend names able to serve this analysis's operation mix.
+
+        Resolved through the live factory accessors (not the frozen
+        built-in tuples) so backends registered at runtime -- e.g. through
+        :meth:`repro.api.Registry.register_backend` -- join every
+        analysis's backend set at once.
+        """
+        return (dynamic_backends() if cls.requires_deletion
+                else incremental_backends())
 
     def __init__(self, backend: BackendSpec = "incremental-csst", **backend_kwargs) -> None:
         self._backend_spec = backend

@@ -1,0 +1,83 @@
+"""``repro.api`` -- the library-first facade over every workflow.
+
+Declarative, validated configs in; structured results out::
+
+    from repro.api import Session, SweepConfig
+
+    session = Session()
+    result = session.run(SweepConfig(suite="smoke", jobs=2))
+    print(result.to_table())
+    records = result.records          # rich per-job objects
+    document = result.to_dict()       # or the JSON document
+
+The pieces:
+
+* :mod:`repro.api.config` -- one frozen dataclass per workflow
+  (``AnalyzeConfig``, ``SweepConfig``, ``WatchConfig``, ``GenConfig``,
+  ``FuzzConfig``, ``BenchConfig``, plus ``GenerateConfig`` and
+  ``CompareConfig``), each with a validated ``from_dict``/``to_dict``
+  round trip;
+* :mod:`repro.api.registry` -- :class:`Registry`, the unified resolution
+  and plugin-registration surface over workload kinds, analyses,
+  partial-order backends, and sweep suites;
+* :mod:`repro.api.session` -- :class:`Session`, which runs configs and
+  exposes :meth:`~repro.api.session.Session.capabilities` for
+  introspection;
+* :mod:`repro.api.results` -- the result objects, all sharing the
+  ``to_dict``/``to_json``/``to_table``/``exit_code`` export protocol.
+
+The CLI (``python -m repro``) is a thin shim over this package; anything
+the CLI can do, a script can do through a ``Session`` without spawning a
+process.
+"""
+
+from repro.api.config import (
+    ALL_CONFIGS,
+    AnalyzeConfig,
+    BenchConfig,
+    CompareConfig,
+    Config,
+    FuzzConfig,
+    GenConfig,
+    GenerateConfig,
+    SweepConfig,
+    WatchConfig,
+)
+from repro.api.registry import Registry, default_registry
+from repro.api.results import (
+    AnalyzeResult,
+    BenchResult,
+    CompareResult,
+    CorpusResult,
+    FuzzResult,
+    GenerateResult,
+    Result,
+    SweepRunResult,
+    WatchResult,
+)
+from repro.api.session import Session
+
+__all__ = [
+    "ALL_CONFIGS",
+    "AnalyzeConfig",
+    "AnalyzeResult",
+    "BenchConfig",
+    "BenchResult",
+    "CompareConfig",
+    "CompareResult",
+    "Config",
+    "CorpusResult",
+    "FuzzConfig",
+    "FuzzResult",
+    "GenConfig",
+    "GenerateConfig",
+    "GenerateResult",
+    "Registry",
+    "Result",
+    "Session",
+    "SweepConfig",
+    "SweepRunResult",
+    "WatchConfig",
+    "WatchResult",
+    "default_registry",
+]

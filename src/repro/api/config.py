@@ -1,0 +1,466 @@
+"""Typed, validated request configs for the :mod:`repro.api` facade.
+
+Every entry point of the system -- trace generation, single analyses,
+backend comparisons, parallel sweeps, live watching, corpus generation,
+differential fuzzing, and the perf harness -- is described by one frozen
+dataclass here.  A config is *pure data*: building one never touches the
+filesystem or the registries, so configs can be constructed, serialized,
+shipped, and diffed freely; all resolution happens when a
+:class:`~repro.api.session.Session` runs them.
+
+Shared contract (enforced by tests):
+
+* **frozen** -- configs are immutable value objects; derive variants with
+  :func:`dataclasses.replace`.
+* **validated** -- out-of-range values raise
+  :class:`~repro.errors.ConfigError` at construction time, not mid-run.
+* **dict round-trip** -- ``Config.from_dict(config.to_dict()) == config``
+  for every config, and ``from_dict`` rejects unknown keys, so JSON files
+  and HTTP payloads map onto configs losslessly.
+
+Name-list fields (``analyses``, ``backends``, ``kinds``, ``schedulers``)
+accept a comma-separated string, any iterable of names, or ``None``
+("use the default set"), and normalize to a tuple of strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar, Dict, Mapping, Optional, Tuple
+
+from repro.errors import ConfigError
+
+#: ``(key, value)`` pairs -- the hashable spelling of a keyword mapping.
+Pairs = Tuple[Tuple[str, Any], ...]
+
+#: Render formats of requests whose results export a table and a JSON
+#: document (analyze, compare, gen, fuzz).  The CLI parser choices and
+#: ``Session.capabilities()`` both derive from this -- one list to grow.
+RESULT_FORMATS: Tuple[str, ...] = ("text", "json")
+
+#: Render formats of a watch run (live text lines vs JSON-lines stream).
+WATCH_FORMATS: Tuple[str, ...] = ("text", "jsonl")
+
+
+def _name_tuple(value: Any, label: str,
+                default: Optional[Tuple[str, ...]] = None
+                ) -> Optional[Tuple[str, ...]]:
+    """Normalize a name-list field (see module docstring).
+
+    Only ``None`` means "use the default set"; an explicitly empty
+    selection stays empty -- the layer consuming it decides what that
+    means (the sweep planner rejects an empty plan, fuzz/watch fall back
+    to their kind defaults exactly as the pre-facade CLI did), and a
+    programmatic caller whose filtered list came up empty must not
+    silently run everything.
+    """
+    if value is None:
+        return default
+    if isinstance(value, str):
+        items = [item.strip() for item in value.split(",") if item.strip()]
+    else:
+        try:
+            items = [str(item) for item in value]
+        except TypeError:
+            raise ConfigError(
+                f"{label} must be names (list or comma-separated string), "
+                f"got {value!r}") from None
+    return tuple(items)
+
+
+def _pairs(value: Any, label: str) -> Pairs:
+    """Normalize a keyword mapping to sorted ``(key, value)`` pairs."""
+    if value is None:
+        return ()
+    if isinstance(value, Mapping):
+        items = value.items()
+    else:
+        try:
+            items = [(key, val) for key, val in value]
+        except (TypeError, ValueError):
+            raise ConfigError(
+                f"{label} must be a mapping or (key, value) pairs, "
+                f"got {value!r}") from None
+    return tuple(sorted((str(key), val) for key, val in items))
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
+
+
+def _coerce_numbers(config: "Config", kind: type, **names: Any) -> None:
+    """Coerce numeric fields (``kind`` is ``int`` or ``float``) in place.
+
+    JSON and query-string payloads routinely deliver numbers as strings;
+    the round-trip contract promises those still land as configs (or fail
+    with :class:`ConfigError`, never a raw ``TypeError``).  ``None`` is
+    passed through for optional fields.
+    """
+    for name, value in names.items():
+        if value is None:
+            continue
+        try:
+            # int() would silently truncate 2.9 -> 2; a fractional value
+            # for an integer field is a caller mistake, not a rounding.
+            if kind is int and isinstance(value, float) \
+                    and not value.is_integer():
+                raise ValueError
+            object.__setattr__(config, name, kind(value))
+        except (TypeError, ValueError):
+            raise ConfigError(
+                f"{name} must be {'an integer' if kind is int else 'a number'}, "
+                f"got {value!r}") from None
+
+
+def _set(config: "Config", **values: Any) -> None:
+    """Assign normalized field values on a frozen dataclass."""
+    for name, value in values.items():
+        object.__setattr__(config, name, value)
+
+
+@dataclass(frozen=True)
+class Config:
+    """Base class: dict round-trip shared by every request config."""
+
+    #: Subcommand spelling of this request (set per subclass); used in
+    #: error messages and by :meth:`repro.api.session.Session.run`
+    #: dispatch diagnostics.
+    command: ClassVar[str] = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able dict of this config (tuples become lists, ``params``
+        pairs become mappings)."""
+        out: Dict[str, Any] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if spec.name == "params":
+                value = _pairs_to_jsonable(value)
+            elif isinstance(value, tuple):
+                value = list(value)
+            out[spec.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping[str, Any]) -> "Config":
+        """Build a config from a mapping, rejecting unknown keys."""
+        if not isinstance(mapping, Mapping):
+            raise ConfigError(f"{cls.command} config must be a mapping, "
+                              f"got {type(mapping).__name__}")
+        known = {spec.name for spec in fields(cls)}
+        unknown = sorted(set(mapping) - known)
+        if unknown:
+            raise ConfigError(f"unknown {cls.command} config keys {unknown}; "
+                              f"known: {sorted(known)}")
+        return cls(**{key: mapping[key] for key in mapping})
+
+
+def _pairs_to_jsonable(value: Any) -> Any:
+    """``params`` pairs back to plain dicts for :meth:`Config.to_dict`."""
+    if not isinstance(value, tuple):
+        return value
+    out: Dict[str, Any] = {}
+    for key, val in value:
+        out[key] = dict(val) if isinstance(val, tuple) else val
+    return out
+
+
+@dataclass(frozen=True)
+class GenerateConfig(Config):
+    """Generate one synthetic trace (CLI: ``repro generate``).
+
+    ``params`` forwards extra generator keyword arguments verbatim
+    (e.g. ``{"scheduler": "adversarial"}`` for scenario kinds).
+    """
+
+    command: ClassVar[str] = "generate"
+
+    kind: str
+    threads: int = 4
+    events: int = 200
+    seed: int = 0
+    name: Optional[str] = None
+    params: Pairs = ()
+
+    def __post_init__(self) -> None:
+        _require(bool(self.kind) and isinstance(self.kind, str),
+                 "generate config needs a workload kind")
+        _coerce_numbers(self, int, threads=self.threads, events=self.events,
+                        seed=self.seed)
+        _require(self.threads >= 1,
+                 f"threads must be >= 1, got {self.threads}")
+        _require(self.events >= 1, f"events must be >= 1, got {self.events}")
+        _set(self, params=_pairs(self.params, "generate params"))
+
+
+@dataclass(frozen=True)
+class AnalyzeConfig(Config):
+    """Run one analysis over one trace file (CLI: ``repro analyze``).
+
+    ``max_findings`` only bounds how many findings the *rendered* result
+    shows; the result object always carries the full list.  ``params``
+    forwards extra keyword arguments to the analysis constructor --
+    analysis tunables (e.g. ``candidate_window`` for race prediction) and
+    backend construction knobs (e.g. ``block_size``) alike.
+    """
+
+    command: ClassVar[str] = "analyze"
+
+    analysis: str
+    trace: str
+    backend: Optional[str] = None
+    max_findings: int = 20
+    params: Pairs = ()
+
+    def __post_init__(self) -> None:
+        _require(bool(self.analysis), "analyze config needs an analysis name")
+        _require(bool(self.trace), "analyze config needs a trace path")
+        _coerce_numbers(self, int, max_findings=self.max_findings)
+        _set(self, params=_pairs(self.params, "analyze params"))
+
+
+@dataclass(frozen=True)
+class CompareConfig(Config):
+    """Run one analysis on every applicable backend (CLI: ``repro
+    compare``).
+
+    ``params`` forwards extra keyword arguments to every constructed
+    analysis (see :class:`AnalyzeConfig`).
+    """
+
+    command: ClassVar[str] = "compare"
+
+    analysis: str
+    trace: str
+    backends: Optional[Tuple[str, ...]] = None
+    params: Pairs = ()
+
+    def __post_init__(self) -> None:
+        _require(bool(self.analysis), "compare config needs an analysis name")
+        _require(bool(self.trace), "compare config needs a trace path")
+        _set(self,
+             backends=_name_tuple(self.backends, "compare backends"),
+             params=_pairs(self.params, "compare params"))
+
+
+@dataclass(frozen=True)
+class SweepConfig(Config):
+    """Sweep a suite of traces x analyses x backends (CLI: ``repro
+    sweep``).
+
+    ``corpus`` (a manifest path from ``repro gen corpus``) overrides
+    ``suite``.  ``format`` is carried here -- not render-side -- because it
+    interacts with other options (``baseline`` has no effect on the CSV
+    export, which is one of the validation warnings the result reports).
+    """
+
+    command: ClassVar[str] = "sweep"
+
+    FORMATS: ClassVar[Tuple[str, ...]] = ("table", "json", "csv")
+
+    suite: str = "smoke"
+    corpus: Optional[str] = None
+    jobs: int = 1
+    analyses: Optional[Tuple[str, ...]] = None
+    backends: Optional[Tuple[str, ...]] = None
+    baseline: Optional[str] = None
+    timeout: Optional[float] = None
+    repeat: int = 1
+    seed: Optional[int] = None
+    format: str = "table"
+
+    def __post_init__(self) -> None:
+        _coerce_numbers(self, int, jobs=self.jobs, repeat=self.repeat,
+                        seed=self.seed)
+        _coerce_numbers(self, float, timeout=self.timeout)
+        _require(self.jobs >= 1, f"jobs must be >= 1, got {self.jobs}")
+        _require(self.repeat >= 1, f"repeat must be >= 1, got {self.repeat}")
+        _require(self.format in self.FORMATS,
+                 f"unknown sweep format {self.format!r}; "
+                 f"known: {', '.join(self.FORMATS)}")
+        _require(self.timeout is None or self.timeout > 0,
+                 f"timeout must be > 0, got {self.timeout}")
+        _set(self,
+             analyses=_name_tuple(self.analyses, "sweep analyses"),
+             backends=_name_tuple(self.backends, "sweep backends"))
+
+    def validation_warnings(self) -> Tuple[str, ...]:
+        """Option combinations that run but drop a flag's effect."""
+        warnings = []
+        if self.baseline is not None and self.format == "csv":
+            warnings.append(
+                "baseline has no effect with the csv format (the CSV "
+                "carries per-job records, not speedup aggregates)")
+        if self.timeout is not None and self.jobs <= 1:
+            warnings.append(
+                "timeout only applies to parallel runs; jobs=1 runs "
+                "inline and cannot be interrupted")
+        return tuple(warnings)
+
+
+@dataclass(frozen=True)
+class WatchConfig(Config):
+    """Stream a trace source through analyses (CLI: ``repro watch``).
+
+    ``source`` is a trace file (``.std`` / ``.std.gz``), a corpus manifest
+    (``manifest.json[#TRACE_ID]``), or a generator spec
+    (``kind[:key=value,...]``).  ``analyses`` may be ``None`` for generator
+    sources (the kind's declared analyses) and checkpoint resumes (the
+    checkpoint records them).
+    """
+
+    command: ClassVar[str] = "watch"
+
+    source: str
+    analyses: Optional[Tuple[str, ...]] = None
+    backend: Optional[str] = None
+    window: Optional[str] = None
+    flush_every: Optional[int] = None
+    checkpoint: Optional[str] = None
+    checkpoint_every: Optional[int] = None
+    follow: bool = False
+    idle_timeout: Optional[float] = None
+    max_events: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _require(bool(self.source), "watch config needs a source")
+        _coerce_numbers(self, int, flush_every=self.flush_every,
+                        checkpoint_every=self.checkpoint_every,
+                        max_events=self.max_events)
+        _coerce_numbers(self, float, idle_timeout=self.idle_timeout)
+        _require(self.flush_every is None or self.flush_every >= 1,
+                 f"flush_every must be >= 1, got {self.flush_every}")
+        _require(self.checkpoint_every is None or self.checkpoint_every >= 1,
+                 f"checkpoint_every must be >= 1, got {self.checkpoint_every}")
+        _require(self.max_events is None or self.max_events >= 0,
+                 f"max_events must be >= 0, got {self.max_events}")
+        _set(self, analyses=_name_tuple(self.analyses, "watch analyses"))
+
+
+@dataclass(frozen=True)
+class GenConfig(Config):
+    """Build a trace corpus plus manifest (CLI: ``repro gen corpus``).
+
+    Mirrors :class:`repro.gen.corpus.CorpusConfig` and adds the output
+    directory; ``threads``/``events``/``schedulers`` left as ``None`` take
+    the corpus module's defaults, so this config does not duplicate them.
+    """
+
+    command: ClassVar[str] = "gen"
+
+    out: str
+    name: str = "corpus"
+    kinds: Tuple[str, ...] = ()
+    count: int = 3
+    seed: int = 0
+    threads: Optional[str] = None
+    events: Optional[str] = None
+    params: Pairs = ()
+    schedulers: Optional[Tuple[str, ...]] = None
+    register: bool = True
+
+    def __post_init__(self) -> None:
+        _require(bool(self.out), "gen config needs an output directory")
+        _coerce_numbers(self, int, count=self.count, seed=self.seed)
+        _require(self.count >= 1, f"count must be >= 1, got {self.count}")
+        if isinstance(self.params, Mapping):
+            entries = list(self.params.items())
+        else:
+            try:
+                entries = [(kind, overrides)
+                           for kind, overrides in (self.params or ())]
+            except (TypeError, ValueError):
+                raise ConfigError(
+                    "gen params must map kind -> {parameter: value}, "
+                    f"got {self.params!r}") from None
+        _set(self,
+             name=str(self.name),
+             threads=None if self.threads is None else str(self.threads),
+             events=None if self.events is None else str(self.events),
+             kinds=_name_tuple(self.kinds, "gen kinds", default=()) or (),
+             schedulers=_name_tuple(self.schedulers, "gen schedulers"),
+             params=tuple(sorted(
+                 (str(kind), _pairs(overrides, f"gen params[{kind}]"))
+                 for kind, overrides in entries)))
+
+    def to_corpus_config(self):
+        """The :class:`repro.gen.corpus.CorpusConfig` this config wraps."""
+        from repro.gen.corpus import CorpusConfig
+
+        overrides: Dict[str, Any] = {
+            "name": self.name, "kinds": self.kinds, "count": self.count,
+            "seed": self.seed, "params": self.params,
+        }
+        if self.threads is not None:
+            overrides["threads"] = self.threads
+        if self.events is not None:
+            overrides["events"] = self.events
+        if self.schedulers is not None:
+            overrides["schedulers"] = self.schedulers
+        return CorpusConfig(**overrides)
+
+
+@dataclass(frozen=True)
+class FuzzConfig(Config):
+    """Differential fuzzing run (CLI: ``repro fuzz``)."""
+
+    command: ClassVar[str] = "fuzz"
+
+    seeds: int = 50
+    quick: bool = False
+    kinds: Optional[Tuple[str, ...]] = None
+    backends: Optional[Tuple[str, ...]] = None
+    stream: bool = True
+    seed: int = 0
+    out: str = "fuzz-out"
+    minimize: bool = True
+    max_checks: int = 400
+
+    def __post_init__(self) -> None:
+        _coerce_numbers(self, int, seeds=self.seeds, seed=self.seed,
+                        max_checks=self.max_checks)
+        _require(self.seeds >= 1, f"seeds must be >= 1, got {self.seeds}")
+        _require(self.max_checks >= 1,
+                 f"max_checks must be >= 1, got {self.max_checks}")
+        _set(self,
+             kinds=_name_tuple(self.kinds, "fuzz kinds"),
+             backends=_name_tuple(self.backends, "fuzz backends"))
+
+
+@dataclass(frozen=True)
+class BenchConfig(Config):
+    """Perf-regression harness run (CLI: ``repro bench perf``).
+
+    ``repeats``/``threshold`` left as ``None`` take the harness defaults.
+    ``out`` is the report path (``"-"`` renders to the result only,
+    ``None`` picks the dated default); ``update_baseline`` runs both modes
+    and rewrites the baseline file instead.
+    """
+
+    command: ClassVar[str] = "bench"
+
+    mode: str = "perf"
+    quick: bool = False
+    repeats: Optional[int] = None
+    out: Optional[str] = None
+    baseline: Optional[str] = None
+    threshold: Optional[float] = None
+    compare: bool = True
+    update_baseline: bool = False
+
+    def __post_init__(self) -> None:
+        _require(self.mode == "perf",
+                 f"unknown bench mode {self.mode!r}; known: perf")
+        _coerce_numbers(self, int, repeats=self.repeats)
+        _coerce_numbers(self, float, threshold=self.threshold)
+        _require(self.repeats is None or self.repeats >= 1,
+                 f"repeats must be >= 1, got {self.repeats}")
+        _require(self.threshold is None or self.threshold > 0,
+                 f"threshold must be > 0, got {self.threshold}")
+
+
+#: Every request config, in CLI-subcommand order.
+ALL_CONFIGS: Tuple[type, ...] = (
+    GenerateConfig, AnalyzeConfig, CompareConfig, SweepConfig, WatchConfig,
+    GenConfig, FuzzConfig, BenchConfig,
+)

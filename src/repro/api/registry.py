@@ -1,0 +1,219 @@
+"""Unified registry: one resolution surface over the system's name tables.
+
+Historically each layer grew its own registry -- workload kinds in
+:data:`repro.trace.generators.GENERATOR_REGISTRY`, analyses in
+:meth:`repro.analyses.common.base.Analysis.registered`, partial-order
+backends in :data:`repro.core.factory.BACKENDS`, sweep suites in
+:data:`repro.runner.corpus.SUITES` -- and every front end re-implemented
+lookup, error wording, and extension hooks against whichever subset it
+knew about.  :class:`Registry` is the one object that resolves and extends
+all four.
+
+The registry is a *view*: the underlying module-level tables remain the
+single source of truth (the stream engine, the fuzzer, and the CLI tables
+keep reading them directly), so anything registered here is immediately
+visible throughout the registering process, exactly like the scenario
+families that self-register at import time.  Instantiating a second
+``Registry`` therefore observes the same state; the class exists to give
+:class:`~repro.api.session.Session` one injection point and to host
+plugin loading.
+
+Process-local caveat: *parallel* sweeps (``jobs > 1``) rebuild analyses
+and backends by name inside worker processes.  Workers started by ``fork``
+inherit runtime registrations; under the ``spawn`` start method (the
+default on macOS/Windows) they re-import the library fresh and only see
+what registers at import time -- run plugin-backed sweeps serially
+(``jobs=1``), or package the plugin as a ``repro.plugins`` entry point
+and load it from the importing module.
+
+Plugins are ordinary callables taking the registry::
+
+    def register(registry):
+        registry.register_analysis(MyAnalysis)
+        registry.register_backend("my-order", MyOrder)
+
+installed either by calling them directly, or -- entry-point style -- by
+publishing them in the ``repro.plugins`` group of an installed
+distribution and calling :meth:`Registry.load_plugins`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.errors import ReproError
+
+
+class Registry:
+    """Resolution and extension surface over kinds, analyses, backends and
+    suites (see the module docstring for the view semantics)."""
+
+    # ------------------------------------------------------------------ #
+    # Analyses
+    # ------------------------------------------------------------------ #
+    def analyses(self) -> Dict[str, type]:
+        """Snapshot of the analysis registry (name -> class)."""
+        from repro.analyses.common.base import Analysis
+
+        return Analysis.registered()
+
+    def resolve_analysis(self, name: str) -> str:
+        """Resolve a user-supplied analysis name to its registry key.
+
+        Accepts the exact key, an underscore spelling
+        (``race_prediction``), or any unique prefix (``deadlock`` ->
+        ``deadlock-prediction``).
+        """
+        registry = self.analyses()
+        candidate = name.strip().replace("_", "-")
+        if candidate in registry:
+            return candidate
+        matches = sorted(key for key in registry if key.startswith(candidate))
+        if len(matches) == 1:
+            return matches[0]
+        known = ", ".join(sorted(registry))
+        if matches:
+            raise ReproError(
+                f"ambiguous analysis {name!r} (matches: "
+                f"{', '.join(matches)}); known: {known}")
+        raise ReproError(f"unknown analysis {name!r}; known: {known}")
+
+    def analysis(self, name: str) -> type:
+        """Look up an analysis class, accepting the spellings of
+        :meth:`resolve_analysis`."""
+        return self.analyses()[self.resolve_analysis(name)]
+
+    def register_analysis(self, analysis_cls: type) -> type:
+        """Register an analysis class defined outside ``repro``
+        (see :meth:`repro.analyses.common.base.Analysis.register`)."""
+        from repro.analyses.common.base import Analysis
+
+        return Analysis.register(analysis_cls)
+
+    # ------------------------------------------------------------------ #
+    # Workload kinds (trace generators)
+    # ------------------------------------------------------------------ #
+    def generators(self) -> Dict[str, object]:
+        """Snapshot of the generator registry (kind ->
+        :class:`~repro.trace.generators.GeneratorEntry`)."""
+        from repro.trace.generators import GENERATOR_REGISTRY
+
+        return dict(GENERATOR_REGISTRY)
+
+    def generator(self, kind: str):
+        """Look up a workload kind (raises
+        :class:`~repro.errors.TraceError` for unknown kinds)."""
+        from repro.trace.generators import get_generator
+
+        return get_generator(kind)
+
+    def register_generator(self, kind: str, generator: Callable, *,
+                           size_parameter: str = "events_per_thread",
+                           analyses: Sequence[str] = (),
+                           description: str = "",
+                           source: str = "plugin") -> None:
+        """Register a trace generator under ``kind`` (see
+        :func:`repro.trace.generators.register_generator`)."""
+        from repro.trace.generators import register_generator
+
+        register_generator(kind, generator, size_parameter=size_parameter,
+                           analyses=analyses, description=description,
+                           source=source)
+
+    # ------------------------------------------------------------------ #
+    # Partial-order backends
+    # ------------------------------------------------------------------ #
+    def backends(self) -> Dict[str, type]:
+        """Snapshot of the backend table (name -> class)."""
+        from repro.core import BACKENDS
+
+        return dict(BACKENDS)
+
+    def backend(self, name: str) -> type:
+        """Look up a backend class by name."""
+        from repro.core import BACKENDS
+
+        try:
+            return BACKENDS[name]
+        except KeyError:
+            known = ", ".join(sorted(BACKENDS))
+            raise ReproError(f"unknown partial-order backend {name!r}; "
+                             f"known: {known}") from None
+
+    def register_backend(self, name: str, backend_cls: type, *,
+                         incremental: Optional[bool] = None,
+                         dynamic: Optional[bool] = None) -> None:
+        """Register a partial-order backend (see
+        :func:`repro.core.factory.register_backend`)."""
+        from repro.core import register_backend
+
+        register_backend(name, backend_cls, incremental=incremental,
+                         dynamic=dynamic)
+
+    # ------------------------------------------------------------------ #
+    # Sweep suites
+    # ------------------------------------------------------------------ #
+    def suites(self) -> Dict[str, object]:
+        """Snapshot of the suite registry (name ->
+        :class:`~repro.runner.corpus.Suite`)."""
+        from repro.runner.corpus import SUITES
+
+        return dict(SUITES)
+
+    def suite(self, name: str):
+        """Look up a registered sweep suite."""
+        from repro.runner.corpus import get_suite
+
+        return get_suite(name)
+
+    def register_suite(self, suite):
+        """Register a sweep suite (see
+        :func:`repro.runner.corpus.register_suite`)."""
+        from repro.runner.corpus import register_suite
+
+        return register_suite(suite)
+
+    # ------------------------------------------------------------------ #
+    # Plugins
+    # ------------------------------------------------------------------ #
+    def install(self, plugin: Callable[["Registry"], object]) -> None:
+        """Run one plugin callable against this registry."""
+        plugin(self)
+
+    def load_plugins(self, group: str = "repro.plugins"
+                     ) -> List[Tuple[str, Optional[str]]]:
+        """Load every installed entry point of ``group``.
+
+        Each entry point must resolve to a callable taking the registry.
+        Returns ``(entry point name, error message or None)`` per entry
+        point -- a plugin that fails to load or run is reported, not
+        fatal, so one broken plugin cannot take down the CLI.
+        """
+        try:
+            from importlib.metadata import entry_points
+        except ImportError:  # pragma: no cover - py3.7 fallback not shipped
+            return []
+        try:
+            points = entry_points(group=group)
+        except TypeError:  # pragma: no cover - py3.9 select-style API
+            points = entry_points().get(group, [])
+        loaded: List[Tuple[str, Optional[str]]] = []
+        for point in points:
+            try:
+                self.install(point.load())
+            except Exception as error:  # noqa: BLE001 - isolate plugins
+                loaded.append((point.name, f"{type(error).__name__}: {error}"))
+            else:
+                loaded.append((point.name, None))
+        return loaded
+
+
+#: The process-wide default registry used by sessions constructed without
+#: an explicit one.  All ``Registry`` instances share state (the class is
+#: a view); this instance only pins identity for ``is``-style checks.
+_DEFAULT_REGISTRY = Registry()
+
+
+def default_registry() -> Registry:
+    """The registry a bare ``Session()`` resolves through."""
+    return _DEFAULT_REGISTRY

@@ -1,0 +1,348 @@
+"""Structured result objects returned by :class:`repro.api.Session`.
+
+Every ``Session.run(config)`` call returns one of these.  They share one
+export protocol with :class:`repro.runner.results.SweepResult` and the
+bench documents:
+
+* ``to_dict()``  -- JSON-able document (the canonical machine form);
+* ``to_json()``  -- ``to_dict`` rendered as indented JSON.  For requests
+  that already had a JSON format before the facade existed (sweeps), the
+  bytes are unchanged -- the parity golden tests pin this;
+* ``to_table()`` -- the human rendering, byte-identical to what the CLI
+  printed before the facade existed;
+* ``exit_code``  -- the process exit code a front end should return for
+  this outcome (:data:`repro.errors.EXIT_OK` /
+  :data:`~repro.errors.EXIT_FAILURE`);
+* ``warnings``   -- non-fatal diagnostics (dropped flags, baseline ran no
+  job, ...) for the front end's stderr.
+
+The result objects also keep their rich payloads (the live
+:class:`~repro.trace.Trace`, the per-job sweep records, the fuzz report)
+so library callers are not limited to the serialized view.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import EXIT_FAILURE, EXIT_OK
+
+if TYPE_CHECKING:  # deferred: keep `import repro` light (core+errors only)
+    from repro.runner.results import SweepResult
+    from repro.trace.trace import Trace
+
+
+@dataclass
+class Result:
+    """Base class implementing the shared export protocol."""
+
+    #: Non-fatal diagnostics a front end should surface on stderr.
+    warnings: Tuple[str, ...] = ()
+
+    @property
+    def exit_code(self) -> int:
+        """Stable process exit code for this outcome."""
+        return EXIT_OK
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able document of this result."""
+        raise NotImplementedError
+
+    def to_json(self, indent: int = 2) -> str:
+        """``to_dict`` as indented JSON text."""
+        return json.dumps(self.to_dict(), indent=indent, default=str)
+
+    def to_table(self) -> str:
+        """Human-readable rendering (no trailing newline)."""
+        raise NotImplementedError
+
+
+def _scalar_details(details: Mapping[str, Any]) -> List[Tuple[str, Any]]:
+    """The sorted scalar detail entries an analyze rendering shows."""
+    return [(key, value) for key, value in sorted(details.items())
+            if not isinstance(value, (list, dict))]
+
+
+@dataclass
+class GenerateResult(Result):
+    """One generated trace (from :class:`~repro.api.config.GenerateConfig`)."""
+
+    kind: str = ""
+    seed: int = 0
+    trace: Optional[Trace] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "name": self.trace.name,
+            "seed": self.seed,
+            "event_count": len(self.trace),
+            "thread_count": self.trace.num_threads,
+        }
+
+    def to_table(self) -> str:
+        return (f"{self.trace.name}: {len(self.trace)} events "
+                f"({self.trace.num_threads} threads)")
+
+
+@dataclass
+class AnalyzeResult(Result):
+    """One analysis run (from :class:`~repro.api.config.AnalyzeConfig`).
+
+    Wraps the library-level
+    :class:`~repro.analyses.common.base.AnalysisResult` (kept intact in
+    :attr:`raw`); ``max_findings`` only bounds :meth:`to_table`.
+    """
+
+    raw: Any = None
+    max_findings: int = 20
+
+    def to_dict(self) -> Dict[str, Any]:
+        raw = self.raw
+        return {
+            "analysis": raw.analysis,
+            "backend": raw.backend,
+            "trace_name": raw.trace_name,
+            "trace_events": raw.trace_events,
+            "trace_threads": raw.trace_threads,
+            "elapsed_seconds": raw.elapsed_seconds,
+            "finding_count": raw.finding_count,
+            "findings": [str(finding) for finding in raw.findings],
+            "insert_count": raw.insert_count,
+            "delete_count": raw.delete_count,
+            "query_count": raw.query_count,
+            "details": raw.details,
+        }
+
+    def to_table(self) -> str:
+        raw = self.raw
+        lines = [raw.summary()]
+        for key, value in _scalar_details(raw.details):
+            lines.append(f"  {key}: {value}")
+        shown = raw.findings[:max(self.max_findings, 0)]
+        for finding in shown:
+            lines.append(f"  finding: {finding}")
+        remaining = raw.finding_count - len(shown)
+        if remaining > 0:
+            lines.append(f"  ... and {remaining} more")
+        return "\n".join(lines)
+
+
+@dataclass
+class CompareResult(Result):
+    """One analysis across backends (from
+    :class:`~repro.api.config.CompareConfig`); one entry of :attr:`runs`
+    per backend, in applicable-backend order."""
+
+    analysis: str = ""
+    trace_name: str = ""
+    runs: List[Any] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "analysis": self.analysis,
+            "trace_name": self.trace_name,
+            "runs": [{
+                "backend": run.backend,
+                "elapsed_seconds": run.elapsed_seconds,
+                "finding_count": run.finding_count,
+                "insert_count": run.insert_count,
+                "delete_count": run.delete_count,
+                "query_count": run.query_count,
+            } for run in self.runs],
+        }
+
+    def to_table(self) -> str:
+        lines = [f"{'backend':22s} {'seconds':>9s} {'findings':>9s} "
+                 f"{'inserts':>9s} {'deletes':>9s} {'queries':>9s}"]
+        for run in self.runs:
+            lines.append(
+                f"{run.backend:22s} {run.elapsed_seconds:9.3f} "
+                f"{run.finding_count:9d} {run.insert_count:9d} "
+                f"{run.delete_count:9d} {run.query_count:9d}")
+        return "\n".join(lines)
+
+
+@dataclass
+class SweepRunResult(Result):
+    """One sweep (from :class:`~repro.api.config.SweepConfig`).
+
+    Wraps the runner-layer :class:`~repro.runner.results.SweepResult`
+    (kept intact in :attr:`sweep`); ``to_json``/``to_table``/``to_csv``
+    delegate to it so the serialized forms are byte-identical to the
+    pre-facade CLI output.
+    """
+
+    sweep: Optional[SweepResult] = None
+    baseline: Optional[str] = None
+
+    @property
+    def exit_code(self) -> int:
+        return EXIT_FAILURE if self.sweep.failures() else EXIT_OK
+
+    @property
+    def records(self):
+        return self.sweep.records
+
+    def to_dict(self) -> Dict[str, Any]:
+        return self.sweep.to_document(baseline=self.baseline)
+
+    def to_table(self) -> str:
+        return self.sweep.format_table(baseline=self.baseline)
+
+    def to_csv(self, destination) -> None:
+        self.sweep.to_csv(destination)
+
+
+@dataclass
+class WatchResult(Result):
+    """One watch run (from :class:`~repro.api.config.WatchConfig`).
+
+    Wraps the engine-layer :class:`~repro.stream.engine.StreamResult`
+    (:attr:`stream`); ``to_dict`` is exactly the ``jsonl`` summary
+    document the CLI emits.
+    """
+
+    stream: Any = None
+    backbone: bool = False  #: whether a shared sync backbone was maintained
+    cursor: int = 0  #: engine cursor after the run
+    checkpoint: Optional[str] = None  #: checkpoint path saved to, if any
+    resumed_from: Optional[str] = None  #: checkpoint path resumed from
+    resume_cursor: int = 0  #: cursor the run resumed at
+
+    @property
+    def exit_code(self) -> int:
+        # Mirror `sweep`: a run whose final flush failed for some analysis
+        # is not a clean success (its final result is missing), even though
+        # the stream itself was consumed and checkpointed.
+        return EXIT_FAILURE if self.stream.errors else EXIT_OK
+
+    def to_dict(self) -> Dict[str, Any]:
+        result = self.stream
+        return {
+            "type": "summary",
+            "name": result.name,
+            "events": result.stats.events,
+            "threads": result.stats.threads,
+            "flushes": result.stats.flushes,
+            "emitted": result.stats.emitted,
+            "backbone_edges": result.stats.backbone_edges,
+            "final": {name: [str(finding) for finding in res.findings]
+                      for name, res in sorted(result.results.items())},
+        }
+
+    def to_table(self) -> str:
+        result = self.stream
+        lines = [result.summary()]
+        if self.backbone:
+            lines.append(f"  sync backbone: {result.stats.backbone_edges} "
+                         f"edges across {result.stats.threads} threads")
+        for name, res in sorted(result.results.items()):
+            lines.append(f"  final[{name}]: {res.finding_count} findings "
+                         f"({res.operation_count} PO ops, "
+                         f"{res.elapsed_seconds:.3f}s last flush)")
+        if self.checkpoint is not None:
+            lines.append(f"checkpoint saved to {self.checkpoint} "
+                         f"(cursor {self.cursor})")
+        return "\n".join(lines)
+
+
+@dataclass
+class CorpusResult(Result):
+    """One built corpus (from :class:`~repro.api.config.GenConfig`);
+    ``to_dict`` is the manifest document written to disk."""
+
+    manifest: Dict[str, Any] = field(default_factory=dict)
+    out: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return self.manifest
+
+    def to_json(self, indent: int = 2) -> str:
+        # sort_keys matches how build_corpus writes manifest.json, so the
+        # printed document is byte-identical to the file (docs/cli.md).
+        return json.dumps(self.manifest, indent=indent, sort_keys=True)
+
+    def to_table(self) -> str:
+        members = self.manifest["traces"]
+        total_events = sum(member["event_count"] for member in members)
+        return (
+            f"wrote {len(members)} traces ({total_events} events) to "
+            f"{self.out}\n"
+            f"manifest: {self.out}/manifest.json\n"
+            f"registered sweep suite {self.manifest['suite']!r} "
+            f"(sweep it with: repro sweep --corpus {self.out}/manifest.json)")
+
+
+@dataclass
+class FuzzResult(Result):
+    """One fuzz run (from :class:`~repro.api.config.FuzzConfig`); wraps
+    the :class:`~repro.gen.fuzz.FuzzReport` in :attr:`report`."""
+
+    report: Any = None
+    out: str = "fuzz-out"
+    minimized: bool = True  #: whether divergences were delta-debugged
+
+    @property
+    def exit_code(self) -> int:
+        return EXIT_OK if self.report.ok else EXIT_FAILURE
+
+    def to_dict(self) -> Dict[str, Any]:
+        report = self.report
+        return {
+            "ok": report.ok,
+            "cases": report.cases,
+            "comparisons": report.comparisons,
+            "per_kind": dict(sorted(report.per_kind.items())),
+            "divergences": [{
+                "case_id": divergence.case.case_id,
+                "analysis": divergence.analysis,
+                "left": divergence.left,
+                "right": divergence.right,
+                "error": divergence.error,
+                "left_findings": divergence.left_findings,
+                "right_findings": divergence.right_findings,
+                "minimized_events": divergence.minimized_events,
+                "counterexample": divergence.counterexample,
+            } for divergence in report.divergences],
+        }
+
+    def to_table(self) -> str:
+        return self.report.summary()
+
+
+@dataclass
+class BenchResult(Result):
+    """One perf-harness run (from :class:`~repro.api.config.BenchConfig`).
+
+    :attr:`document` is the perf JSON document (the run document, or the
+    two-mode baseline document for ``update_baseline`` runs);
+    :attr:`notes` are the post-report stdout messages; :attr:`regressions`
+    pairs each comparison entry with whether it is a real regression
+    (advisory ``note:`` entries are not).
+    """
+
+    document: Dict[str, Any] = field(default_factory=dict)
+    report: str = ""
+    out_path: Optional[str] = None  #: report file written, if any
+    rendered_document: Optional[str] = None  #: set for ``out="-"`` runs
+    notes: Tuple[str, ...] = ()
+    regressions: Tuple[Tuple[str, bool], ...] = ()
+
+    @property
+    def exit_code(self) -> int:
+        return (EXIT_FAILURE
+                if any(regressing for _, regressing in self.regressions)
+                else EXIT_OK)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return self.document
+
+    def to_json(self, indent: int = 2) -> str:
+        # sort_keys matches how perf documents are written to disk.
+        return json.dumps(self.document, indent=indent, sort_keys=True)
+
+    def to_table(self) -> str:
+        return self.report

@@ -15,9 +15,28 @@ from typing import Dict
 
 from repro.bench.harness import TableResult
 from repro.bench.tables import ALL_TABLE_RUNNERS, run_figure10, run_figure11
+from repro.errors import ReproError, exit_code_for
 
 
 def main(argv=None) -> int:
+    """Run the selected tables/figures, mapping errors to the stable exit
+    codes of :mod:`repro.errors` like the main CLI does."""
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `... | head`) closed the pipe; mirror
+        # repro.cli: nothing to report, 128+SIGPIPE.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 141
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return exit_code_for(error)
+
+
+def _main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's tables and figures.",

@@ -1,9 +1,11 @@
 """Command-line interface: generate traces, run analyses, compare backends,
-sweep whole suites in parallel, and watch live event streams.
+sweep whole suites in parallel, watch live event streams, build corpora,
+fuzz, and bench.
 
-The CLI is a thin wrapper over the library so that the typical workflow --
-produce a workload, analyse it, compare partial-order backends on it, sweep
-a whole corpus, monitor a growing trace -- does not require writing Python:
+The CLI is a *thin shim* over :mod:`repro.api`: every subcommand parses
+argv into one of the typed request configs, hands it to
+:meth:`repro.api.Session.run`, and renders the structured result -- so the
+typical workflow does not require writing Python:
 
 .. code-block:: bash
 
@@ -14,6 +16,13 @@ a whole corpus, monitor a growing trace -- does not require writing Python:
     python -m repro watch --source trace.txt --analyses race_prediction,deadlock
     python -m repro gen corpus --out corpus/ --kinds locked-mix,heap-churn
     python -m repro fuzz --seeds 50 --quick
+    python -m repro capabilities
+
+Anything printed here can be obtained programmatically from the same
+config through a :class:`repro.api.Session` -- the parity tests pin that
+the JSON outputs are byte-identical.  Errors map to the stable exit codes
+of :mod:`repro.errors` (0 ok, 1 reported failures, 2 bad request/IO,
+130 interrupted).
 """
 
 from __future__ import annotations
@@ -21,20 +30,39 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
-from repro.analyses.common.base import Analysis
-from repro.errors import ReproError
+from repro._version import __version__
+from repro.api.config import RESULT_FORMATS, WATCH_FORMATS
+from repro.api import (
+    AnalyzeConfig,
+    BenchConfig,
+    CompareConfig,
+    FuzzConfig,
+    GenConfig,
+    GenerateConfig,
+    Session,
+    SweepConfig,
+    WatchConfig,
+)
+from repro.errors import EXIT_OK, ReproError, exit_code_for
 from repro.runner.corpus import SUITES
-from repro.runner.executor import run_suite
-from repro.trace import dump_trace, load_trace
-from repro.trace.generators import GENERATOR_REGISTRY, build_trace
+from repro.trace import dump_trace
+from repro.trace.generators import GENERATOR_REGISTRY
+
+
+def _session() -> Session:
+    """The session CLI handlers run against (a fresh facade over the
+    process-wide default registry)."""
+    return Session()
 
 
 def _analyses() -> Dict[str, type]:
     """Live view of the analysis registry (front ends must not snapshot it,
     or analyses registered later via ``Analysis.register`` would be
     invisible)."""
+    from repro.analyses.common.base import Analysis
+
     return Analysis.registered()
 
 
@@ -56,32 +84,9 @@ def __getattr__(name: str):
 
 
 def resolve_analysis_name(name: str) -> str:
-    """Resolve a user-supplied analysis name to its registry key.
-
-    Accepts the exact key, an underscore spelling (``race_prediction``), or
-    any unique prefix (``deadlock`` -> ``deadlock-prediction``).
-    """
-    registry = _analyses()
-    candidate = name.strip().replace("_", "-")
-    if candidate in registry:
-        return candidate
-    matches = sorted(key for key in registry if key.startswith(candidate))
-    if len(matches) == 1:
-        return matches[0]
-    known = ", ".join(sorted(registry))
-    if matches:
-        raise ReproError(
-            f"ambiguous analysis {name!r} (matches: {', '.join(matches)}); "
-            f"known: {known}")
-    raise ReproError(f"unknown analysis {name!r}; known: {known}")
-
-
-def _default_backend(analysis_name: str) -> str:
-    return _analyses()[analysis_name].default_backend()
-
-
-def _backends_for(analysis_name: str) -> Sequence[str]:
-    return _analyses()[analysis_name].applicable_backends()
+    """Resolve a user-supplied analysis name to its registry key
+    (delegates to :meth:`repro.api.Registry.resolve_analysis`)."""
+    return _session().registry.resolve_analysis(name)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -89,6 +94,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro",
         description="CSSTs reproduction: trace generation and dynamic analyses.",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     generate = subparsers.add_parser("generate", help="generate a synthetic trace")
@@ -107,11 +114,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="partial-order backend (default depends on the analysis)")
     analyze.add_argument("--max-findings", type=int, default=20,
                          help="number of findings to print (0 prints none)")
+    analyze.add_argument("--format", choices=RESULT_FORMATS, default="text",
+                         help="output format (default: text)")
 
     compare = subparsers.add_parser(
         "compare", help="run one analysis on every applicable backend")
     compare.add_argument("analysis", choices=sorted(_analyses()))
     compare.add_argument("trace", help="trace file produced by 'generate'")
+    compare.add_argument("--format", choices=RESULT_FORMATS, default="text",
+                         help="output format (default: text)")
 
     sweep = subparsers.add_parser(
         "sweep",
@@ -126,7 +137,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--analyses", default=None,
                        help="comma-separated analysis names (default: every "
                             "analysis the trace kind feeds)")
-    sweep.add_argument("--format", choices=("table", "json", "csv"),
+    sweep.add_argument("--format", choices=SweepConfig.FORMATS,
                        default="table", help="output format (default: table)")
     sweep.add_argument("--baseline", default=None,
                        help="baseline backend for speedups (default: vc, or "
@@ -222,6 +233,9 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--schedulers", default=None,
                      help="comma-separated scheduler cycle for scenario "
                           "kinds (default: rr,weighted,adversarial)")
+    gen.add_argument("--format", choices=RESULT_FORMATS, default="text",
+                     help="output format for 'corpus' (json prints the "
+                          "manifest document; default: text)")
 
     fuzz = subparsers.add_parser(
         "fuzz",
@@ -256,6 +270,8 @@ def build_parser() -> argparse.ArgumentParser:
                            "(default: 400)")
     fuzz.add_argument("--verbose", action="store_true",
                       help="print each case id as it runs")
+    fuzz.add_argument("--format", choices=RESULT_FORMATS, default="text",
+                      help="output format (default: text)")
 
     watch = subparsers.add_parser(
         "watch",
@@ -298,80 +314,46 @@ def build_parser() -> argparse.ArgumentParser:
     watch.add_argument("--max-events", type=int, default=None,
                        help="stop after consuming this many events (state "
                             "is checkpointed if --checkpoint is set)")
-    watch.add_argument("--format", choices=("text", "jsonl"), default="text",
+    watch.add_argument("--format", choices=WATCH_FORMATS, default="text",
                        help="output format (default: text)")
+
+    subparsers.add_parser(
+        "capabilities",
+        help="print the install's kinds, analyses, backends, suites, "
+             "formats and exit codes as JSON (for external tooling)")
 
     return parser
 
 
-def _generate(args: argparse.Namespace) -> int:
-    trace = build_trace(args.kind, num_threads=args.threads,
-                        events=args.events, seed=args.seed)
-    if args.out == "-":
-        dump_trace(trace, sys.stdout)
-    else:
-        dump_trace(trace, args.out)
-        print(f"wrote {len(trace)} events ({trace.num_threads} threads) to {args.out}")
-    return 0
+# --------------------------------------------------------------------------- #
+# Rendering helpers
+# --------------------------------------------------------------------------- #
+def _render(result, fmt: str) -> None:
+    """Print a result in its JSON or table form."""
+    print(result.to_json() if fmt == "json" else result.to_table())
 
 
-def _make_analysis(name: str, backend: Optional[str]) -> Analysis:
-    backend = backend or _default_backend(name)
-    return _analyses()[name](backend)
-
-
-def _analyze(args: argparse.Namespace) -> int:
-    trace = load_trace(args.trace)
-    analysis = _make_analysis(args.analysis, args.backend)
-    result = analysis.run(trace)
-    print(result.summary())
-    for key, value in sorted(result.details.items()):
-        if not isinstance(value, (list, dict)):
-            print(f"  {key}: {value}")
-    shown = result.findings[:max(args.max_findings, 0)]
-    for finding in shown:
-        print(f"  finding: {finding}")
-    remaining = result.finding_count - len(shown)
-    if remaining > 0:
-        print(f"  ... and {remaining} more")
-    return 0
-
-
-def _compare(args: argparse.Namespace) -> int:
-    trace = load_trace(args.trace)
-    print(f"{'backend':22s} {'seconds':>9s} {'findings':>9s} {'inserts':>9s} "
-          f"{'deletes':>9s} {'queries':>9s}")
-    for backend in _backends_for(args.analysis):
-        analysis = _make_analysis(args.analysis, backend)
-        result = analysis.run(trace)
-        print(
-            f"{backend:22s} {result.elapsed_seconds:9.3f} {result.finding_count:9d} "
-            f"{result.insert_count:9d} {result.delete_count:9d} {result.query_count:9d}"
-        )
-    return 0
-
-
-def _split_csv_flag(value: Optional[str]) -> Optional[Sequence[str]]:
-    if value is None:
-        return None
-    return [item.strip() for item in value.split(",") if item.strip()]
+def _warn(message: str) -> None:
+    print(f"warning: {message}", file=sys.stderr)
 
 
 def _list_suites() -> None:
+    suites = _session().registry.suites()
     print(f"{'suite':12s} {'specs':>5s}  description")
-    for name in sorted(SUITES):
-        suite = SUITES[name]
+    for name in sorted(suites):
+        suite = suites[name]
         print(f"{name:12s} {len(suite.specs):5d}  {suite.description}")
 
 
 def _list_analyses() -> None:
-    fed_by: Dict[str, List[str]] = {}
-    for kind, entry in GENERATOR_REGISTRY.items():
+    registry = _session().registry
+    fed_by: Dict[str, list] = {}
+    for kind, entry in registry.generators().items():
         for analysis_name in entry.analyses:
             fed_by.setdefault(analysis_name, []).append(kind)
     print(f"{'analysis':20s} {'default':18s} {'mode':10s} "
           f"{'backends':28s} fed by")
-    for name, cls in sorted(_analyses().items()):
+    for name, cls in sorted(registry.analyses().items()):
         mode = "streaming" if cls.streaming_native else "batch"
         backends = ",".join(cls.applicable_backends())
         kinds = ",".join(sorted(fed_by.get(name, ()))) or "-"
@@ -379,9 +361,50 @@ def _list_analyses() -> None:
               f"{backends:28s} {kinds}")
 
 
-def _sweep(args: argparse.Namespace) -> int:
-    from repro.core import BACKENDS
+def _list_generators() -> None:
+    """The unified workload-kind table: classic generators and scenario
+    families render from the one generator registry."""
+    generators = _session().registry.generators()
+    print(f"{'kind':18s} {'source':9s} {'analyses':42s} description")
+    for kind, entry in sorted(generators.items()):
+        analyses = ",".join(entry.analyses) or "-"
+        print(f"{kind:18s} {entry.source:9s} {analyses:42s} "
+              f"{entry.description}")
 
+
+# --------------------------------------------------------------------------- #
+# Subcommand shims: argv -> config -> Session.run -> render
+# --------------------------------------------------------------------------- #
+def _generate(args: argparse.Namespace) -> int:
+    config = GenerateConfig(kind=args.kind, threads=args.threads,
+                            events=args.events, seed=args.seed)
+    result = _session().run(config)
+    if args.out == "-":
+        dump_trace(result.trace, sys.stdout)
+    else:
+        dump_trace(result.trace, args.out)
+        print(f"wrote {len(result.trace)} events "
+              f"({result.trace.num_threads} threads) to {args.out}")
+    return result.exit_code
+
+
+def _analyze(args: argparse.Namespace) -> int:
+    config = AnalyzeConfig(analysis=args.analysis, trace=args.trace,
+                           backend=args.backend,
+                           max_findings=args.max_findings)
+    result = _session().run(config)
+    _render(result, args.format)
+    return result.exit_code
+
+
+def _compare(args: argparse.Namespace) -> int:
+    config = CompareConfig(analysis=args.analysis, trace=args.trace)
+    result = _session().run(config)
+    _render(result, args.format)
+    return result.exit_code
+
+
+def _sweep(args: argparse.Namespace) -> int:
     if args.list_suites or args.list_analyses:
         if args.list_suites:
             _list_suites()
@@ -389,47 +412,27 @@ def _sweep(args: argparse.Namespace) -> int:
             if args.list_suites:
                 print()
             _list_analyses()
-        return 0
-    if args.baseline is not None and args.baseline not in BACKENDS:
-        known = ", ".join(sorted(BACKENDS))
-        raise ReproError(f"unknown baseline backend {args.baseline!r}; "
-                         f"known: {known}")
-    if args.baseline is not None and args.format == "csv":
-        print("warning: --baseline has no effect with --format csv "
-              "(the CSV carries per-job records, not speedup aggregates)",
-              file=sys.stderr)
-    if args.timeout is not None and args.jobs <= 1:
-        print("warning: --timeout only applies to parallel runs; "
-              "--jobs 1 runs inline and cannot be interrupted",
-              file=sys.stderr)
-    if args.repeat < 1:
-        raise ReproError(f"--repeat must be >= 1, got {args.repeat}")
-    suite_name = args.suite
-    if args.corpus is not None:
-        from repro.gen.corpus import register_corpus_suite
-
-        suite_name = register_corpus_suite(args.corpus).name
-    result = run_suite(
-        suite_name,
-        workers=args.jobs,
-        analyses=_split_csv_flag(args.analyses),
-        backends=_split_csv_flag(args.backends),
-        timeout_seconds=args.timeout,
-        repeats=args.repeat,
-        seed=args.seed,
-    )
-    if args.baseline is not None and args.format != "csv" and not any(
-            record.backend == args.baseline for record in result.ok_records()):
-        print(f"warning: baseline backend {args.baseline!r} ran no job in "
-              f"this sweep; no speedups computed", file=sys.stderr)
+        return EXIT_OK
+    config = SweepConfig(suite=args.suite, corpus=args.corpus, jobs=args.jobs,
+                         analyses=args.analyses, backends=args.backends,
+                         baseline=args.baseline, timeout=args.timeout,
+                         repeat=args.repeat, seed=args.seed,
+                         format=args.format)
+    # Dropped-option warnings are knowable up front; surface them before a
+    # potentially long sweep so the user can still abort and rerun.
+    preflight = config.validation_warnings()
+    for message in preflight:
+        _warn(message)
+    result = _session().run(config)
+    for message in result.warnings:
+        if message not in preflight:
+            _warn(message)
     destination = None if args.out == "-" else args.out
-    if args.format == "csv":
+    if config.format == "csv":
         result.to_csv(sys.stdout if destination is None else destination)
     else:
-        if args.format == "json":
-            rendered = result.to_json(baseline=args.baseline) + "\n"
-        else:
-            rendered = result.format_table(baseline=args.baseline) + "\n"
+        rendered = (result.to_json() if config.format == "json"
+                    else result.to_table()) + "\n"
         if destination is None:
             sys.stdout.write(rendered)
         else:
@@ -437,188 +440,95 @@ def _sweep(args: argparse.Namespace) -> int:
                 stream.write(rendered)
     if destination is not None:
         print(f"wrote {len(result.records)} records to {destination}")
-    return 1 if result.failures() else 0
+    return result.exit_code
 
 
 def _bench(args: argparse.Namespace) -> int:
-    import os
-
-    from repro.bench import perf
-
-    repeats = args.repeats if args.repeats is not None else perf.DEFAULT_REPEATS
-    if repeats < 1:
-        raise ReproError(f"--repeats must be >= 1, got {repeats}")
-    threshold = (args.threshold if args.threshold is not None
-                 else perf.DEFAULT_THRESHOLD)
-    if threshold <= 0:
-        raise ReproError(f"--threshold must be > 0, got {threshold}")
-
-    if args.update_baseline:
-        baseline_path = args.baseline or perf.BASELINE_FILENAME
-        document = perf.build_baseline(repeats=repeats)
-        perf.write_document(document, baseline_path)
-        full = document["modes"]["full"]
-        print(perf.format_report(full))
-        print(f"wrote baseline ({len(full['results'])} cases, quick+full) "
-              f"to {baseline_path}")
-        return 0
-
-    # Validate an explicitly requested baseline up front -- the suite takes
-    # a while and a typo'd path should not cost a full run.
-    if not args.no_compare and args.baseline is not None \
-            and not os.path.exists(args.baseline):
-        raise ReproError(f"baseline file not found: {args.baseline}")
-
-    document = perf.run_perf(quick=args.quick, repeats=repeats)
-    print(perf.format_report(document))
-    if args.out == "-":
-        print(json.dumps(document, indent=2, sort_keys=True))
-    else:
-        out_path = args.out or perf.default_output_path()
-        perf.write_document(document, out_path)
-        print(f"wrote {len(document['results'])} cases to {out_path}")
-
-    if args.no_compare:
-        return 0
-    baseline_path = args.baseline or perf.BASELINE_FILENAME
-    if not os.path.exists(baseline_path):
-        if args.baseline is not None:
-            raise ReproError(f"baseline file not found: {baseline_path}")
-        print(f"no {perf.BASELINE_FILENAME} found; regression check skipped "
-              f"(create one with 'repro bench perf --update-baseline')")
-        return 0
-    entries = perf.compare_documents(document, perf.read_document(baseline_path),
-                                     threshold=threshold)
-    if not entries:
-        print(f"no regressions vs {baseline_path} "
-              f"(threshold {threshold:.2f}x)")
-        return 0
-    for entry in entries:
-        print(entry, file=sys.stderr if perf.is_regression([entry]) else sys.stdout)
-    return 1 if perf.is_regression(entries) else 0
-
-
-def _list_generators() -> None:
-    """The unified workload-kind table: classic generators and scenario
-    families render from the single :data:`GENERATOR_REGISTRY`."""
-    print(f"{'kind':18s} {'source':9s} {'analyses':42s} description")
-    for kind, entry in sorted(GENERATOR_REGISTRY.items()):
-        analyses = ",".join(entry.analyses) or "-"
-        print(f"{kind:18s} {entry.source:9s} {analyses:42s} "
-              f"{entry.description}")
+    config = BenchConfig(mode=args.mode, quick=args.quick,
+                         repeats=args.repeats, out=args.out,
+                         baseline=args.baseline, threshold=args.threshold,
+                         compare=not args.no_compare,
+                         update_baseline=args.update_baseline)
+    result = _session().run(config)
+    print(result.report)
+    if result.rendered_document is not None:
+        print(result.rendered_document)
+    for note in result.notes:
+        print(note)
+    for entry, regressing in result.regressions:
+        print(entry, file=sys.stderr if regressing else sys.stdout)
+    return result.exit_code
 
 
 def _gen(args: argparse.Namespace) -> int:
-    from repro.gen.corpus import CorpusConfig, build_corpus
-
     if args.list_kinds:
         _list_generators()
-        return 0
+        return EXIT_OK
     if args.mode != "corpus":
         raise ReproError(
             "nothing to do: pass 'corpus' to build a corpus or --list to "
             "show the registered workload kinds")
     if args.out is None:
         raise ReproError("gen corpus needs --out DIRECTORY")
+    document: Dict[str, object] = {}
     if args.config is not None:
-        config = CorpusConfig.from_file(args.config)
-    else:
-        config = CorpusConfig()
-    overrides = {}
-    if args.name is not None:
-        overrides["name"] = args.name
-    if args.kinds is not None:
-        overrides["kinds"] = tuple(_split_csv_flag(args.kinds) or ())
-    if args.count is not None:
-        overrides["count"] = args.count
-    if args.seed is not None:
-        overrides["seed"] = args.seed
-    if args.threads is not None:
-        overrides["threads"] = args.threads
-    if args.events is not None:
-        overrides["events"] = args.events
-    if args.schedulers is not None:
-        overrides["schedulers"] = tuple(_split_csv_flag(args.schedulers)
-                                        or ())
-    if overrides:
-        import dataclasses
+        from repro.gen.corpus import CorpusConfig
 
-        config = dataclasses.replace(config, **overrides)
-    manifest = build_corpus(args.out, config)
-    members = manifest["traces"]
-    total_events = sum(member["event_count"] for member in members)
-    print(f"wrote {len(members)} traces ({total_events} events) to "
-          f"{args.out}")
-    print(f"manifest: {args.out}/manifest.json")
-    print(f"registered sweep suite {manifest['suite']!r} "
-          f"(sweep it with: repro sweep --corpus {args.out}/manifest.json)")
-    return 0
+        with open(args.config, "r", encoding="utf-8") as stream:
+            try:
+                document = json.load(stream)
+            except ValueError as error:
+                raise ReproError(f"corpus config {args.config} is not "
+                                 f"valid JSON: {error}") from None
+        if not isinstance(document, dict):
+            raise ReproError(f"corpus config {args.config} is not a JSON "
+                             f"object")
+        # Validate through the corpus layer's own schema: one validator
+        # for the file format, and run-scoped keys (out, register) belong
+        # to the invocation, so a file smuggling them in is rejected here
+        # rather than silently fighting the CLI flags.
+        CorpusConfig.from_mapping(document)
+    overrides = {key: value for key, value in (
+        ("name", args.name), ("kinds", args.kinds), ("count", args.count),
+        ("seed", args.seed), ("threads", args.threads),
+        ("events", args.events), ("schedulers", args.schedulers))
+        if value is not None}
+    config = GenConfig.from_dict({**document, **overrides, "out": args.out})
+    result = _session().run(config)
+    _render(result, args.format)
+    return result.exit_code
 
 
 def _fuzz(args: argparse.Namespace) -> int:
-    from repro.gen.fuzz import run_fuzz
-
-    if args.seeds < 1:
-        raise ReproError(f"--seeds must be >= 1, got {args.seeds}")
-    if args.max_checks < 1:
-        raise ReproError(f"--max-checks must be >= 1, got {args.max_checks}")
+    config = FuzzConfig(seeds=args.seeds, quick=args.quick, kinds=args.kinds,
+                        backends=args.backends, stream=not args.no_stream,
+                        seed=args.seed, out=args.out,
+                        minimize=not args.no_minimize,
+                        max_checks=args.max_checks)
     on_case = None
     if args.verbose:
         def on_case(case) -> None:
             print(f"case {case.case_id}", flush=True)
-    report = run_fuzz(
-        seeds=args.seeds,
-        quick=args.quick,
-        kinds=_split_csv_flag(args.kinds),
-        backends=_split_csv_flag(args.backends),
-        stream=not args.no_stream,
-        base_seed=args.seed,
-        out_dir=args.out,
-        minimize=not args.no_minimize,
-        max_checks=args.max_checks,
-        on_case=on_case,
-    )
-    print(report.summary())
-    if not report.ok:
+    result = _session().run(config, on_case=on_case)
+    _render(result, args.format)
+    if not result.report.ok:
         if args.no_minimize:
             print("divergent inputs were not written (--no-minimize); "
                   "re-run without it to produce counterexamples",
                   file=sys.stderr)
         else:
             print(f"counterexamples written to {args.out}", file=sys.stderr)
-    return 0 if report.ok else 1
+    return result.exit_code
 
 
 def _watch(args: argparse.Namespace) -> int:
-    import os
-
-    from repro.stream import (
-        GeneratorSource,
-        StreamEngine,
-        open_source,
-        parse_window,
-        restore_engine,
-    )
-
-    source = open_source(args.source, follow=args.follow,
-                         idle_timeout=args.idle_timeout)
-    resuming = args.checkpoint is not None and os.path.exists(args.checkpoint)
-
-    if args.analyses:
-        analyses = [resolve_analysis_name(item)
-                    for item in args.analyses.split(",") if item.strip()]
-    elif resuming:
-        analyses = []  # the checkpoint records them
-    elif isinstance(source, GeneratorSource):
-        analyses = [resolve_analysis_name(item) for item
-                    in GENERATOR_REGISTRY[source.kind].analyses]
-    else:
-        raise ReproError(
-            "file sources need --analyses (try --analyses "
-            "race_prediction,deadlock; see 'repro sweep --list-analyses')")
-    if not analyses and not resuming:
-        raise ReproError("no analyses selected")
-
+    config = WatchConfig(source=args.source, analyses=args.analyses,
+                         backend=args.backend, window=args.window,
+                         flush_every=args.flush_every,
+                         checkpoint=args.checkpoint,
+                         checkpoint_every=args.checkpoint_every,
+                         follow=args.follow, idle_timeout=args.idle_timeout,
+                         max_events=args.max_events)
     jsonl = args.format == "jsonl"
 
     def emit(item) -> None:
@@ -630,91 +540,50 @@ def _watch(args: argparse.Namespace) -> int:
             print(f"[{item.position:>6d}] {item.analysis}: {item.finding}",
                   flush=True)
 
-    skip = 0
-    if resuming:
-        engine = restore_engine(args.checkpoint, on_finding=emit)
-        skip = engine.cursor
-        # The checkpoint's configuration wins on resume; say so whenever a
-        # flag the user passed this time disagrees with it.
-        if analyses and sorted(engine.analyses) != sorted(analyses):
-            print(f"warning: resuming checkpoint with analyses "
-                  f"{engine.analyses} (requested {analyses})",
-                  file=sys.stderr)
-        if args.window is not None and \
-                parse_window(args.window).spec() != engine.window.spec():
-            print(f"warning: resuming checkpoint with window "
-                  f"{engine.window.spec()!r} (requested {args.window!r}); "
-                  f"--window is fixed at checkpoint creation",
-                  file=sys.stderr)
-        if args.flush_every is not None and args.flush_every != \
-                getattr(engine.window, "flush_every", None):
-            print(f"warning: resuming checkpoint with flush-every "
-                  f"{getattr(engine.window, 'flush_every', None)} "
-                  f"(requested {args.flush_every}); --flush-every is "
-                  f"fixed at checkpoint creation", file=sys.stderr)
-        if args.backend is not None and args.backend != engine.backend_option:
-            print(f"warning: resuming checkpoint with backend "
-                  f"{engine.backend_option or 'per-analysis default'} "
-                  f"(requested {args.backend}); --backend is fixed at "
-                  f"checkpoint creation", file=sys.stderr)
-        if not jsonl:
-            print(f"resumed from {args.checkpoint} at event {skip}")
-    else:
-        engine = StreamEngine(
-            analyses,
-            backend=args.backend,
-            window=parse_window(args.window, flush_every=args.flush_every),
-            name=source.name,
-            on_finding=emit,
-        )
+    def notice(kind: str, message: str) -> None:
+        if kind == "warning":
+            _warn(message)
+        elif not jsonl:
+            print(message)
 
-    result = engine.run(source, skip=skip, max_events=args.max_events,
-                        checkpoint_path=args.checkpoint,
-                        checkpoint_every=args.checkpoint_every)
-
-    for name, message in sorted(result.errors.items()):
-        print(f"warning: {name}: last flush failed: {message}",
-              file=sys.stderr)
+    result = _session().run(config, on_finding=emit, on_notice=notice)
     if jsonl:
-        print(json.dumps({
-            "type": "summary",
-            "name": result.name,
-            "events": result.stats.events,
-            "threads": result.stats.threads,
-            "flushes": result.stats.flushes,
-            "emitted": result.stats.emitted,
-            "backbone_edges": result.stats.backbone_edges,
-            "final": {name: [str(finding) for finding in res.findings]
-                      for name, res in sorted(result.results.items())},
-        }), flush=True)
+        print(json.dumps(result.to_dict()), flush=True)
     else:
-        print(result.summary())
-        if engine.order is not None:
-            print(f"  sync backbone: {result.stats.backbone_edges} edges "
-                  f"across {result.stats.threads} threads")
-        for name, res in sorted(result.results.items()):
-            print(f"  final[{name}]: {res.finding_count} findings "
-                  f"({res.operation_count} PO ops, "
-                  f"{res.elapsed_seconds:.3f}s last flush)")
-        if args.checkpoint is not None:
-            print(f"checkpoint saved to {args.checkpoint} "
-                  f"(cursor {engine.cursor})")
-    # Mirror `sweep`: a run whose final flush failed for some analysis is
-    # not a clean success (its final result is missing), even though the
-    # stream itself was consumed and checkpointed.
-    return 1 if result.errors else 0
+        print(result.to_table())
+    return result.exit_code
+
+
+def _capabilities(args: argparse.Namespace) -> int:
+    print(json.dumps(_session().capabilities(), indent=2, sort_keys=True))
+    return EXIT_OK
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Parse argv, run the subcommand, and map errors to the stable exit
+    codes of :mod:`repro.errors` -- the single place CLI exceptions are
+    turned into process status."""
     args = build_parser().parse_args(argv)
     handlers = {"generate": _generate, "analyze": _analyze,
                 "compare": _compare, "sweep": _sweep, "bench": _bench,
-                "gen": _gen, "fuzz": _fuzz, "watch": _watch}
+                "gen": _gen, "fuzz": _fuzz, "watch": _watch,
+                "capabilities": _capabilities}
     try:
         return handlers[args.command](args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return exit_code_for(KeyboardInterrupt())
+    except BrokenPipeError:
+        # The downstream consumer (e.g. `repro capabilities | head`) closed
+        # the pipe -- nothing to report; 128+SIGPIPE is the shell convention.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 141
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
-        return 2
+        return exit_code_for(error)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

@@ -23,7 +23,11 @@ from repro.core.factory import (
     FLAT_BACKENDS,
     FLAT_EQUIVALENTS,
     INCREMENTAL_BACKENDS,
+    dynamic_backends,
+    incremental_backends,
     make_partial_order,
+    register_backend,
+    unregister_backend,
 )
 from repro.core.flat import (
     FlatCSST,
@@ -69,5 +73,9 @@ __all__ = [
     "SparseSegmentTree",
     "SuffixMinima",
     "VectorClockOrder",
+    "dynamic_backends",
+    "incremental_backends",
     "make_partial_order",
+    "register_backend",
+    "unregister_backend",
 ]

@@ -8,7 +8,7 @@ paper's tables) into a concrete instance.
 
 from __future__ import annotations
 
-from typing import Dict, Type
+from typing import Dict, List, Optional, Tuple, Type
 
 from repro.core.csst import CSST
 from repro.core.flat import FlatCSST, FlatIncrementalCSST, FlatVectorClockOrder
@@ -52,6 +52,87 @@ FLAT_EQUIVALENTS: Dict[str, str] = {
     "incremental-csst": "incremental-csst-flat",
     "vc": "vc-flat",
 }
+
+#: Plugin-registered backend names, partitioned by the analysis families
+#: they can serve.  The built-in tuples above stay immutable (they are
+#: imported by value all over the tree); consumers that must see plugins --
+#: :meth:`repro.analyses.common.base.Analysis.applicable_backends`, the
+#: :class:`repro.api.Registry` -- go through the accessor functions below.
+_EXTRA_INCREMENTAL: List[str] = []
+_EXTRA_DYNAMIC: List[str] = []
+
+#: The names shipped by this library; plugins may not shadow them (the
+#: analyses hard-code some as defaults, and family membership of a
+#: built-in is fixed).
+_BUILTIN_NAMES = frozenset(BACKENDS)
+
+
+def incremental_backends() -> Tuple[str, ...]:
+    """Backends able to serve the incremental-only analyses, including any
+    registered via :func:`register_backend`."""
+    return INCREMENTAL_BACKENDS + tuple(_EXTRA_INCREMENTAL)
+
+
+def dynamic_backends() -> Tuple[str, ...]:
+    """Backends able to serve the fully dynamic (deletion-based) analyses,
+    including any registered via :func:`register_backend`."""
+    return DYNAMIC_BACKENDS + tuple(_EXTRA_DYNAMIC)
+
+
+def register_backend(name: str, backend_cls: Type[PartialOrder], *,
+                     incremental: Optional[bool] = None,
+                     dynamic: Optional[bool] = None) -> None:
+    """Register an external :class:`PartialOrder` implementation.
+
+    Makes ``name`` resolvable through :func:`make_partial_order` and adds it
+    to the applicable-backend sets the analyses, the sweep planner, and the
+    fuzzer consult.  ``incremental``/``dynamic`` control which analysis
+    families may use it; when both are omitted they are inferred from the
+    class's ``supports_deletion`` flag (deletion-capable backends serve the
+    fully dynamic analyses, the rest serve the incremental ones).
+
+    Re-registering a previously registered plugin name replaces it
+    (mirroring :func:`repro.trace.generators.register_generator`), but the
+    built-in names cannot be shadowed: analyses hard-code some of them as
+    defaults and their family membership is part of the paper's protocol.
+    """
+    if not name or not isinstance(name, str):
+        raise ReproError(f"backend name must be a non-empty string, "
+                         f"got {name!r}")
+    if name in _BUILTIN_NAMES:
+        raise ReproError(f"cannot replace built-in backend {name!r}; "
+                         f"register the variant under a new name")
+    if not (isinstance(backend_cls, type)
+            and issubclass(backend_cls, PartialOrder)):
+        raise ReproError(f"backend {name!r} must be a PartialOrder subclass, "
+                         f"got {backend_cls!r}")
+    if incremental is None and dynamic is None:
+        # ``supports_deletion`` is a plain class attribute on every backend.
+        if bool(getattr(backend_cls, "supports_deletion", False)):
+            dynamic = True
+        else:
+            incremental = True
+    BACKENDS[name] = backend_cls
+    for flag, extras in ((incremental, _EXTRA_INCREMENTAL),
+                         (dynamic, _EXTRA_DYNAMIC)):
+        if name in extras:
+            extras.remove(name)
+        if flag:
+            extras.append(name)
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a plugin-registered backend (no-op for unknown names).
+
+    The built-in backends cannot be unregistered; attempting to is an
+    error, because analyses hard-code them as defaults.
+    """
+    if name in _BUILTIN_NAMES:
+        raise ReproError(f"cannot unregister built-in backend {name!r}")
+    BACKENDS.pop(name, None)
+    for extras in (_EXTRA_INCREMENTAL, _EXTRA_DYNAMIC):
+        if name in extras:
+            extras.remove(name)
 
 
 def make_partial_order(kind: str, num_chains: int, capacity_hint: int = 1024,

@@ -1,11 +1,41 @@
-"""Exception hierarchy for the repro library.
+"""Exception hierarchy and exit-code policy for the repro library.
 
 All library-specific errors derive from :class:`ReproError` so that callers
 can catch a single base class when they do not care about the precise
 failure mode.
+
+This module is also the single source of truth for the process exit codes
+of every front end (the CLI, the ``api-smoke`` scripts, CI jobs):
+
+=====================  =====  ==================================================
+Constant               Value  Meaning
+=====================  =====  ==================================================
+:data:`EXIT_OK`        0      The run completed cleanly.
+:data:`EXIT_FAILURE`   1      The run completed, but reported failures the
+                              caller must look at (sweep job errors, fuzz
+                              divergences, perf regressions, a failed final
+                              stream flush).
+:data:`EXIT_ERROR`     2      The request itself was bad or could not be
+                              served: every :class:`ReproError` subclass
+                              (including :class:`ConfigError`) and ``OSError``.
+:data:`EXIT_INTERRUPT` 130    The run was interrupted (SIGINT convention).
+=====================  =====  ==================================================
+
+Front ends map exceptions through :func:`exit_code_for` instead of choosing
+codes ad hoc, so the table above is a stable contract for external tooling.
 """
 
 from __future__ import annotations
+
+#: Exit code of a clean run.
+EXIT_OK = 0
+#: Exit code of a completed run that reported failures (divergences,
+#: failed sweep jobs, perf regressions, a failed final stream flush).
+EXIT_FAILURE = 1
+#: Exit code for invalid requests and environment errors.
+EXIT_ERROR = 2
+#: Exit code for an interrupted run (128 + SIGINT).
+EXIT_INTERRUPT = 130
 
 
 class ReproError(Exception):
@@ -61,3 +91,23 @@ class StreamError(ReproError):
 
 class CheckpointError(StreamError):
     """Raised when a stream checkpoint cannot be saved or restored."""
+
+
+class ConfigError(ReproError):
+    """Raised by :mod:`repro.api` when a request config is invalid
+    (unknown keys, out-of-range values, conflicting options)."""
+
+
+def exit_code_for(error: BaseException) -> int:
+    """The stable exit code for ``error`` (see the module docstring).
+
+    Any :class:`ReproError` subclass and ``OSError`` map to
+    :data:`EXIT_ERROR`; ``KeyboardInterrupt`` maps to
+    :data:`EXIT_INTERRUPT`.  Anything else is a genuine bug and is *not*
+    mapped -- callers should let it propagate with its traceback.
+    """
+    if isinstance(error, KeyboardInterrupt):
+        return EXIT_INTERRUPT
+    if isinstance(error, (ReproError, OSError)):
+        return EXIT_ERROR
+    raise TypeError(f"no exit-code mapping for {type(error).__name__}")

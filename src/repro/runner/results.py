@@ -155,22 +155,34 @@ class SweepResult:
     # ------------------------------------------------------------------ #
     # Export
     # ------------------------------------------------------------------ #
-    def to_json(self, baseline: Optional[str] = None, indent: int = 2) -> str:
-        """JSON document: sweep metadata, per-job records, aggregates."""
-        document = {
+    def to_document(self, baseline: Optional[str] = None) -> Dict[str, object]:
+        """The JSON-able document: sweep metadata, per-job records,
+        aggregates.  This is the dict :meth:`to_json` serializes and what
+        :class:`repro.api.results.SweepRunResult` re-exports, so the two
+        layers can never drift apart."""
+        return {
             "suite": self.suite,
             "jobs": len(self.records),
             "failures": len(self.failures()),
             "records": [record.to_dict() for record in self.records],
             "speedups": self.speedups(baseline),
         }
-        return json.dumps(document, indent=indent)
+
+    def to_json(self, baseline: Optional[str] = None, indent: int = 2) -> str:
+        """JSON document: sweep metadata, per-job records, aggregates."""
+        return json.dumps(self.to_document(baseline), indent=indent)
 
     def to_csv(self, destination: Destination) -> None:
         """One CSV row per job, in deterministic job order."""
         rows_to_csv(CSV_COLUMNS,
                     [record.to_row() for record in self.records],
                     destination)
+
+    def to_table(self, baseline: Optional[str] = None) -> str:
+        """Alias of :meth:`format_table` conforming to the
+        ``to_json``/``to_table`` export protocol of
+        :mod:`repro.api.results`."""
+        return self.format_table(baseline)
 
     def format_table(self, baseline: Optional[str] = None) -> str:
         """Human-readable report: per-job table plus speedup summary."""

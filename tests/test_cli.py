@@ -143,7 +143,7 @@ class TestSweep:
 
     def test_sweep_repeat_must_be_positive(self, capsys):
         assert main(["sweep", "--suite", "smoke", "--repeat", "0"]) == 2
-        assert "--repeat" in capsys.readouterr().err
+        assert "repeat must be >= 1" in capsys.readouterr().err
 
     def test_sweep_table_output(self, capsys):
         assert main(["sweep", "--suite", "smoke", "--analyses",
@@ -209,8 +209,8 @@ class TestSweep:
                      "--backends", "vc", "--timeout", "5", "--format", "csv",
                      "--baseline", "vc"]) == 0
         captured = capsys.readouterr().err
-        assert "--timeout only applies to parallel runs" in captured
-        assert "--baseline has no effect with --format csv" in captured
+        assert "timeout only applies to parallel runs" in captured
+        assert "baseline has no effect with the csv format" in captured
 
     def test_sweep_empty_plan_is_a_clean_error(self, capsys):
         assert main(["sweep", "--suite", "smoke", "--analyses",
@@ -310,6 +310,24 @@ class TestGenCommand:
         finally:
             SUITES.pop("corpus:fromfile", None)
 
+    def test_gen_corpus_malformed_config_json_is_a_clean_error(self, tmp_path,
+                                                               capsys):
+        config = tmp_path / "bad.json"
+        config.write_text("{not json")
+        assert main(["gen", "corpus", "--out", str(tmp_path / "c"),
+                     "--config", str(config)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_gen_corpus_config_file_rejects_run_scoped_keys(self, tmp_path,
+                                                            capsys):
+        # 'out' belongs to the invocation (--out); a file smuggling it in
+        # would silently lose to the flag, so it is rejected up front.
+        config = tmp_path / "config.json"
+        config.write_text(json.dumps({"name": "x", "out": "/elsewhere"}))
+        assert main(["gen", "corpus", "--out", str(tmp_path / "c"),
+                     "--config", str(config)]) == 2
+        assert "unknown corpus config keys" in capsys.readouterr().err
+
 
 class TestFuzzCommand:
     def test_fuzz_quick_run_is_clean(self, capsys):
@@ -325,7 +343,7 @@ class TestFuzzCommand:
 
     def test_fuzz_invalid_seeds_rejected(self, capsys):
         assert main(["fuzz", "--seeds", "0"]) == 2
-        assert "--seeds" in capsys.readouterr().err
+        assert "seeds must be >= 1" in capsys.readouterr().err
 
     def test_fuzz_unknown_kind_is_a_clean_error(self, capsys):
         assert main(["fuzz", "--seeds", "1", "--kinds", "quantum"]) == 2
@@ -474,11 +492,11 @@ class TestWatch:
                      "race-prediction", "--window", "50",
                      "--checkpoint", str(checkpoint)]) == 0
         err = capsys.readouterr().err
-        assert "--window is fixed at checkpoint creation" in err
+        assert "window is fixed at checkpoint creation" in err
 
     def test_watch_file_source_requires_analyses(self, trace_file, capsys):
         assert main(["watch", "--source", str(trace_file)]) == 2
-        assert "need --analyses" in capsys.readouterr().err
+        assert "need analyses" in capsys.readouterr().err
 
     def test_watch_generator_resume_without_analyses_does_not_warn(
             self, tmp_path, capsys):

@@ -10,6 +10,7 @@ EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 
 EXAMPLES = [
     "quickstart.py",
+    "api_tour.py",
     "race_detection.py",
     "consistency_checking.py",
     "linearizability_rootcause.py",
