@@ -37,6 +37,7 @@ from repro.api.config import (
     BenchConfig,
     CompareConfig,
     Config,
+    ConvertConfig,
     FuzzConfig,
     GenConfig,
     GenerateConfig,
@@ -48,6 +49,7 @@ from repro.api.results import (
     AnalyzeResult,
     BenchResult,
     CompareResult,
+    ConvertResult,
     CorpusResult,
     FuzzResult,
     GenerateResult,
@@ -66,6 +68,8 @@ __all__ = [
     "CompareConfig",
     "CompareResult",
     "Config",
+    "ConvertConfig",
+    "ConvertResult",
     "CorpusResult",
     "FuzzConfig",
     "FuzzResult",

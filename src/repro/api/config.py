@@ -358,11 +358,15 @@ class GenConfig(Config):
     params: Pairs = ()
     schedulers: Optional[Tuple[str, ...]] = None
     register: bool = True
+    format: str = "std"
 
     def __post_init__(self) -> None:
         _require(bool(self.out), "gen config needs an output directory")
         _coerce_numbers(self, int, count=self.count, seed=self.seed)
         _require(self.count >= 1, f"count must be >= 1, got {self.count}")
+        _require(self.format in ConvertConfig.TRACE_FORMATS,
+                 f"unknown trace format {self.format!r}; "
+                 f"known: {', '.join(ConvertConfig.TRACE_FORMATS)}")
         if isinstance(self.params, Mapping):
             entries = list(self.params.items())
         else:
@@ -389,7 +393,7 @@ class GenConfig(Config):
 
         overrides: Dict[str, Any] = {
             "name": self.name, "kinds": self.kinds, "count": self.count,
-            "seed": self.seed, "params": self.params,
+            "seed": self.seed, "params": self.params, "format": self.format,
         }
         if self.threads is not None:
             overrides["threads"] = self.threads
@@ -398,6 +402,34 @@ class GenConfig(Config):
         if self.schedulers is not None:
             overrides["schedulers"] = self.schedulers
         return CorpusConfig(**overrides)
+
+
+@dataclass(frozen=True)
+class ConvertConfig(Config):
+    """Translate one trace between the STD text format and the ``.stc``
+    binary columnar format (CLI: ``repro convert``).
+
+    The source format is sniffed from the file (magic bytes first, then
+    extension); the output format follows the destination suffix unless
+    ``to`` forces it (``"std"`` / ``"stc"``).  ``.gz`` suffixes always
+    mean canonical, byte-reproducible gzip in either direction.
+    """
+
+    command: ClassVar[str] = "convert"
+
+    #: Output formats ``to`` may force.
+    TRACE_FORMATS: ClassVar[Tuple[str, ...]] = ("std", "stc")
+
+    source: str
+    out: str
+    to: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        _require(bool(self.source), "convert config needs a source trace")
+        _require(bool(self.out), "convert config needs an output path")
+        _require(self.to is None or self.to in self.TRACE_FORMATS,
+                 f"unknown trace format {self.to!r}; "
+                 f"known: {', '.join(self.TRACE_FORMATS)}")
 
 
 @dataclass(frozen=True)
@@ -462,5 +494,5 @@ class BenchConfig(Config):
 #: Every request config, in CLI-subcommand order.
 ALL_CONFIGS: Tuple[type, ...] = (
     GenerateConfig, AnalyzeConfig, CompareConfig, SweepConfig, WatchConfig,
-    GenConfig, FuzzConfig, BenchConfig,
+    GenConfig, ConvertConfig, FuzzConfig, BenchConfig,
 )

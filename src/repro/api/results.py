@@ -88,6 +88,36 @@ class GenerateResult(Result):
 
 
 @dataclass
+class ConvertResult(Result):
+    """One trace format translation (from
+    :class:`~repro.api.config.ConvertConfig`)."""
+
+    source: str = ""
+    out: str = ""
+    source_format: str = ""
+    out_format: str = ""
+    trace_name: str = ""
+    event_count: int = 0
+    thread_count: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "source": self.source,
+            "out": self.out,
+            "source_format": self.source_format,
+            "out_format": self.out_format,
+            "name": self.trace_name,
+            "event_count": self.event_count,
+            "thread_count": self.thread_count,
+        }
+
+    def to_table(self) -> str:
+        return (f"{self.source} ({self.source_format}) -> "
+                f"{self.out} ({self.out_format}): "
+                f"{self.event_count} events ({self.thread_count} threads)")
+
+
+@dataclass
 class AnalyzeResult(Result):
     """One analysis run (from :class:`~repro.api.config.AnalyzeConfig`).
 

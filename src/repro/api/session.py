@@ -37,6 +37,7 @@ from repro.api.config import (
     BenchConfig,
     CompareConfig,
     Config,
+    ConvertConfig,
     FuzzConfig,
     GenConfig,
     GenerateConfig,
@@ -48,6 +49,7 @@ from repro.api.results import (
     AnalyzeResult,
     BenchResult,
     CompareResult,
+    ConvertResult,
     CorpusResult,
     FuzzResult,
     GenerateResult,
@@ -104,6 +106,7 @@ class Session:
                 (SweepConfig, self.sweep, ()),
                 (WatchConfig, self.watch, ("on_finding", "on_notice")),
                 (GenConfig, self.gen_corpus, ()),
+                (ConvertConfig, self.convert, ()),
                 (FuzzConfig, self.fuzz, ("on_case",)),
                 (BenchConfig, self.bench, ())):
             if isinstance(config, config_type):
@@ -137,25 +140,27 @@ class Session:
 
         ``trace`` skips loading ``config.trace`` from disk -- the hook for
         callers that already hold a live :class:`~repro.trace.Trace`.
+        ``config.trace`` may be STD text or ``.stc`` binary; the format is
+        sniffed.
         """
-        from repro.trace import load_trace
+        from repro.trace import read_trace
 
         cls = self.registry.analysis(config.analysis)
         backend = config.backend or cls.default_backend()
         if trace is None:
-            trace = load_trace(config.trace)
+            trace = read_trace(config.trace)
         raw = cls(backend, **dict(config.params)).run(trace)
         return AnalyzeResult(raw=raw, max_findings=config.max_findings)
 
     def compare(self, config: CompareConfig,
                 trace: Optional[Trace] = None) -> CompareResult:
         """Run one analysis on every applicable backend."""
-        from repro.trace import load_trace
+        from repro.trace import read_trace
 
         name = self.registry.resolve_analysis(config.analysis)
         cls = self.registry.analyses()[name]
         if trace is None:
-            trace = load_trace(config.trace)
+            trace = read_trace(config.trace)
         applicable = list(cls.applicable_backends())
         if config.backends is None:
             selected = applicable
@@ -322,6 +327,31 @@ class Session:
                                 register=config.register)
         return CorpusResult(manifest=manifest, out=config.out)
 
+    def convert(self, config: ConvertConfig) -> ConvertResult:
+        """Translate one trace between the STD text and ``.stc`` binary
+        formats (both directions; ``.gz`` transparent on both sides)."""
+        from repro.trace import (
+            dump_trace,
+            read_trace,
+            trace_format,
+            write_trace_stc,
+        )
+        from repro.trace.io import path_format
+
+        source_format = trace_format(config.source)
+        trace = read_trace(config.source)
+        out_format = config.to or path_format(config.out)
+        if out_format == "stc":
+            write_trace_stc(trace, config.out)
+        else:
+            dump_trace(trace, config.out)
+        return ConvertResult(source=config.source, out=config.out,
+                             source_format=source_format,
+                             out_format=out_format,
+                             trace_name=trace.name,
+                             event_count=len(trace),
+                             thread_count=trace.num_threads)
+
     def fuzz(self, config: FuzzConfig,
              on_case: Optional[Callable[[Any], None]] = None) -> FuzzResult:
         """Run the differential fuzzer (``on_case`` is the per-case
@@ -465,12 +495,13 @@ class Session:
                 for name, suite in sorted(self.registry.suites().items())
             },
             "formats": {
-                "trace": ["std", "std.gz"],
+                "trace": ["std", "std.gz", "stc", "stc.gz"],
                 "analyze": list(RESULT_FORMATS),
                 "compare": list(RESULT_FORMATS),
                 "sweep": list(SweepConfig.FORMATS),
                 "watch": list(WATCH_FORMATS),
                 "gen": list(RESULT_FORMATS),
+                "convert": list(RESULT_FORMATS),
                 "fuzz": list(RESULT_FORMATS),
             },
             "exit_codes": {

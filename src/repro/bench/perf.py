@@ -73,6 +73,7 @@ SPEEDUP_PAIRS: Sequence[Tuple[str, str, str]] = (
      "scn-locked-mix/incremental-csst", "scn-locked-mix-flat-over-object"),
     ("scn-mpmc-queue/vc-flat", "scn-mpmc-queue/vc",
      "scn-mpmc-flat-over-object"),
+    ("trace-load/stc", "trace-load/std", "stc-parse-over-std-parse"),
 )
 
 
@@ -206,6 +207,32 @@ def _trace_load_case() -> Callable[[bool], Callable[[], object]]:
     return setup
 
 
+def _stc_load_case() -> Callable[[bool], Callable[[], object]]:
+    """`.stc` binary-format ingest throughput on the same workload.
+
+    Decodes the blob and builds the columnar views without materializing
+    a single :class:`Event` -- the zero-copy fast path the format exists
+    for.  Paired with ``trace-load/std`` under ``speedups``.
+    """
+
+    def setup(quick: bool) -> Callable[[], object]:
+        from repro.trace.binfmt import decode_trace, encode_trace
+        from repro.trace.generators import build_trace
+
+        trace = build_trace("c11", num_threads=6,
+                            events=150 if quick else 600, seed=5)
+        blob = encode_trace(trace)
+
+        def run() -> object:
+            loaded = decode_trace(blob)
+            loaded.columns()
+            return len(loaded)
+
+        return run
+
+    return setup
+
+
 def default_cases() -> List[PerfCase]:
     """The fixed perf suite (order is the report order)."""
     cases = [
@@ -245,6 +272,7 @@ def default_cases() -> List[PerfCase]:
                            num_threads=8, events=260, seed=22,
                            scheduler="weighted")))
     cases.append(PerfCase("trace-load/std", _trace_load_case()))
+    cases.append(PerfCase("trace-load/stc", _stc_load_case()))
     return cases
 
 

@@ -38,6 +38,7 @@ from repro.api import (
     AnalyzeConfig,
     BenchConfig,
     CompareConfig,
+    ConvertConfig,
     FuzzConfig,
     GenConfig,
     GenerateConfig,
@@ -47,7 +48,7 @@ from repro.api import (
 )
 from repro.errors import EXIT_OK, ReproError, exit_code_for
 from repro.runner.corpus import SUITES
-from repro.trace import dump_trace
+from repro.trace import dump_trace, save_trace
 from repro.trace.generators import GENERATOR_REGISTRY
 
 
@@ -105,7 +106,8 @@ def build_parser() -> argparse.ArgumentParser:
                           help="events (or operations) per thread")
     generate.add_argument("--seed", type=int, default=0)
     generate.add_argument("--out", type=str, default="-",
-                          help="output file ('-' for stdout)")
+                          help="output file ('-' for stdout); a .stc/.stc.gz "
+                               "suffix writes the binary columnar format")
 
     analyze = subparsers.add_parser("analyze", help="run one analysis on a trace file")
     analyze.add_argument("analysis", choices=sorted(_analyses()))
@@ -233,9 +235,27 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--schedulers", default=None,
                      help="comma-separated scheduler cycle for scenario "
                           "kinds (default: rr,weighted,adversarial)")
+    gen.add_argument("--trace-format", choices=("std", "stc"), default=None,
+                     help="member trace file format: 'std' (.std.gz text, "
+                          "the default) or 'stc' (binary columnar)")
     gen.add_argument("--format", choices=RESULT_FORMATS, default="text",
                      help="output format for 'corpus' (json prints the "
                           "manifest document; default: text)")
+
+    convert = subparsers.add_parser(
+        "convert",
+        help="translate a trace between the STD text format and the .stc "
+             "binary columnar format (.gz transparent on both sides)")
+    convert.add_argument("source", help="input trace (format sniffed from "
+                                        "magic bytes, then extension)")
+    convert.add_argument("out", help="output path; its suffix picks the "
+                                     "format unless --to is given")
+    convert.add_argument("--to", choices=ConvertConfig.TRACE_FORMATS,
+                         default=None,
+                         help="force the output format regardless of the "
+                              "destination suffix")
+    convert.add_argument("--format", choices=RESULT_FORMATS, default="text",
+                         help="output format of the summary (default: text)")
 
     fuzz = subparsers.add_parser(
         "fuzz",
@@ -278,7 +298,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream a trace through analyses, emitting findings as they "
              "are discovered")
     watch.add_argument("--source", required=True,
-                       help="trace file (.std / .std.gz), corpus manifest "
+                       help="trace file (.std / .std.gz / .stc), corpus manifest "
                             "(manifest.json[#TRACE_ID]), or generator spec "
                             "kind[:key=value,...] "
                             "(e.g. racy:threads=3,events=60,seed=1)")
@@ -382,7 +402,7 @@ def _generate(args: argparse.Namespace) -> int:
     if args.out == "-":
         dump_trace(result.trace, sys.stdout)
     else:
-        dump_trace(result.trace, args.out)
+        save_trace(result.trace, args.out)
         print(f"wrote {len(result.trace)} events "
               f"({result.trace.num_threads} threads) to {args.out}")
     return result.exit_code
@@ -491,9 +511,17 @@ def _gen(args: argparse.Namespace) -> int:
     overrides = {key: value for key, value in (
         ("name", args.name), ("kinds", args.kinds), ("count", args.count),
         ("seed", args.seed), ("threads", args.threads),
-        ("events", args.events), ("schedulers", args.schedulers))
+        ("events", args.events), ("schedulers", args.schedulers),
+        ("format", args.trace_format))
         if value is not None}
     config = GenConfig.from_dict({**document, **overrides, "out": args.out})
+    result = _session().run(config)
+    _render(result, args.format)
+    return result.exit_code
+
+
+def _convert(args: argparse.Namespace) -> int:
+    config = ConvertConfig(source=args.source, out=args.out, to=args.to)
     result = _session().run(config)
     _render(result, args.format)
     return result.exit_code
@@ -566,8 +594,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"generate": _generate, "analyze": _analyze,
                 "compare": _compare, "sweep": _sweep, "bench": _bench,
-                "gen": _gen, "fuzz": _fuzz, "watch": _watch,
-                "capabilities": _capabilities}
+                "gen": _gen, "convert": _convert, "fuzz": _fuzz,
+                "watch": _watch, "capabilities": _capabilities}
     try:
         return handlers[args.command](args)
     except KeyboardInterrupt:

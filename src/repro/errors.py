@@ -68,6 +68,15 @@ class TraceError(ReproError):
     """Raised when a trace is malformed (bad event, unbalanced locks, ...)."""
 
 
+class TraceFormatError(TraceError):
+    """Raised when a binary ``.stc`` trace is malformed: bad magic bytes,
+    an unsupported format version, truncated or out-of-bounds sections,
+    section lengths that disagree with the event count, or interned ids
+    pointing outside the value pool.  Decoding never surfaces a raw
+    ``struct.error`` / ``IndexError`` and never returns silently wrong
+    data -- every integrity violation becomes this typed error."""
+
+
 class AnalysisError(ReproError):
     """Raised when a dynamic analysis is mis-configured or fails internally."""
 

@@ -1,12 +1,13 @@
 """Corpus builder: fan one generation config out into a trace corpus.
 
 ``repro gen corpus`` materializes a set of workload kinds -- classic and
-scenario-program alike -- into ``.std.gz`` trace files plus a JSON
-*manifest* describing exactly how each trace was produced (kind, shape,
-seed, pinned parameters, scheduler).  Because every generator is
-deterministic and the gzip encoding is canonical (zeroed mtime, no
-embedded filename), a corpus is a pure function of its config: rebuilding
-with the same config yields byte-identical files.
+scenario-program alike -- into trace files (``.std.gz`` text by default,
+``.stc`` binary columnar with ``format="stc"``) plus a JSON *manifest*
+describing exactly how each trace was produced (kind, shape, seed, pinned
+parameters, scheduler).  Because every generator is deterministic and
+both encodings are canonical (zeroed gzip mtime, no embedded filename;
+deterministic ``.stc`` section layout), a corpus is a pure function of
+its config: rebuilding with the same config yields byte-identical files.
 
 A manifest plugs back into the rest of the system two ways:
 
@@ -32,11 +33,15 @@ from typing import Dict, List, Mapping, Optional, Tuple, Union
 from repro.errors import GenerationError
 from repro.gen.distributions import Distribution, parse_distribution
 from repro.gen.schedulers import DEFAULT_SCHEDULER_CYCLE
-from repro.trace.formats import dump_trace
 from repro.trace.generators import GENERATOR_REGISTRY, get_generator
+from repro.trace.io import save_trace
 
 MANIFEST_VERSION = 1
 MANIFEST_FILENAME = "manifest.json"
+
+#: Member trace formats a corpus can be materialized in: STD text
+#: (``.std.gz``) or the binary columnar format (``.stc``).
+CORPUS_FORMATS = ("std", "stc")
 
 #: Default shape distributions (kept small: a corpus is a sweep input, not
 #: a stress test; scale up per config).
@@ -62,11 +67,19 @@ class CorpusConfig:
     params: Tuple[Tuple[str, Tuple[Tuple[str, object], ...]], ...] = ()
     #: Scheduler cycle applied to scenario kinds (index round-robin).
     schedulers: Tuple[str, ...] = tuple(DEFAULT_SCHEDULER_CYCLE)
+    #: Member trace format (see :data:`CORPUS_FORMATS`).
+    format: str = "std"
+
+    def __post_init__(self) -> None:
+        if self.format not in CORPUS_FORMATS:
+            raise GenerationError(
+                f"unknown corpus trace format {self.format!r}; "
+                f"known: {', '.join(CORPUS_FORMATS)}")
 
     @classmethod
     def from_mapping(cls, config: Mapping[str, object]) -> "CorpusConfig":
         known = {"name", "kinds", "count", "seed", "threads", "events",
-                 "params", "schedulers"}
+                 "params", "schedulers", "format"}
         unknown = sorted(set(config) - known)
         if unknown:
             raise GenerationError(
@@ -100,6 +113,7 @@ class CorpusConfig:
             params=frozen_params,
             schedulers=tuple(config.get("schedulers",
                                         DEFAULT_SCHEDULER_CYCLE)),
+            format=str(config.get("format", "std")),
         )
 
     @classmethod
@@ -186,6 +200,7 @@ def plan_corpus(config: CorpusConfig) -> List[Dict[str, object]]:
             spec = TraceSpec(kind=kind, threads=threads, events=events,
                              seed=_member_seed(config.seed, index),
                              params=tuple(sorted(params.items())))
+            suffix = ".stc" if config.format == "stc" else ".std.gz"
             members.append({
                 "kind": spec.kind,
                 "threads": spec.threads,
@@ -193,7 +208,7 @@ def plan_corpus(config: CorpusConfig) -> List[Dict[str, object]]:
                 "seed": spec.seed,
                 "params": dict(spec.params),
                 "trace_id": spec.trace_id,
-                "file": f"{spec.trace_id}.std.gz",
+                "file": f"{spec.trace_id}{suffix}",
                 "analyses": list(entry.analyses),
             })
     return members
@@ -217,7 +232,7 @@ def build_corpus(out_dir: Union[str, Path],
         trace = build_trace(member["kind"], num_threads=member["threads"],
                             events=member["events"], seed=member["seed"],
                             name=member["trace_id"], **member["params"])
-        dump_trace(trace, out / member["file"])
+        save_trace(trace, out / member["file"])
         member["event_count"] = len(trace)
         member["thread_count"] = trace.num_threads
     manifest = {
@@ -228,6 +243,7 @@ def build_corpus(out_dir: Union[str, Path],
         "count": config.count,
         "threads": config.threads,
         "events": config.events,
+        "format": config.format,
         "traces": members,
     }
     manifest_path = out / MANIFEST_FILENAME

@@ -8,7 +8,10 @@ equivalence contracts:
   flat, incremental CSSTs vs segment trees vs vector clocks, graphs vs
   CSSTs for the deletion-based analyses);
 * **streaming/batch parity** -- the :class:`~repro.stream.engine.
-  StreamEngine`'s final flush must equal a batch ``Analysis.run()``.
+  StreamEngine`'s final flush must equal a batch ``Analysis.run()``;
+* **format parity** -- the default backend must produce the same
+  findings on the in-memory trace and on its ``.stc`` binary round trip
+  (``decode_trace(encode_trace(trace))``, analysed lazily).
 
 Each fuzz case deterministically derives a workload (kind round-robin
 over the unified generator registry, shape sampled per case, schedulers
@@ -208,6 +211,13 @@ def _run_findings(analysis: str, backend: str, trace: Trace) -> List[str]:
         Analysis.by_name(analysis)(backend).run(trace).findings)
 
 
+def _stc_round_trip(trace: Trace) -> Trace:
+    """The trace after a ``.stc`` encode/decode cycle, still lazy."""
+    from repro.trace.binfmt import decode_trace, encode_trace
+
+    return decode_trace(encode_trace(trace), name=trace.name)
+
+
 def _stream_findings(analyses: Sequence[str], trace: Trace
                      ) -> Dict[str, List[str]]:
     """Final streaming findings per analysis, from ONE engine pass.
@@ -233,7 +243,8 @@ def comparison_plan(kind: str,
 
     ``left`` is always the analysis's default backend (the reference);
     ``right`` is every *other* applicable backend, plus ``"stream"`` for
-    the streaming/batch comparison.
+    the streaming/batch comparison and ``"stc"`` for the binary-format
+    round-trip comparison.
     """
     plans: List[Tuple[str, str, str]] = []
     entry = GENERATOR_REGISTRY.get(kind)
@@ -249,6 +260,7 @@ def comparison_plan(kind: str,
                 plans.append((analysis, reference, backend))
         if stream:
             plans.append((analysis, reference, "stream"))
+        plans.append((analysis, reference, "stc"))
     return plans
 
 
@@ -270,6 +282,14 @@ def compare_case(case: FuzzCase, trace: Trace,
             stream_results = _stream_findings(stream_analyses, trace)
         except ReproError as error:
             stream_error = f"{type(error).__name__}: {error}"
+    # One binary round trip serves every "stc" comparison of the case.
+    stc_trace: Optional[Trace] = None
+    stc_error: Optional[str] = None
+    if any(right == "stc" for _a, _l, right in plans):
+        try:
+            stc_trace = _stc_round_trip(trace)
+        except ReproError as error:
+            stc_error = f"{type(error).__name__}: {error}"
     for analysis, left, right in plans:
         comparisons += 1
         try:
@@ -285,6 +305,14 @@ def compare_case(case: FuzzCase, trace: Trace,
                         error=stream_error))
                     continue
                 right_findings = stream_results[analysis]
+            elif right == "stc":
+                if stc_error is not None:
+                    divergences.append(Divergence(
+                        case=case, analysis=analysis, left=left, right=right,
+                        left_findings=[], right_findings=[],
+                        error=stc_error))
+                    continue
+                right_findings = _run_findings(analysis, left, stc_trace)
             else:
                 right_findings = _run_findings(analysis, right, trace)
         except ReproError as error:
@@ -395,6 +423,9 @@ def _divergence_predicate(divergence: Divergence
         left_findings = _run_findings(analysis, left, trace)
         if right == "stream":
             right_findings = _stream_findings([analysis], trace)[analysis]
+        elif right == "stc":
+            right_findings = _run_findings(analysis, left,
+                                           _stc_round_trip(trace))
         else:
             right_findings = _run_findings(analysis, right, trace)
         return left_findings != right_findings

@@ -339,18 +339,37 @@ class FeedSource(EventSource):
             yield event
 
 
+def _binary_trace_source(path: Union[str, Path], follow: bool,
+                         name: Optional[str] = None) -> "TraceSource":
+    """A replayable source over a ``.stc`` binary trace.
+
+    The trace decodes lazily (columns only; events inflate as the engine
+    consumes them).  Following is refused like ``.gz``: a binary columnar
+    file has no notion of "lines appended since".
+    """
+    if follow:
+        raise StreamError("--follow is not supported for .stc traces")
+    from repro.trace.io import read_trace
+
+    return TraceSource(read_trace(path), name=name)
+
+
 def open_source(spec: str, follow: bool = False,
                 poll_interval: float = 0.2,
                 idle_timeout: Optional[float] = None) -> EventSource:
     """Resolve a CLI ``--source`` value into a source.
 
-    An existing file path (``.std`` or ``.std.gz``) becomes a
-    :class:`FileSource`; a corpus manifest (``manifest.json`` or
+    An existing file path becomes a :class:`FileSource` for STD text
+    (``.std`` / ``.std.gz``) or a replayable :class:`TraceSource` over a
+    lazily decoded trace for ``.stc`` binary (sniffed by magic bytes, then
+    extension); a corpus manifest (``manifest.json`` or
     ``manifest.json#TRACE_ID``, see :mod:`repro.gen.corpus`) resolves to a
-    :class:`FileSource` over the named member (first member by default);
-    otherwise the value is parsed as a generator spec
-    ``kind[:key=value,...]`` (e.g. ``racy:threads=3,events=60,seed=1``).
+    source over the named member (first member by default); otherwise the
+    value is parsed as a generator spec ``kind[:key=value,...]`` (e.g.
+    ``racy:threads=3,events=60,seed=1``).
     """
+    from repro.trace.io import trace_format
+
     manifest_path = spec.partition("#")[0]
     if manifest_path.endswith(".json") and os.path.isfile(manifest_path):
         from repro.errors import GenerationError
@@ -365,10 +384,15 @@ def open_source(spec: str, follow: bool = False,
                 member_path, member_name = resolve_member(spec, manifest)
             except GenerationError as error:
                 raise StreamError(str(error)) from error
+            if trace_format(member_path) == "stc":
+                return _binary_trace_source(member_path, follow,
+                                            name=member_name)
             return FileSource(member_path, follow=follow,
                               poll_interval=poll_interval,
                               idle_timeout=idle_timeout, name=member_name)
     if os.path.exists(spec):
+        if trace_format(spec) == "stc":
+            return _binary_trace_source(spec, follow)
         return FileSource(spec, follow=follow, poll_interval=poll_interval,
                           idle_timeout=idle_timeout)
     kind = spec.partition(":")[0]

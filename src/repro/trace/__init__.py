@@ -10,7 +10,17 @@ from repro.trace.event import (
     EventKind,
     MemoryOrder,
 )
+from repro.trace.binfmt import (
+    STC_MAGIC,
+    STC_VERSION,
+    LazyTrace,
+    decode_trace,
+    encode_trace,
+    read_trace_stc,
+    write_trace_stc,
+)
 from repro.trace.formats import dump_trace, dumps_trace, load_trace, loads_trace
+from repro.trace.io import read_trace, save_trace, sniff_format, trace_format
 from repro.trace.metrics import TraceMetrics, compute_metrics
 from repro.trace.generators import (
     GENERATOR_REGISTRY,
@@ -35,8 +45,11 @@ __all__ = [
     "GENERATOR_REGISTRY",
     "KIND_BY_CODE",
     "KIND_CODES",
+    "LazyTrace",
     "MemoryOrder",
     "READ_KINDS",
+    "STC_MAGIC",
+    "STC_VERSION",
     "Trace",
     "TraceColumns",
     "TraceMetrics",
@@ -45,15 +58,23 @@ __all__ = [
     "c11_trace",
     "compute_metrics",
     "deadlock_trace",
-    "get_generator",
-    "register_generator",
+    "decode_trace",
     "dump_trace",
     "dumps_trace",
+    "encode_trace",
+    "get_generator",
     "history_trace",
     "load_trace",
     "loads_trace",
     "memory_trace",
     "racy_trace",
     "random_cross_edges",
+    "read_trace",
+    "read_trace_stc",
+    "register_generator",
+    "save_trace",
+    "sniff_format",
     "tso_trace",
+    "trace_format",
+    "write_trace_stc",
 ]

@@ -81,6 +81,39 @@ class TraceColumns:
         self.thread_positions: Dict[int, List[int]] = {}
         self._built = 0
 
+    @classmethod
+    def from_dense(cls, events: Sequence[Event], kinds, threads, indexes,
+                   var_ids, access_flags, read_flags, write_flags,
+                   atomic_flags, acquire_mo_flags, release_mo_flags,
+                   variables: List[Any],
+                   thread_positions: Dict[int, List[int]]) -> "TraceColumns":
+        """Build a view over columns encoded elsewhere (the ``.stc``
+        decoder) without re-scanning any events.
+
+        ``events`` may be a lazy stand-in; it is only indexed for events
+        appended *after* this point (``sync`` picks them up normally, so
+        the view stays live and append-only like one built event by
+        event).
+        """
+        columns = cls.__new__(cls)
+        columns._events = events
+        columns.kinds = kinds
+        columns.threads = threads
+        columns.indexes = indexes
+        columns.var_ids = var_ids
+        columns.access_flags = access_flags
+        columns.read_flags = read_flags
+        columns.write_flags = write_flags
+        columns.atomic_flags = atomic_flags
+        columns.acquire_mo_flags = acquire_mo_flags
+        columns.release_mo_flags = release_mo_flags
+        columns.variables = variables
+        columns._intern = {variable: var_id
+                           for var_id, variable in enumerate(variables)}
+        columns.thread_positions = thread_positions
+        columns._built = len(kinds)
+        return columns
+
     def __len__(self) -> int:
         return self._built
 

@@ -11,6 +11,7 @@ from repro.api import (
     AnalyzeConfig,
     BenchConfig,
     CompareConfig,
+    ConvertConfig,
     FuzzConfig,
     GenConfig,
     GenerateConfig,
@@ -35,7 +36,9 @@ REPRESENTATIVES = [
                 window="50", checkpoint="ck.json", max_events=30),
     GenConfig(out="corpus", name="c", kinds="racy,locked-mix", count=2,
               seed=3, threads="uniform:2,4",
-              params={"racy": {"num_locks": 2}}, schedulers=("rr",)),
+              params={"racy": {"num_locks": 2}}, schedulers=("rr",),
+              format="stc"),
+    ConvertConfig(source="t.std.gz", out="t.stc", to="stc"),
     FuzzConfig(seeds=5, quick=True, kinds="racy", backends="vc",
                stream=False, seed=2, out="fz", minimize=False,
                max_checks=10),

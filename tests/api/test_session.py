@@ -7,6 +7,7 @@ import pytest
 from repro.api import (
     AnalyzeConfig,
     CompareConfig,
+    ConvertConfig,
     FuzzConfig,
     GenConfig,
     GenerateConfig,
@@ -206,6 +207,55 @@ class TestWatch:
         assert result.exit_code == 1
         assert any("last flush failed" in warning
                    for warning in result.warnings)
+
+
+class TestConvert:
+    def test_std_to_stc_to_std_is_lossless(self, session, trace_file,
+                                           tmp_path):
+        stc = tmp_path / "t.stc"
+        result = session.run(ConvertConfig(source=trace_file, out=str(stc)))
+        assert (result.source_format, result.out_format) == ("std", "stc")
+        assert stc.read_bytes()[:4] == b"\x89STC"
+        assert result.event_count > 0
+
+        back = tmp_path / "back.std"
+        again = session.run(ConvertConfig(source=str(stc), out=str(back)))
+        assert (again.source_format, again.out_format) == ("stc", "std")
+        from repro.trace import load_trace
+        assert list(load_trace(back)) == list(load_trace(trace_file))
+
+    def test_to_flag_overrides_suffix(self, session, trace_file, tmp_path):
+        out = tmp_path / "weird.bin"
+        result = session.run(ConvertConfig(source=trace_file, out=str(out),
+                                           to="stc"))
+        assert result.out_format == "stc"
+        assert out.read_bytes()[:4] == b"\x89STC"
+
+    def test_result_exports(self, session, trace_file, tmp_path):
+        result = session.run(ConvertConfig(source=trace_file,
+                                           out=str(tmp_path / "t.stc")))
+        document = result.to_dict()
+        assert document["source_format"] == "std"
+        assert document["out_format"] == "stc"
+        json.dumps(document)
+        assert "->" in result.to_table()
+        assert result.exit_code == 0
+
+    def test_analyze_reads_stc_directly(self, session, trace_file,
+                                        tmp_path):
+        stc = tmp_path / "t.stc"
+        session.run(ConvertConfig(source=trace_file, out=str(stc)))
+        from_std = session.run(AnalyzeConfig(analysis="race-prediction",
+                                             trace=trace_file))
+        from_stc = session.run(AnalyzeConfig(analysis="race-prediction",
+                                             trace=str(stc)))
+        assert ([str(f) for f in from_stc.raw.findings]
+                == [str(f) for f in from_std.raw.findings])
+
+    def test_missing_source_is_an_error(self, session, tmp_path):
+        with pytest.raises((ReproError, OSError)):
+            session.run(ConvertConfig(source=str(tmp_path / "nope.std"),
+                                      out=str(tmp_path / "out.stc")))
 
 
 class TestGenAndFuzz:

@@ -144,6 +144,63 @@ class TestSweepIntegration:
         assert ids == expected
 
 
+class TestStcCorpus:
+    @pytest.fixture
+    def stc_built(self, tmp_path):
+        config = CorpusConfig(name="b", kinds=("racy", "c11"), count=2,
+                              seed=5, format="stc")
+        manifest = build_corpus(tmp_path / "corpus", config)
+        yield tmp_path / "corpus", manifest, config
+        SUITES.pop("corpus:b", None)
+
+    def test_members_are_stc_files(self, stc_built):
+        root, manifest, _config = stc_built
+        assert manifest["format"] == "stc"
+        for member in manifest["traces"]:
+            assert member["file"].endswith(".stc")
+            blob = (root / member["file"]).read_bytes()
+            assert blob[:4] == b"\x89STC"
+
+    def test_members_load_and_match_their_specs(self, stc_built):
+        from repro.trace import read_trace
+        from repro.trace.generators import build_trace
+
+        root, manifest, _config = stc_built
+        for member in manifest["traces"]:
+            trace = read_trace(root / member["file"])
+            assert len(trace) == member["event_count"]
+            rebuilt = build_trace(member["kind"],
+                                  num_threads=member["threads"],
+                                  events=member["events"],
+                                  seed=member["seed"], **member["params"])
+            assert list(trace) == list(rebuilt)
+
+    def test_resolve_member_returns_stc_path(self, stc_built):
+        root, manifest, _config = stc_built
+        wanted = manifest["traces"][0]["trace_id"]
+        path, name = resolve_member(f"{root / 'manifest.json'}#{wanted}",
+                                    manifest)
+        assert path.endswith(".stc")
+        assert name == wanted
+
+    def test_stc_corpus_suite_sweeps_clean(self, stc_built):
+        result = run_suite("corpus:b", analyses=["race-prediction"],
+                           backends=["vc"])
+        assert not result.failures()
+
+    def test_stc_rebuild_is_byte_identical(self, stc_built, tmp_path):
+        root, manifest, config = stc_built
+        again = build_corpus(tmp_path / "again", config)
+        SUITES.pop("corpus:b", None)
+        for member in manifest["traces"]:
+            assert ((root / member["file"]).read_bytes()
+                    == (tmp_path / "again" / member["file"]).read_bytes())
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(GenerationError, match="format"):
+            CorpusConfig(name="x", format="parquet")
+
+
 class TestManifestConsumption:
     def test_load_manifest_validates(self, tmp_path):
         bogus = tmp_path / "not.json"

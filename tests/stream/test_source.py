@@ -15,7 +15,7 @@ from repro.stream.source import (
     TraceSource,
     open_source,
 )
-from repro.trace import dump_trace, dumps_trace
+from repro.trace import dump_trace, dumps_trace, save_trace
 from repro.trace.generators import racy_trace
 from repro.trace.trace import Trace
 
@@ -78,6 +78,38 @@ class TestGeneratorSource:
     def test_from_spec_rejects_malformed_parameter(self):
         with pytest.raises(StreamError):
             GeneratorSource.from_spec("racy:threads")
+
+
+class TestStcSource:
+    def test_open_source_reads_stc(self, tmp_path):
+        trace = small_trace()
+        path = tmp_path / "t.stc"
+        save_trace(trace, path)
+        source = open_source(str(path))
+        assert isinstance(source, TraceSource)
+        assert list(source.events()) == list(trace)
+
+    def test_stc_source_is_replayable(self, tmp_path):
+        path = tmp_path / "t.stc"
+        save_trace(small_trace(), path)
+        source = open_source(str(path))
+        first = list(source.events())
+        assert list(source.events()) == first
+
+    def test_follow_rejected_for_stc(self, tmp_path):
+        path = tmp_path / "t.stc"
+        save_trace(small_trace(), path)
+        with pytest.raises(StreamError, match="follow"):
+            open_source(str(path), follow=True)
+
+    def test_mislabeled_std_file_sniffs_as_stc(self, tmp_path):
+        """A .std path whose bytes are really .stc routes by content."""
+        trace = small_trace()
+        real = tmp_path / "real.stc"
+        save_trace(trace, real)
+        fake = tmp_path / "fake.std"
+        fake.write_bytes(real.read_bytes())
+        assert list(open_source(str(fake)).events()) == list(trace)
 
 
 class TestFileSource:

@@ -329,6 +329,51 @@ class TestGenCommand:
         assert "unknown corpus config keys" in capsys.readouterr().err
 
 
+class TestConvert:
+    def test_convert_round_trip(self, trace_file, tmp_path, capsys):
+        stc = tmp_path / "t.stc"
+        assert main(["convert", str(trace_file), str(stc)]) == 0
+        assert "(std) -> " in capsys.readouterr().out
+        assert stc.read_bytes()[:4] == b"\x89STC"
+        back = tmp_path / "back.std"
+        assert main(["convert", str(stc), str(back)]) == 0
+        assert list(load_trace(back)) == list(load_trace(trace_file))
+
+    def test_convert_json_document(self, trace_file, tmp_path, capsys):
+        stc = tmp_path / "t.stc"
+        assert main(["convert", str(trace_file), str(stc),
+                     "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["out_format"] == "stc"
+        assert document["event_count"] > 0
+
+    def test_convert_to_overrides_suffix(self, trace_file, tmp_path,
+                                         capsys):
+        out = tmp_path / "anything.dat"
+        assert main(["convert", str(trace_file), str(out),
+                     "--to", "stc"]) == 0
+        assert out.read_bytes()[:4] == b"\x89STC"
+
+    def test_generate_writes_stc_by_suffix(self, tmp_path, capsys):
+        path = tmp_path / "t.stc"
+        assert main(["generate", "racy", "--threads", "2", "--events",
+                     "20", "--out", str(path)]) == 0
+        assert path.read_bytes()[:4] == b"\x89STC"
+        # analyze sniffs and accepts the binary trace directly.
+        assert main(["analyze", "race-prediction", str(path)]) == 0
+
+    def test_gen_corpus_trace_format_stc(self, tmp_path, capsys):
+        out = tmp_path / "corpus"
+        assert main(["gen", "corpus", "--out", str(out), "--kinds", "racy",
+                     "--count", "1", "--trace-format", "stc"]) == 0
+        members = list(out.glob("*.stc"))
+        assert members, "no .stc members written"
+        manifest = json.loads((out / "manifest.json").read_text())
+        assert manifest["format"] == "stc"
+        from repro.runner.corpus import SUITES
+        SUITES.pop("corpus:corpus", None)
+
+
 class TestFuzzCommand:
     def test_fuzz_quick_run_is_clean(self, capsys):
         assert main(["fuzz", "--seeds", "6", "--quick",

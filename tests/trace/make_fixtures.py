@@ -1,0 +1,98 @@
+"""Golden-fixture builders for the ``.stc`` format tests.
+
+``FIXTURES`` maps fixture names to trace builders.  The golden test
+(``test_binfmt_golden.py``) asserts, for every fixture, that
+
+* ``encode_trace(build())`` is byte-identical to the checked-in
+  ``tests/trace/data/<name>.stc`` file, and
+* decoding that file reproduces the built trace event-for-event.
+
+Together those pin the v1 wire format: any byte-level change to the
+encoder shows up as a golden diff, and old files keep decoding.
+
+Regenerate the files (ONLY on a deliberate, version-bumped format
+change) with::
+
+    PYTHONPATH=src python tests/trace/make_fixtures.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.trace import EventKind, MemoryOrder, Trace
+from repro.trace.generators import GENERATOR_REGISTRY, build_trace
+
+DATA_DIR = Path(__file__).resolve().parent / "data"
+
+#: Tiny shape shared by the one-fixture-per-generator-kind set.
+GENERATOR_SHAPE = {"num_threads": 2, "events": 8, "seed": 3}
+
+
+def build_empty() -> Trace:
+    return Trace(name="empty")
+
+
+def build_single_thread() -> Trace:
+    trace = Trace(name="single-thread")
+    trace.append(7, EventKind.ALLOC, variable="cell")
+    trace.append(7, EventKind.WRITE, variable="cell", value=0)
+    trace.append(7, EventKind.READ, variable="cell", value=0)
+    trace.append(7, EventKind.WRITE, variable="cell", value=True)
+    trace.append(7, EventKind.FREE, variable="cell")
+    return trace
+
+
+def build_escaping() -> Trace:
+    """Identifier and value shapes that stress string interning: STD
+    escape characters, near-collisions (1 vs True vs "1"), unicode,
+    memory-order values, and large integers."""
+    trace = Trace(name="escaping |=\\")
+    nasty = ["a|b", "x=y", "line1\nline2", "cr\rlf\n", "back\\slash",
+             "\\p literal", "|=\\\n|", "trailing\\", "# trace impostor",
+             "trailing spaces  ", "\ttabs\t", "unicode ✓ é"]
+    for value in nasty:
+        trace.append(0, EventKind.WRITE, variable=value, value=value)
+    for value in (1, True, "1", 0, False, "", MemoryOrder.SEQ_CST,
+                  "seq_cst", -2 ** 40, 2 ** 40):
+        trace.append(1, EventKind.WRITE, variable="collide", value=value)
+    trace.append(0, EventKind.BEGIN, operation="op|with=escapes\n",
+                 argument="arg\\")
+    trace.append(0, EventKind.END, operation="op|with=escapes\n",
+                 result="# done")
+    return trace
+
+
+def _generator_builder(kind: str):
+    def build() -> Trace:
+        return build_trace(kind, **GENERATOR_SHAPE)
+
+    build.__name__ = f"build_gen_{kind}"
+    return build
+
+
+FIXTURES = {
+    "empty": build_empty,
+    "single-thread": build_single_thread,
+    "escaping": build_escaping,
+}
+for _kind in sorted(GENERATOR_REGISTRY):
+    FIXTURES[f"gen-{_kind}"] = _generator_builder(_kind)
+
+
+def fixture_path(name: str) -> Path:
+    return DATA_DIR / f"{name}.stc"
+
+
+def main() -> None:
+    from repro.trace.binfmt import encode_trace
+
+    DATA_DIR.mkdir(parents=True, exist_ok=True)
+    for name, build in sorted(FIXTURES.items()):
+        blob = encode_trace(build())
+        fixture_path(name).write_bytes(blob)
+        print(f"{name}: {len(blob)} bytes")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Golden fixtures: the ``.stc`` v1 wire format is pinned byte-for-byte.
+
+Each fixture in ``tests/trace/data/`` was produced by the builder of the
+same name in ``make_fixtures.py``.  Two assertions per fixture:
+
+* **encode stability** -- building the trace today and encoding it
+  yields exactly the checked-in bytes (any drift in interning order,
+  section layout, or varint encoding fails loudly);
+* **decode compatibility** -- the checked-in bytes decode to a trace
+  equal to the built one (old files keep loading).
+
+If a test here fails, either the encoder changed accidentally (fix the
+encoder) or the format changed deliberately -- in which case bump
+``STC_VERSION``, regenerate with ``make_fixtures.py``, and document the
+revision in ``docs/formats.md``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from make_fixtures import FIXTURES, fixture_path
+from repro.trace import STC_MAGIC, decode_trace, encode_trace
+
+FIXTURE_NAMES = sorted(FIXTURES)
+
+
+@pytest.mark.parametrize("name", FIXTURE_NAMES)
+def test_fixture_file_exists(name):
+    path = fixture_path(name)
+    assert path.is_file(), (
+        f"missing golden fixture {path}; generate it with "
+        f"'PYTHONPATH=src python tests/trace/make_fixtures.py'")
+    assert path.read_bytes()[:4] == STC_MAGIC
+
+
+@pytest.mark.parametrize("name", FIXTURE_NAMES)
+def test_encode_matches_golden_bytes(name):
+    built = FIXTURES[name]()
+    golden = fixture_path(name).read_bytes()
+    encoded = encode_trace(built)
+    assert encoded == golden, (
+        f"encoder output for {name!r} drifted from the golden fixture "
+        f"({len(encoded)} vs {len(golden)} bytes); this is a wire-format "
+        f"change -- see the module docstring before regenerating")
+
+
+@pytest.mark.parametrize("name", FIXTURE_NAMES)
+def test_golden_bytes_decode_to_built_trace(name):
+    built = FIXTURES[name]()
+    loaded = decode_trace(fixture_path(name).read_bytes())
+    assert loaded.name == built.name
+    assert len(loaded) == len(built)
+    assert list(loaded) == list(built)
+    assert loaded.threads == built.threads
+    for thread in built.threads:
+        assert loaded.thread_length(thread) == built.thread_length(thread)
+
+
+@pytest.mark.parametrize("name", FIXTURE_NAMES)
+def test_golden_bytes_reencode_identically(name):
+    golden = fixture_path(name).read_bytes()
+    assert encode_trace(decode_trace(golden)) == golden

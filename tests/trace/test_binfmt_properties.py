@@ -1,0 +1,127 @@
+"""Property-based round trips for the ``.stc`` binary format.
+
+Hypothesis builds arbitrary well-formed traces (every event kind, every
+metadata field type, adversarial strings) and asserts the two lossless
+paths plus determinism:
+
+* ``Trace -> stc -> Trace`` preserves every event, the derived metrics,
+  and the columnar views;
+* ``STD -> stc -> STD`` is text-identical (the binary format is a
+  faithful carrier for the canonical text format);
+* encoding is a pure function of the trace (same bytes every time,
+  including through a decode/re-encode cycle).
+
+One deliberate restriction: variables draw from strings and plain ints
+but never booleans.  The eager ``TraceColumns`` interner keys variables
+by equality, where Python's ``True == 1`` would collapse two variables
+the tag-separated ``.stc`` pool keeps distinct -- a pre-existing
+property of the in-memory view, not of this format.  (Values have no
+such restriction; ``test_binfmt.py`` pins the 1/True/"1" separation.)
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import (
+    EventKind,
+    MemoryOrder,
+    Trace,
+    decode_trace,
+    dumps_trace,
+    encode_trace,
+    loads_trace,
+)
+from repro.trace.metrics import compute_metrics
+
+variables = st.one_of(
+    st.sampled_from(["x", "y", "lock", "a|b", "x=y", "nl\n", "bs\\",
+                     "# imp", "\tt\t", "sp  ", "unicode✓"]),
+    st.integers(min_value=2, max_value=2 ** 40),
+)
+values = st.one_of(
+    st.none(),
+    st.integers(min_value=-2 ** 50, max_value=2 ** 50),
+    st.booleans(),
+    st.text(max_size=8),
+    st.sampled_from(list(MemoryOrder)),
+)
+event_specs = st.fixed_dictionaries({
+    "thread": st.integers(min_value=0, max_value=4),
+    "kind": st.sampled_from(list(EventKind)),
+    "variable": st.one_of(st.none(), variables),
+    "value": values,
+    "target": st.one_of(st.none(), st.integers(min_value=0, max_value=4)),
+    "memory_order": st.one_of(st.none(),
+                              st.sampled_from(list(MemoryOrder))),
+    "operation": st.one_of(st.none(), st.text(max_size=6)),
+    "argument": values,
+    "result": values,
+    "atomic": st.booleans(),
+})
+traces = st.lists(event_specs, max_size=60)
+
+
+def build(specs) -> Trace:
+    trace = Trace(name="prop")
+    for spec in specs:
+        spec = dict(spec)
+        trace.append(spec.pop("thread"), spec.pop("kind"), **spec)
+    return trace
+
+
+@settings(max_examples=60, deadline=None)
+@given(traces)
+def test_trace_stc_trace_is_lossless(specs):
+    trace = build(specs)
+    loaded = decode_trace(encode_trace(trace))
+    assert loaded.name == trace.name
+    assert len(loaded) == len(trace)
+    assert list(loaded) == list(trace)
+    assert loaded.threads == trace.threads
+    for thread in trace.threads:
+        assert loaded.thread_length(thread) == trace.thread_length(thread)
+
+
+@settings(max_examples=30, deadline=None)
+@given(traces)
+def test_columns_match_eager_view(specs):
+    trace = build(specs)
+    lazy = decode_trace(encode_trace(trace)).columns()
+    eager = trace.columns()
+    assert bytes(lazy.kinds) == bytes(eager.kinds)
+    assert list(lazy.threads) == list(eager.threads)
+    assert list(lazy.indexes) == list(eager.indexes)
+    assert list(lazy.var_ids) == list(eager.var_ids)
+    assert bytes(lazy.access_flags) == bytes(eager.access_flags)
+    assert bytes(lazy.read_flags) == bytes(eager.read_flags)
+    assert bytes(lazy.write_flags) == bytes(eager.write_flags)
+    assert bytes(lazy.atomic_flags) == bytes(eager.atomic_flags)
+    assert bytes(lazy.acquire_mo_flags) == bytes(eager.acquire_mo_flags)
+    assert bytes(lazy.release_mo_flags) == bytes(eager.release_mo_flags)
+
+
+@settings(max_examples=30, deadline=None)
+@given(traces)
+def test_metrics_survive_the_round_trip(specs):
+    trace = build(specs)
+    assert (compute_metrics(decode_trace(encode_trace(trace)))
+            == compute_metrics(trace))
+
+
+@settings(max_examples=60, deadline=None)
+@given(traces)
+def test_encoding_is_deterministic(specs):
+    trace = build(specs)
+    blob = encode_trace(trace)
+    assert encode_trace(trace) == blob
+    assert encode_trace(decode_trace(blob)) == blob
+
+
+@settings(max_examples=60, deadline=None)
+@given(traces)
+def test_std_stc_std_is_text_identical(specs):
+    text = dumps_trace(build(specs))
+    round_tripped = decode_trace(encode_trace(loads_trace(text)))
+    assert dumps_trace(round_tripped) == text

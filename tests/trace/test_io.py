@@ -1,0 +1,90 @@
+"""Format dispatch: suffix rules, magic-byte sniffing, save/read routing."""
+
+from __future__ import annotations
+
+import gzip
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.trace import (
+    EventKind,
+    Trace,
+    dump_trace,
+    read_trace,
+    save_trace,
+    sniff_format,
+    trace_format,
+)
+from repro.trace.io import path_format
+
+
+@pytest.fixture
+def trace():
+    built = Trace(name="io")
+    for position in range(6):
+        built.append(position % 2, EventKind.WRITE, variable="x",
+                     value=position)
+    return built
+
+
+class TestPathFormat:
+    @pytest.mark.parametrize("name,expected", [
+        ("t.stc", "stc"), ("t.stc.gz", "stc"), ("dir/t.stc", "stc"),
+        ("t.std", "std"), ("t.std.gz", "std"), ("t.txt", "std"),
+        ("t", "std"), ("t.stc.bak", "std"),
+    ])
+    def test_suffix_rules(self, name, expected):
+        assert path_format(name) == expected
+
+
+class TestSniffing:
+    def test_sniffs_stc_under_wrong_extension(self, trace, tmp_path):
+        """Content beats extension: a mislabeled file still loads."""
+        path = tmp_path / "mislabeled.std"
+        save_trace(trace, tmp_path / "real.stc")
+        path.write_bytes((tmp_path / "real.stc").read_bytes())
+        assert sniff_format(path) == "stc"
+        assert trace_format(path) == "stc"
+        assert list(read_trace(path)) == list(trace)
+
+    def test_sniffs_through_gzip(self, trace, tmp_path):
+        path = tmp_path / "mislabeled.std.gz"
+        from repro.trace import encode_trace
+
+        path.write_bytes(gzip.compress(encode_trace(trace), mtime=0))
+        assert sniff_format(path) == "stc"
+        assert list(read_trace(path)) == list(trace)
+
+    def test_std_files_do_not_sniff_as_stc(self, trace, tmp_path):
+        path = tmp_path / "t.std"
+        dump_trace(trace, path)
+        assert sniff_format(path) is None
+        assert trace_format(path) == "std"
+
+    def test_missing_file_falls_back_to_suffix(self, tmp_path):
+        assert trace_format(tmp_path / "nope.stc") == "stc"
+        assert trace_format(tmp_path / "nope.std") == "std"
+
+
+class TestRoundTripDispatch:
+    @pytest.mark.parametrize("name", ["t.std", "t.std.gz", "t.stc",
+                                      "t.stc.gz"])
+    def test_save_then_read_any_suffix(self, trace, tmp_path, name):
+        path = tmp_path / name
+        save_trace(trace, path)
+        loaded = read_trace(path)
+        assert list(loaded) == list(trace)
+        assert loaded.name == trace.name
+
+    def test_stc_file_is_binary_std_is_text(self, trace, tmp_path):
+        save_trace(trace, tmp_path / "t.stc")
+        save_trace(trace, tmp_path / "t.std")
+        assert (tmp_path / "t.stc").read_bytes()[:4] == b"\x89STC"
+        assert (tmp_path / "t.std").read_text().startswith("#")
+
+    def test_corrupt_stc_raises_format_error(self, tmp_path):
+        path = tmp_path / "t.stc"
+        path.write_bytes(b"\x89STCgarbage")
+        with pytest.raises(TraceFormatError):
+            read_trace(path)
