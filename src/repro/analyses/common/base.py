@@ -21,6 +21,7 @@ from repro.core import (
     make_partial_order,
 )
 from repro.errors import AnalysisError
+from repro.obs import metrics as obs_metrics
 from repro.trace.trace import Trace
 
 #: Either a backend name understood by :func:`repro.core.make_partial_order`
@@ -193,6 +194,19 @@ class Analysis:
         result.insert_count = order.insert_count
         result.delete_count = order.delete_count
         result.query_count = order.query_count
+        registry = obs_metrics.ACTIVE
+        if registry is not None:
+            registry.histogram("analysis_run_seconds", analysis=self.name,
+                               backend=result.backend) \
+                .observe(result.elapsed_seconds)
+            registry.counter("analysis_findings_total", analysis=self.name) \
+                .inc(result.finding_count)
+            for op, count in (("insert", result.insert_count),
+                              ("delete", result.delete_count),
+                              ("query", result.query_count)):
+                if count:
+                    registry.counter("po_ops_total", op=op,
+                                     analysis=self.name).inc(count)
         return result
 
     # ------------------------------------------------------------------ #

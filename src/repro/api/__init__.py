@@ -41,6 +41,8 @@ from repro.api.config import (
     FuzzConfig,
     GenConfig,
     GenerateConfig,
+    ReportConfig,
+    StatsConfig,
     SweepConfig,
     WatchConfig,
 )
@@ -53,7 +55,9 @@ from repro.api.results import (
     CorpusResult,
     FuzzResult,
     GenerateResult,
+    ReportResult,
     Result,
+    StatsResult,
     SweepRunResult,
     WatchResult,
 )
@@ -77,8 +81,12 @@ __all__ = [
     "GenerateConfig",
     "GenerateResult",
     "Registry",
+    "ReportConfig",
+    "ReportResult",
     "Result",
     "Session",
+    "StatsConfig",
+    "StatsResult",
     "SweepConfig",
     "SweepRunResult",
     "WatchConfig",

@@ -119,6 +119,12 @@ def _set(config: "Config", **values: Any) -> None:
         object.__setattr__(config, name, value)
 
 
+def _check_metrics_path(value: Optional[str], command: str) -> None:
+    """Validate a ``metrics`` sink-path field (``--metrics PATH``)."""
+    _require(value is None or (isinstance(value, str) and bool(value)),
+             f"{command} metrics must be a sink path, got {value!r}")
+
+
 @dataclass(frozen=True)
 class Config:
     """Base class: dict round-trip shared by every request config."""
@@ -211,12 +217,14 @@ class AnalyzeConfig(Config):
     backend: Optional[str] = None
     max_findings: int = 20
     params: Pairs = ()
+    metrics: Optional[str] = None
 
     def __post_init__(self) -> None:
         _require(bool(self.analysis), "analyze config needs an analysis name")
         _require(bool(self.trace), "analyze config needs a trace path")
         _coerce_numbers(self, int, max_findings=self.max_findings)
         _set(self, params=_pairs(self.params, "analyze params"))
+        _check_metrics_path(self.metrics, "analyze")
 
 
 @dataclass(frozen=True)
@@ -268,6 +276,7 @@ class SweepConfig(Config):
     repeat: int = 1
     seed: Optional[int] = None
     format: str = "table"
+    metrics: Optional[str] = None
 
     def __post_init__(self) -> None:
         _coerce_numbers(self, int, jobs=self.jobs, repeat=self.repeat,
@@ -283,6 +292,7 @@ class SweepConfig(Config):
         _set(self,
              analyses=_name_tuple(self.analyses, "sweep analyses"),
              backends=_name_tuple(self.backends, "sweep backends"))
+        _check_metrics_path(self.metrics, "sweep")
 
     def validation_warnings(self) -> Tuple[str, ...]:
         """Option combinations that run but drop a flag's effect."""
@@ -321,6 +331,7 @@ class WatchConfig(Config):
     follow: bool = False
     idle_timeout: Optional[float] = None
     max_events: Optional[int] = None
+    metrics: Optional[str] = None
 
     def __post_init__(self) -> None:
         _require(bool(self.source), "watch config needs a source")
@@ -335,6 +346,7 @@ class WatchConfig(Config):
         _require(self.max_events is None or self.max_events >= 0,
                  f"max_events must be >= 0, got {self.max_events}")
         _set(self, analyses=_name_tuple(self.analyses, "watch analyses"))
+        _check_metrics_path(self.metrics, "watch")
 
 
 @dataclass(frozen=True)
@@ -491,8 +503,61 @@ class BenchConfig(Config):
                  f"threshold must be > 0, got {self.threshold}")
 
 
+@dataclass(frozen=True)
+class StatsConfig(Config):
+    """Render a recorded metrics snapshot (CLI: ``repro stats``).
+
+    ``source`` is a JSON-lines metrics file written by ``--metrics PATH``
+    (or any single-snapshot JSON document); ``index`` picks which snapshot
+    line to render (default: the latest).
+    """
+
+    command: ClassVar[str] = "stats"
+
+    FORMATS: ClassVar[Tuple[str, ...]] = ("table", "json", "prom")
+
+    source: str
+    format: str = "table"
+    index: int = -1
+
+    def __post_init__(self) -> None:
+        _require(bool(self.source), "stats config needs a metrics file")
+        _require(self.format in self.FORMATS,
+                 f"unknown stats format {self.format!r}; "
+                 f"known: {', '.join(self.FORMATS)}")
+        _coerce_numbers(self, int, index=self.index)
+
+
+@dataclass(frozen=True)
+class ReportConfig(Config):
+    """Longitudinal report generation (CLI: ``repro report trend``).
+
+    ``mode`` selects the report (only ``"trend"`` today); ``dir`` is the
+    directory holding ``BENCH_*.json`` documents, ``out`` the directory
+    receiving the rendered markdown + JSON pair.
+    """
+
+    command: ClassVar[str] = "report"
+
+    MODES: ClassVar[Tuple[str, ...]] = ("trend",)
+
+    mode: str = "trend"
+    dir: str = "."
+    out: str = "docs/tables"
+    basename: str = "perf_trend"
+
+    def __post_init__(self) -> None:
+        _require(self.mode in self.MODES,
+                 f"unknown report mode {self.mode!r}; "
+                 f"known: {', '.join(self.MODES)}")
+        _require(bool(self.dir), "report config needs a source directory")
+        _require(bool(self.out), "report config needs an output directory")
+        _require(bool(self.basename), "report config needs a basename")
+
+
 #: Every request config, in CLI-subcommand order.
 ALL_CONFIGS: Tuple[type, ...] = (
     GenerateConfig, AnalyzeConfig, CompareConfig, SweepConfig, WatchConfig,
-    GenConfig, ConvertConfig, FuzzConfig, BenchConfig,
+    GenConfig, ConvertConfig, FuzzConfig, BenchConfig, StatsConfig,
+    ReportConfig,
 )

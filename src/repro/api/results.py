@@ -40,6 +40,11 @@ class Result:
 
     #: Non-fatal diagnostics a front end should surface on stderr.
     warnings: Tuple[str, ...] = ()
+    #: Metrics snapshot of the run (set by ``Session.run`` when telemetry
+    #: was enabled, ``None`` otherwise).  Deliberately an attribute, not
+    #: part of ``to_dict()``: the serialized documents are pinned by
+    #: parity goldens and must not change shape with telemetry on.
+    telemetry: Optional[Dict[str, Any]] = None
 
     @property
     def exit_code(self) -> int:
@@ -376,3 +381,58 @@ class BenchResult(Result):
 
     def to_table(self) -> str:
         return self.report
+
+
+@dataclass
+class StatsResult(Result):
+    """One rendered metrics snapshot (from
+    :class:`~repro.api.config.StatsConfig`).
+
+    :attr:`snapshot` is the selected snapshot document;
+    :attr:`snapshot_count` how many the source file held.  ``to_prom`` is
+    the Prometheus text exposition of the same snapshot.
+    """
+
+    source: str = ""
+    snapshot: Dict[str, Any] = field(default_factory=dict)
+    snapshot_count: int = 0
+    index: int = -1
+
+    def to_dict(self) -> Dict[str, Any]:
+        return self.snapshot
+
+    def to_table(self) -> str:
+        from repro.obs.sinks import render_stats_table
+
+        return render_stats_table(self.snapshot)
+
+    def to_prom(self) -> str:
+        from repro.obs.sinks import render_prom
+
+        return render_prom(self.snapshot)
+
+
+@dataclass
+class ReportResult(Result):
+    """One generated longitudinal report (from
+    :class:`~repro.api.config.ReportConfig`); :attr:`document` is the
+    trend document also written to :attr:`json_path`."""
+
+    mode: str = "trend"
+    document: Dict[str, Any] = field(default_factory=dict)
+    markdown_path: str = ""
+    json_path: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return self.document
+
+    def to_table(self) -> str:
+        modes = self.document.get("modes", {})
+        cases = sum(len(section.get("cases", {}))
+                    for section in modes.values())
+        runs = max((len(section.get("runs", ()))
+                    for section in modes.values()), default=0)
+        return (f"trend report: {cases} case rows across "
+                f"{len(modes)} modes ({runs} runs)\n"
+                f"wrote {self.markdown_path}\n"
+                f"wrote {self.json_path}")

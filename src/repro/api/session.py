@@ -41,6 +41,8 @@ from repro.api.config import (
     FuzzConfig,
     GenConfig,
     GenerateConfig,
+    ReportConfig,
+    StatsConfig,
     SweepConfig,
     WatchConfig,
 )
@@ -53,10 +55,13 @@ from repro.api.results import (
     CorpusResult,
     FuzzResult,
     GenerateResult,
+    ReportResult,
     Result,
+    StatsResult,
     SweepRunResult,
     WatchResult,
 )
+from repro.obs import metrics as obs_metrics
 from repro.errors import (
     EXIT_ERROR,
     EXIT_FAILURE,
@@ -79,8 +84,15 @@ class Session:
     """Programmatic entry point unifying every workflow of the system."""
 
     def __init__(self, registry: Optional[Registry] = None,
-                 load_plugins: bool = False) -> None:
+                 load_plugins: bool = False,
+                 metrics: Optional["obs_metrics.MetricsRegistry"] = None
+                 ) -> None:
         self.registry = registry if registry is not None else default_registry()
+        #: Session-wide metrics registry.  When set, every ``run`` call is
+        #: instrumented into it (cumulative across runs); when ``None``,
+        #: telemetry stays off unless a config carries a ``metrics`` sink
+        #: path, in which case a fresh per-run registry is used.
+        self.metrics = metrics
         #: ``(entry point name, error message or None)`` per plugin loaded
         #: at construction -- empty unless ``load_plugins`` was set.  A
         #: broken plugin is not fatal; this is where its failure surfaces.
@@ -98,6 +110,13 @@ class Session:
         ``analyze``/``compare`` accept ``trace``.  A hook the dispatched
         workflow does not support is a :class:`~repro.errors.ConfigError`,
         not a stray ``TypeError``.
+
+        When telemetry is enabled -- a session-wide registry
+        (``Session(metrics=...)``) or a ``metrics`` sink path on the
+        config -- the whole run executes under one root span named after
+        the command, ``result.telemetry`` carries the registry snapshot,
+        and a sink path receives one JSON line per run (append
+        semantics).
         """
         for config_type, method, allowed in (
                 (GenerateConfig, self.generate, ()),
@@ -108,7 +127,9 @@ class Session:
                 (GenConfig, self.gen_corpus, ()),
                 (ConvertConfig, self.convert, ()),
                 (FuzzConfig, self.fuzz, ("on_case",)),
-                (BenchConfig, self.bench, ())):
+                (BenchConfig, self.bench, ()),
+                (StatsConfig, self.stats, ()),
+                (ReportConfig, self.report, ())):
             if isinstance(config, config_type):
                 unsupported = sorted(set(hooks) - set(allowed))
                 if unsupported:
@@ -117,10 +138,29 @@ class Session:
                     raise ConfigError(
                         f"{config.command} does not accept "
                         f"{', '.join(unsupported)}{accepted}")
-                return method(config, **hooks)
+                return self._run_instrumented(config, method, hooks)
         raise ConfigError(f"Session.run cannot dispatch "
                           f"{type(config).__name__!r}; expected one of the "
                           f"repro.api config types")
+
+    def _run_instrumented(self, config: Config, method: Callable[..., Result],
+                          hooks: Dict[str, Any]) -> Result:
+        """Execute one dispatched workflow, instrumented when enabled."""
+        metrics_path = getattr(config, "metrics", None)
+        registry = self.metrics
+        if registry is None:
+            if metrics_path is None:
+                return method(config, **hooks)
+            registry = obs_metrics.MetricsRegistry()
+        with obs_metrics.use_registry(registry):
+            with registry.span(config.command):
+                result = method(config, **hooks)
+        result.telemetry = registry.snapshot()
+        if metrics_path is not None:
+            from repro.obs.sinks import JsonlSink
+
+            JsonlSink(metrics_path).emit(result.telemetry)
+        return result
 
     # ------------------------------------------------------------------ #
     # Workflows
@@ -434,6 +474,33 @@ class Session:
                            out_path=out_path, rendered_document=rendered,
                            notes=tuple(notes), regressions=regressions)
 
+    def stats(self, config: StatsConfig) -> StatsResult:
+        """Load a recorded metrics file and select one snapshot (the
+        result renders it as table / JSON / Prometheus text)."""
+        from repro.obs.sinks import read_snapshots
+
+        snapshots = read_snapshots(config.source)
+        try:
+            snapshot = snapshots[config.index]
+        except IndexError:
+            raise ReproError(
+                f"{config.source}: snapshot index {config.index} out of "
+                f"range ({len(snapshots)} snapshots)") from None
+        return StatsResult(source=config.source, snapshot=snapshot,
+                           snapshot_count=len(snapshots),
+                           index=config.index)
+
+    def report(self, config: ReportConfig) -> ReportResult:
+        """Generate a longitudinal report (``trend``: every
+        ``BENCH_*.json`` in ``config.dir`` rendered into ``config.out``)."""
+        from repro.obs.trend import write_trend
+
+        document, markdown_path, json_path = write_trend(
+            config.dir, config.out, basename=config.basename)
+        return ReportResult(mode=config.mode, document=document,
+                            markdown_path=markdown_path,
+                            json_path=json_path)
+
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
@@ -441,8 +508,10 @@ class Session:
         """Everything external tooling needs to drive this install, as one
         JSON-able document: version, analyses (with backend sets and the
         workload kinds feeding them), backends (with family membership),
-        workload kinds, sweep suites, output formats, and the stable exit
+        workload kinds, sweep suites, output formats, the telemetry
+        surface (metric catalogue and sink kinds), and the stable exit
         codes of :mod:`repro.errors`."""
+        from repro.obs import METRIC_CATALOG, SINK_KINDS
         from repro.core.factory import (
             FLAT_BACKENDS,
             dynamic_backends,
@@ -503,6 +572,14 @@ class Session:
                 "gen": list(RESULT_FORMATS),
                 "convert": list(RESULT_FORMATS),
                 "fuzz": list(RESULT_FORMATS),
+                "stats": list(StatsConfig.FORMATS),
+            },
+            "observability": {
+                "metrics": {name: dict(info)
+                            for name, info in sorted(METRIC_CATALOG.items())},
+                "sinks": list(SINK_KINDS),
+                "span_log_limit": obs_metrics.MAX_RECORDED_SPANS,
+                "snapshot_version": obs_metrics.SNAPSHOT_VERSION,
             },
             "exit_codes": {
                 "ok": EXIT_OK,

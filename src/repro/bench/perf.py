@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import datetime
 import json
+import os
 import platform
 import random
 from dataclasses import dataclass
@@ -401,8 +402,16 @@ def format_report(document: Dict[str, object]) -> str:
 
 
 def default_output_path() -> str:
-    """``BENCH_<date>.json`` in the current directory."""
-    return f"BENCH_{datetime.date.today().isoformat()}.json"
+    """``BENCH_<date>.json`` in the current directory; when that file
+    already exists (a second run on the same day), ``BENCH_<date>-1.json``,
+    ``-2``, ... so earlier reports are never silently overwritten."""
+    stem = f"BENCH_{datetime.date.today().isoformat()}"
+    path = f"{stem}.json"
+    suffix = 0
+    while os.path.exists(path):
+        suffix += 1
+        path = f"{stem}-{suffix}.json"
+    return path
 
 
 def write_document(document: Dict[str, object], path: str) -> None:

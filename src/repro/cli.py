@@ -16,6 +16,9 @@ typical workflow does not require writing Python:
     python -m repro watch --source trace.txt --analyses race_prediction,deadlock
     python -m repro gen corpus --out corpus/ --kinds locked-mix,heap-churn
     python -m repro fuzz --seeds 50 --quick
+    python -m repro sweep --suite smoke --metrics metrics.jsonl
+    python -m repro stats metrics.jsonl --format prom
+    python -m repro report trend
     python -m repro capabilities
 
 Anything printed here can be obtained programmatically from the same
@@ -42,7 +45,9 @@ from repro.api import (
     FuzzConfig,
     GenConfig,
     GenerateConfig,
+    ReportConfig,
     Session,
+    StatsConfig,
     SweepConfig,
     WatchConfig,
 )
@@ -118,6 +123,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="number of findings to print (0 prints none)")
     analyze.add_argument("--format", choices=RESULT_FORMATS, default="text",
                          help="output format (default: text)")
+    analyze.add_argument("--metrics", default=None, metavar="PATH",
+                         help="enable telemetry and append a JSON-lines "
+                              "metrics snapshot to PATH (see 'repro stats')")
 
     compare = subparsers.add_parser(
         "compare", help="run one analysis on every applicable backend")
@@ -165,6 +173,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "to sweep instead of a registered --suite")
     sweep.add_argument("--out", default="-",
                        help="output file ('-' for stdout)")
+    sweep.add_argument("--metrics", default=None, metavar="PATH",
+                       help="enable telemetry and append a JSON-lines "
+                            "metrics snapshot to PATH (see 'repro stats')")
     sweep.add_argument("--list-suites", action="store_true",
                        help="list the registered trace suites and exit")
     sweep.add_argument("--list-analyses", action="store_true",
@@ -336,6 +347,43 @@ def build_parser() -> argparse.ArgumentParser:
                             "is checkpointed if --checkpoint is set)")
     watch.add_argument("--format", choices=WATCH_FORMATS, default="text",
                        help="output format (default: text)")
+    watch.add_argument("--metrics", default=None, metavar="PATH",
+                       help="enable telemetry and append a JSON-lines "
+                            "metrics snapshot to PATH (see 'repro stats')")
+
+    stats = subparsers.add_parser(
+        "stats",
+        help="render a telemetry snapshot written via --metrics (table, "
+             "raw JSON, or Prometheus text exposition)")
+    stats.add_argument("source",
+                       help="JSON-lines metrics file written by a "
+                            "--metrics run")
+    stats.add_argument("--format", choices=StatsConfig.FORMATS,
+                       default="table",
+                       help="output format (default: table; 'prom' is the "
+                            "Prometheus text exposition format)")
+    stats.add_argument("--index", type=int, default=-1,
+                       help="which snapshot line to render; negative "
+                            "indices count from the end (default: -1, "
+                            "the latest)")
+
+    report = subparsers.add_parser(
+        "report",
+        help="longitudinal reports over committed artifacts (trend: "
+             "per-case perf history from BENCH_*.json)")
+    report.add_argument("mode", choices=ReportConfig.MODES,
+                        help="'trend': markdown + JSON per-case timing "
+                             "history over BENCH_baseline.json and dated "
+                             "BENCH_<date>.json reports")
+    report.add_argument("--dir", default=".",
+                        help="directory scanned for BENCH_*.json "
+                             "(default: .)")
+    report.add_argument("--out", default="docs/tables",
+                        help="output directory for the rendered report "
+                             "(default: docs/tables)")
+    report.add_argument("--basename", default="perf_trend",
+                        help="output file stem: <out>/<basename>.md and "
+                             ".json (default: perf_trend)")
 
     subparsers.add_parser(
         "capabilities",
@@ -411,7 +459,8 @@ def _generate(args: argparse.Namespace) -> int:
 def _analyze(args: argparse.Namespace) -> int:
     config = AnalyzeConfig(analysis=args.analysis, trace=args.trace,
                            backend=args.backend,
-                           max_findings=args.max_findings)
+                           max_findings=args.max_findings,
+                           metrics=args.metrics)
     result = _session().run(config)
     _render(result, args.format)
     return result.exit_code
@@ -437,7 +486,7 @@ def _sweep(args: argparse.Namespace) -> int:
                          analyses=args.analyses, backends=args.backends,
                          baseline=args.baseline, timeout=args.timeout,
                          repeat=args.repeat, seed=args.seed,
-                         format=args.format)
+                         format=args.format, metrics=args.metrics)
     # Dropped-option warnings are knowable up front; surface them before a
     # potentially long sweep so the user can still abort and rerun.
     preflight = config.validation_warnings()
@@ -556,7 +605,7 @@ def _watch(args: argparse.Namespace) -> int:
                          checkpoint=args.checkpoint,
                          checkpoint_every=args.checkpoint_every,
                          follow=args.follow, idle_timeout=args.idle_timeout,
-                         max_events=args.max_events)
+                         max_events=args.max_events, metrics=args.metrics)
     jsonl = args.format == "jsonl"
 
     def emit(item) -> None:
@@ -582,6 +631,25 @@ def _watch(args: argparse.Namespace) -> int:
     return result.exit_code
 
 
+def _stats(args: argparse.Namespace) -> int:
+    config = StatsConfig(source=args.source, format=args.format,
+                         index=args.index)
+    result = _session().run(config)
+    if config.format == "prom":
+        print(result.to_prom())
+    else:
+        _render(result, config.format)
+    return result.exit_code
+
+
+def _report(args: argparse.Namespace) -> int:
+    config = ReportConfig(mode=args.mode, dir=args.dir, out=args.out,
+                          basename=args.basename)
+    result = _session().run(config)
+    print(result.to_table())
+    return result.exit_code
+
+
 def _capabilities(args: argparse.Namespace) -> int:
     print(json.dumps(_session().capabilities(), indent=2, sort_keys=True))
     return EXIT_OK
@@ -595,7 +663,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {"generate": _generate, "analyze": _analyze,
                 "compare": _compare, "sweep": _sweep, "bench": _bench,
                 "gen": _gen, "convert": _convert, "fuzz": _fuzz,
-                "watch": _watch, "capabilities": _capabilities}
+                "watch": _watch, "stats": _stats, "report": _report,
+                "capabilities": _capabilities}
     try:
         return handlers[args.command](args)
     except KeyboardInterrupt:

@@ -107,6 +107,11 @@ class ConfigError(ReproError):
     (unknown keys, out-of-range values, conflicting options)."""
 
 
+class ObservabilityError(ReproError):
+    """Raised by :mod:`repro.obs` (conflicting metric registrations,
+    malformed snapshot files, unusable perf-trend inputs)."""
+
+
 def exit_code_for(error: BaseException) -> int:
     """The stable exit code for ``error`` (see the module docstring).
 

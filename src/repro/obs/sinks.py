@@ -1,0 +1,228 @@
+"""Metric snapshot sinks and renderers.
+
+A *snapshot* is the JSON-able document produced by
+:meth:`repro.obs.metrics.MetricsRegistry.snapshot`.  Sinks consume
+snapshots; they never touch live instruments, so any sink can be pointed
+at any registry (or at a snapshot read back from disk).
+
+Three sink kinds (``SINK_KINDS``):
+
+* **memory** -- :class:`MemorySink` keeps snapshots in a list (tests,
+  embedders polling ``latest``).
+* **jsonl** -- :class:`JsonlSink` appends one compact JSON document per
+  line to a file.  Append-only and line-framed, so a live monitor can be
+  tailed and a crashed run never corrupts earlier lines; ``repro stats``
+  reads the last (or any) line back.
+* **prom** -- :func:`render_prom` renders a snapshot as Prometheus text
+  exposition (version 0.0.4): ``# TYPE`` comments, label sets, histogram
+  ``_bucket``/``_sum``/``_count`` series with cumulative ``le`` buckets.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.errors import ObservabilityError
+
+#: Sink kinds advertised through ``Session.capabilities()``.
+SINK_KINDS = ("memory", "jsonl", "prom")
+
+
+class MemorySink:
+    """Keep every emitted snapshot in memory."""
+
+    def __init__(self) -> None:
+        self.snapshots: List[Dict[str, Any]] = []
+
+    @property
+    def latest(self) -> Optional[Dict[str, Any]]:
+        return self.snapshots[-1] if self.snapshots else None
+
+    def emit(self, snapshot: Dict[str, Any]) -> None:
+        self.snapshots.append(snapshot)
+
+
+class JsonlSink:
+    """Append snapshots to ``path``, one JSON document per line."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def emit(self, snapshot: Dict[str, Any]) -> None:
+        line = json.dumps(snapshot, sort_keys=True,
+                          separators=(",", ":"))
+        with open(self.path, "a", encoding="utf-8") as stream:
+            stream.write(line + "\n")
+
+
+def read_snapshots(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Every snapshot in a JSON-lines metrics file (or a single-document
+    JSON file), oldest first.
+
+    Raises :class:`~repro.errors.ObservabilityError` on malformed lines
+    or documents that are not snapshots.
+    """
+    with open(path, "r", encoding="utf-8") as stream:
+        text = stream.read()
+    snapshots: List[Dict[str, Any]] = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            document = json.loads(line)
+        except ValueError as error:
+            raise ObservabilityError(
+                f"{path}:{number}: not valid JSON: {error}") from None
+        if not isinstance(document, dict) or "counters" not in document:
+            raise ObservabilityError(
+                f"{path}:{number}: not a metrics snapshot (no 'counters' "
+                f"section)")
+        snapshots.append(document)
+    if not snapshots:
+        raise ObservabilityError(f"{path}: no metric snapshots found")
+    return snapshots
+
+
+def load_snapshot(path: Union[str, Path],
+                  index: int = -1) -> Dict[str, Any]:
+    """One snapshot from a metrics file (default: the latest line)."""
+    snapshots = read_snapshots(path)
+    try:
+        return snapshots[index]
+    except IndexError:
+        raise ObservabilityError(
+            f"{path}: snapshot index {index} out of range "
+            f"({len(snapshots)} snapshots)") from None
+
+
+# --------------------------------------------------------------------------- #
+# Prometheus text exposition
+# --------------------------------------------------------------------------- #
+def _prom_labels(labels: Dict[str, str], extra: Optional[str] = None) -> str:
+    parts = [f'{key}="{_prom_escape(value)}"'
+             for key, value in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _prom_escape(value: Any) -> str:
+    return str(value).replace("\\", r"\\").replace('"', r'\"') \
+        .replace("\n", r"\n")
+
+
+def _prom_name(name: str) -> str:
+    out = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+    return out if not out[:1].isdigit() else "_" + out
+
+
+def _prom_float(value: float) -> str:
+    # Render integral floats as integers: canonical and diff-friendly.
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prom(snapshot: Dict[str, Any]) -> str:
+    """Prometheus text exposition of one snapshot (trailing newline
+    included, as the format requires)."""
+    lines: List[str] = []
+    typed: Dict[str, str] = {}
+
+    def type_line(name: str, kind: str) -> None:
+        seen = typed.get(name)
+        if seen is None:
+            typed[name] = kind
+            lines.append(f"# TYPE {name} {kind}")
+        elif seen != kind:  # pragma: no cover - registry forbids this
+            raise ObservabilityError(
+                f"metric {name!r} rendered as both {seen} and {kind}")
+
+    for entry in snapshot.get("counters", ()):
+        name = _prom_name(entry["name"])
+        type_line(name, "counter")
+        lines.append(f"{name}{_prom_labels(entry.get('labels', {}))} "
+                     f"{_prom_float(entry['value'])}")
+    for entry in snapshot.get("gauges", ()):
+        name = _prom_name(entry["name"])
+        type_line(name, "gauge")
+        lines.append(f"{name}{_prom_labels(entry.get('labels', {}))} "
+                     f"{_prom_float(entry['value'])}")
+    for entry in snapshot.get("histograms", ()):
+        name = _prom_name(entry["name"])
+        type_line(name, "histogram")
+        labels = entry.get("labels", {})
+        cumulative = 0
+        for bound, count in zip(entry["bounds"], entry["counts"]):
+            cumulative += count
+            le = 'le="' + _prom_float(bound) + '"'
+            lines.append(f"{name}_bucket{_prom_labels(labels, le)} "
+                         f"{cumulative}")
+        cumulative += entry["counts"][len(entry["bounds"])]
+        inf_le = 'le="+Inf"'
+        lines.append(f"{name}_bucket{_prom_labels(labels, inf_le)} "
+                     f"{cumulative}")
+        lines.append(f"{name}_sum{_prom_labels(labels)} "
+                     f"{_prom_float(entry['sum'])}")
+        lines.append(f"{name}_count{_prom_labels(labels)} "
+                     f"{entry['count']}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# --------------------------------------------------------------------------- #
+# Human rendering (``repro stats`` table form)
+# --------------------------------------------------------------------------- #
+def _format_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{key}={value}"
+                     for key, value in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def render_stats_table(snapshot: Dict[str, Any]) -> str:
+    """Plain-text table of one snapshot: counters and gauges as
+    ``name value`` rows, histograms as count/sum/mean rows, then a span
+    summary (roots with total duration)."""
+    lines: List[str] = []
+    rows = []
+    for entry in snapshot.get("counters", ()):
+        rows.append((entry["name"] + _format_labels(entry.get("labels", {})),
+                     "counter", _prom_float(entry["value"])))
+    for entry in snapshot.get("gauges", ()):
+        rows.append((entry["name"] + _format_labels(entry.get("labels", {})),
+                     "gauge", _prom_float(entry["value"])))
+    for entry in snapshot.get("histograms", ()):
+        count = entry["count"]
+        mean = entry["sum"] / count if count else 0.0
+        rows.append((entry["name"] + _format_labels(entry.get("labels", {})),
+                     "histogram",
+                     f"count={count} sum={entry['sum']:.6f} "
+                     f"mean={mean:.6f}"))
+    if rows:
+        width = max(len(row[0]) for row in rows)
+        lines.append(f"{'metric':{width}s} {'type':9s} value")
+        for name, kind, value in rows:
+            lines.append(f"{name:{width}s} {kind:9s} {value}")
+    else:
+        lines.append("no metrics recorded")
+    spans = snapshot.get("spans", ())
+    if spans:
+        lines.append("")
+        lines.append("spans:")
+        for span in spans:
+            lines.append(_render_span(span, depth=1))
+    return "\n".join(lines)
+
+
+def _render_span(span: Dict[str, Any], depth: int) -> str:
+    labels = _format_labels(span.get("labels", {}))
+    line = (f"{'  ' * depth}{span['name']}{labels}: "
+            f"{span.get('duration_ns', 0) / 1e9:.6f}s")
+    children = span.get("children", ())
+    if children:
+        line += "\n" + "\n".join(_render_span(child, depth + 1)
+                                 for child in children)
+    return line

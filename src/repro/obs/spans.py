@@ -1,0 +1,127 @@
+"""Nested timing spans.
+
+A *span* is one named, labelled stretch of wall-clock time; spans opened
+while another span is active on the same thread nest under it, so a
+finished root span is a tree describing where a workflow spent its time::
+
+    with registry.span("analyze") as root:
+        with registry.span("load", format="stc"):
+            ...
+        with registry.span("run", analysis="race-prediction"):
+            ...
+    root.duration_ns          # total
+    root.children[0].name     # "load"
+
+Timing uses the monotonic ``time.perf_counter_ns`` clock; ``start_ns``
+values are therefore only comparable within one process.  Each thread
+keeps its own span stack (a ``threading.local``), so concurrent threads
+build independent trees -- a span never adopts a child from another
+thread.
+
+Spans are recorded by the :class:`~repro.obs.metrics.MetricsRegistry`
+that created them: finished *root* spans land on the registry's bounded
+span log, and every finished span also feeds the ``span_seconds``
+histogram labelled with the span name, so span timings show up in plain
+metric snapshots (and Prometheus exposition) without walking trees.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Span", "SpanStack"]
+
+
+class Span:
+    """One timed region.  Created via ``MetricsRegistry.span`` -- not by
+    hand -- and used as a context manager (re-entry is not supported)."""
+
+    __slots__ = ("name", "labels", "start_ns", "duration_ns", "children",
+                 "_stack")
+
+    def __init__(self, name: str, labels: Dict[str, str],
+                 stack: Optional["SpanStack"]) -> None:
+        self.name = name
+        self.labels = labels
+        self.start_ns: int = 0
+        self.duration_ns: int = 0
+        self.children: List["Span"] = []
+        self._stack = stack
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.duration_ns / 1e9
+
+    def __enter__(self) -> "Span":
+        if self._stack is not None:
+            self._stack.push(self)
+        self.start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration_ns = time.perf_counter_ns() - self.start_ns
+        if self._stack is not None:
+            self._stack.pop(self)
+        return False
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able span tree (the form stored in metric snapshots)."""
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "start_ns": self.start_ns,
+            "duration_ns": self.duration_ns,
+        }
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Span({self.name!r}, {self.duration_ns}ns, "
+                f"{len(self.children)} children)")
+
+
+class SpanStack:
+    """Per-thread span nesting state shared by one registry.
+
+    ``push`` links a new span under the thread's current span (if any) and
+    makes it current; ``pop`` restores the parent and hands finished roots
+    to ``on_root`` (the registry's recording hook).
+    """
+
+    def __init__(self, on_root, on_finish) -> None:
+        self._local = threading.local()
+        self._on_root = on_root
+        self._on_finish = on_finish
+
+    def _frames(self) -> List[Span]:
+        frames = getattr(self._local, "frames", None)
+        if frames is None:
+            frames = []
+            self._local.frames = frames
+        return frames
+
+    def current(self) -> Optional[Span]:
+        frames = self._frames()
+        return frames[-1] if frames else None
+
+    def push(self, span: Span) -> None:
+        frames = self._frames()
+        if frames:
+            frames[-1].children.append(span)
+        frames.append(span)
+
+    def pop(self, span: Span) -> None:
+        frames = self._frames()
+        # Tolerate exits out of order (a span leaked across a generator
+        # boundary): unwind to the span being closed rather than corrupting
+        # the stack for the rest of the thread's lifetime.
+        while frames:
+            top = frames.pop()
+            if top is span:
+                break
+        self._on_finish(span)
+        if not frames:
+            self._on_root(span)

@@ -1,0 +1,248 @@
+"""Longitudinal perf trend reports over accumulated ``BENCH_*.json`` files.
+
+Every ``repro bench perf`` run writes a dated document
+(``BENCH_<date>[-N].json``) and the repo commits a two-mode
+``BENCH_baseline.json``; this module renders that history as one
+per-case trend report -- seconds per run, latest-over-baseline deltas,
+and the machine-independent speedup ratios -- as markdown plus JSON,
+conventionally into ``docs/tables/``.
+
+Runs are compared strictly like-with-like: quick-mode documents trend
+against the baseline's quick section, full-mode against full.  The
+report is a pure function of the input documents (no timestamps are
+injected), so regenerating it from unchanged inputs is byte-identical --
+CI can diff it as an artifact.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.errors import ObservabilityError
+
+TREND_VERSION = 1
+
+#: Baseline document filename (matches ``repro.bench.perf``).
+BASELINE_FILENAME = "BENCH_baseline.json"
+
+#: Run label of the committed baseline columns.
+BASELINE_LABEL = "baseline"
+
+#: Latest/baseline ratio above which a case is flagged as a regression
+#: in the markdown rendering (mirrors the bench harness default).
+REGRESSION_RATIO = 2.0
+
+
+#: Dated run label, optionally with the same-day ``-N`` dedupe suffix
+#: the bench harness appends (``2026-08-01``, ``2026-08-01-1``, ...).
+_DATED_LABEL = re.compile(r"^(\d{4}-\d{2}-\d{2})(?:-(\d+))?$")
+
+
+def _run_order(path: str) -> Tuple[str, int, str]:
+    """Chronological sort key for a dated ``BENCH_*.json`` path.
+
+    Plain string order puts ``BENCH_<date>-1.json`` *before*
+    ``BENCH_<date>.json`` (``-`` sorts before ``.``), so dedupe-suffixed
+    same-day reruns would jump ahead of their base run; this key orders
+    by date, then dedupe suffix numerically.
+    """
+    label = os.path.basename(path)[len("BENCH_"):-len(".json")]
+    match = _DATED_LABEL.match(label)
+    if match:
+        return (match.group(1), int(match.group(2) or 0), label)
+    return (label, 0, label)
+
+
+def _load(path: str) -> Dict[str, Any]:
+    try:
+        with open(path, "r", encoding="utf-8") as stream:
+            document = json.load(stream)
+    except ValueError as error:
+        raise ObservabilityError(f"{path}: not valid JSON: {error}") \
+            from None
+    if not isinstance(document, dict):
+        raise ObservabilityError(f"{path}: not a perf document")
+    return document
+
+
+def collect_runs(directory: Union[str, Path]
+                 ) -> Dict[str, List[Dict[str, Any]]]:
+    """Every perf run in ``directory``, grouped by mode, baseline first.
+
+    The baseline document contributes one run per mode section; dated
+    documents (``BENCH_*.json``, anything that is not the baseline)
+    contribute to the mode they ran in, ordered chronologically -- by
+    date, with same-day ``-N`` dedupe suffixes after their base run.
+    A ``BENCH_*.json`` that is not a perf document (no ``results``
+    section) is an error, not silently skipped.
+    """
+    directory = str(directory)
+    runs: Dict[str, List[Dict[str, Any]]] = {}
+
+    def add(mode: str, label: str, path: str,
+            document: Dict[str, Any]) -> None:
+        results = document.get("results")
+        if not isinstance(results, dict):
+            raise ObservabilityError(
+                f"{path}: perf document has no 'results' section")
+        runs.setdefault(mode, []).append({
+            "label": label,
+            "path": os.path.basename(path),
+            "python": document.get("python"),
+            "repeats": document.get("repeats"),
+            "results": results,
+            "speedups": document.get("speedups", {}),
+        })
+
+    baseline_path = os.path.join(directory, BASELINE_FILENAME)
+    if os.path.exists(baseline_path):
+        baseline = _load(baseline_path)
+        modes = baseline.get("modes")
+        if not isinstance(modes, dict) or not modes:
+            raise ObservabilityError(
+                f"{baseline_path}: baseline document has no 'modes' "
+                f"sections")
+        for mode in sorted(modes):
+            add(mode, BASELINE_LABEL, baseline_path, modes[mode])
+
+    pattern = os.path.join(directory, "BENCH_*.json")
+    for path in sorted(glob.glob(pattern), key=_run_order):
+        if os.path.basename(path) == BASELINE_FILENAME:
+            continue
+        document = _load(path)
+        label = os.path.basename(path)[len("BENCH_"):-len(".json")]
+        add(str(document.get("mode", "full")), label, path, document)
+
+    if not runs:
+        raise ObservabilityError(
+            f"no BENCH_*.json perf documents found in {directory!r}")
+    return runs
+
+
+def build_trend(runs: Dict[str, List[Dict[str, Any]]]) -> Dict[str, Any]:
+    """The trend document: per mode, per case, seconds across runs plus
+    latest-over-baseline deltas (and the speedup-label trends)."""
+    modes: Dict[str, Any] = {}
+    for mode, entries in sorted(runs.items()):
+        case_names: List[str] = []
+        for entry in entries:
+            for name in entry["results"]:
+                if name not in case_names:
+                    case_names.append(name)
+        cases: Dict[str, Any] = {}
+        for name in case_names:
+            seconds: List[Optional[float]] = []
+            for entry in entries:
+                record = entry["results"].get(name)
+                seconds.append(float(record["seconds"])
+                               if record is not None else None)
+            baseline_seconds = (seconds[0]
+                                if entries[0]["label"] == BASELINE_LABEL
+                                else None)
+            latest = next((value for value in reversed(seconds)
+                           if value is not None), None)
+            delta = (latest / baseline_seconds
+                     if latest is not None and baseline_seconds else None)
+            cases[name] = {
+                "seconds": seconds,
+                "baseline_seconds": baseline_seconds,
+                "latest_seconds": latest,
+                "delta_vs_baseline": delta,
+            }
+        speedup_labels: List[str] = []
+        for entry in entries:
+            for label in entry["speedups"]:
+                if label not in speedup_labels:
+                    speedup_labels.append(label)
+        speedups = {
+            label: [entry["speedups"].get(label) for entry in entries]
+            for label in speedup_labels
+        }
+        modes[mode] = {
+            "runs": [{key: entry[key]
+                      for key in ("label", "path", "python", "repeats")}
+                     for entry in entries],
+            "cases": cases,
+            "speedups": speedups,
+        }
+    return {"version": TREND_VERSION, "modes": modes}
+
+
+def _cell(value: Optional[float]) -> str:
+    return f"{value:.4f}" if value is not None else "-"
+
+
+def _delta_cell(delta: Optional[float]) -> str:
+    if delta is None:
+        return "-"
+    marker = ""
+    if delta > REGRESSION_RATIO:
+        marker = " (regression)"
+    elif delta <= 0.5:
+        marker = " (speedup)"
+    return f"{delta:.2f}x{marker}"
+
+
+def render_markdown(document: Dict[str, Any]) -> str:
+    """The trend document as a markdown report (one section per mode)."""
+    lines: List[str] = ["# Perf trend report", ""]
+    lines.append("Seconds per case across recorded `BENCH_*.json` runs "
+                 "(min-of-N); `delta` is latest/baseline -- above "
+                 f"{REGRESSION_RATIO:.1f}x flags a regression, at or "
+                 "below 0.5x a speedup.")
+    for mode, section in sorted(document["modes"].items()):
+        labels = [run["label"] for run in section["runs"]]
+        lines.append("")
+        lines.append(f"## mode: {mode}")
+        lines.append("")
+        sources = ", ".join(f"`{run['path']}`" for run in section["runs"])
+        lines.append(f"Runs: {sources}")
+        lines.append("")
+        header = ["case"] + labels + ["delta"]
+        lines.append("| " + " | ".join(header) + " |")
+        lines.append("|" + "|".join([" --- "] * len(header)) + "|")
+        for name, case in section["cases"].items():
+            row = [name]
+            row += [_cell(value) for value in case["seconds"]]
+            row.append(_delta_cell(case["delta_vs_baseline"]))
+            lines.append("| " + " | ".join(row) + " |")
+        if section["speedups"]:
+            lines.append("")
+            lines.append(f"### speedup ratios ({mode})")
+            lines.append("")
+            header = ["pair"] + labels
+            lines.append("| " + " | ".join(header) + " |")
+            lines.append("|" + "|".join([" --- "] * len(header)) + "|")
+            for label, values in section["speedups"].items():
+                row = [label] + [f"{value:.2f}x" if value is not None
+                                 else "-" for value in values]
+                lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines) + "\n"
+
+
+def write_trend(directory: Union[str, Path],
+                out_dir: Union[str, Path],
+                basename: str = "perf_trend"
+                ) -> Tuple[Dict[str, Any], str, str]:
+    """Collect, build, and write the trend report.
+
+    Returns ``(document, markdown_path, json_path)``.  ``out_dir`` is
+    created when missing; the JSON twin carries exactly the document the
+    markdown was rendered from.
+    """
+    document = build_trend(collect_runs(directory))
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    markdown_path = out / f"{basename}.md"
+    json_path = out / f"{basename}.json"
+    with open(markdown_path, "w", encoding="utf-8") as stream:
+        stream.write(render_markdown(document))
+    with open(json_path, "w", encoding="utf-8") as stream:
+        json.dump(document, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    return document, str(markdown_path), str(json_path)

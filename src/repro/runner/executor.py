@@ -26,6 +26,7 @@ record-for-record (modulo wall-clock times).
 from __future__ import annotations
 
 import statistics
+import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
 from dataclasses import dataclass
@@ -33,6 +34,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.analyses.common.base import Analysis
 from repro.errors import ReproError
+from repro.obs import metrics as obs_metrics
 from repro.runner.corpus import (
     Suite,
     TraceCorpus,
@@ -203,9 +205,18 @@ def run_jobs(jobs: Sequence[SweepJob], *, workers: int = 1,
     if not jobs:
         return result
 
+    # Telemetry is collector-side: pool workers are separate processes, so
+    # their in-process registries never propagate.  Job wall time comes
+    # from the record; queue wait is the collector's submit-to-result
+    # latency for each future.
+    registry = obs_metrics.ACTIVE
+
     if workers == 1:
         corpus = TraceCorpus()
         result.records = [execute_job(job, corpus, repeats) for job in jobs]
+        if registry is not None:
+            for record in result.records:
+                _observe_record(registry, record)
         return result
 
     pool = ProcessPoolExecutor(max_workers=min(workers, len(jobs)))
@@ -214,6 +225,7 @@ def run_jobs(jobs: Sequence[SweepJob], *, workers: int = 1,
         futures = [pool.submit(execute_job, job, None, repeats)
                    for job in jobs]
         for job, future in zip(jobs, futures):
+            wait_start = time.perf_counter() if registry is not None else 0.0
             try:
                 record = future.result(timeout=timeout_seconds)
             except FutureTimeout:
@@ -242,6 +254,10 @@ def run_jobs(jobs: Sequence[SweepJob], *, workers: int = 1,
             except Exception:  # worker died (e.g. BrokenProcessPool)
                 record = _failure_record(job, STATUS_ERROR,
                                          traceback.format_exc())
+            if registry is not None:
+                registry.histogram("sweep_queue_wait_seconds").observe(
+                    time.perf_counter() - wait_start)
+                _observe_record(registry, record)
             result.records.append(record)
     finally:
         if timed_out:
@@ -281,6 +297,15 @@ def run_suite(suite_name: str, *, workers: int = 1,
     jobs = plan_jobs(suite, analyses=analyses, backends=backends)
     return run_jobs(jobs, workers=workers, timeout_seconds=timeout_seconds,
                     suite_name=suite.name, repeats=repeats)
+
+
+def _observe_record(registry: "obs_metrics.MetricsRegistry",
+                    record: SweepRecord) -> None:
+    registry.counter("sweep_jobs_total", status=record.status).inc()
+    if record.status == STATUS_OK:
+        registry.histogram("sweep_job_seconds", analysis=record.analysis,
+                           backend=record.backend) \
+            .observe(record.elapsed_seconds)
 
 
 def _failure_record(job: SweepJob, status: str, message: str) -> SweepRecord:

@@ -42,17 +42,29 @@ CHECKPOINT_VERSION = 1
 def save_checkpoint(engine: StreamEngine, path: Union[str, Path]) -> None:
     """Write ``engine``'s state to ``path`` atomically."""
     engine.stats.checkpoints += 1
-    state = engine.state_dict()
-    path = Path(path)
-    temp_path = path.with_name(path.name + ".tmp")
+    registry = engine.metrics
+    timer = registry.histogram("checkpoint_seconds").time() \
+        if registry is not None else None
+    if timer is not None:
+        timer.__enter__()
     try:
-        with open(temp_path, "w", encoding="utf-8") as stream:
-            json.dump(state, stream, indent=1)
-            stream.write("\n")
-        os.replace(temp_path, path)
-    except OSError as error:
-        raise CheckpointError(f"cannot save checkpoint to {path}: {error}") \
-            from error
+        state = engine.state_dict()
+        path = Path(path)
+        temp_path = path.with_name(path.name + ".tmp")
+        try:
+            with open(temp_path, "w", encoding="utf-8") as stream:
+                json.dump(state, stream, indent=1)
+                stream.write("\n")
+            os.replace(temp_path, path)
+        except OSError as error:
+            raise CheckpointError(
+                f"cannot save checkpoint to {path}: {error}") from error
+    finally:
+        if timer is not None:
+            timer.__exit__(None, None, None)
+    if registry is not None:
+        registry.counter("checkpoint_total").inc()
+        registry.gauge("checkpoint_bytes").set(os.path.getsize(path))
 
 
 def load_checkpoint(path: Union[str, Path]) -> Dict[str, Any]:

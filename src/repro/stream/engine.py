@@ -55,6 +55,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 from repro.analyses.common.base import Analysis, AnalysisResult
 from repro.core.growable import GrowableOrder
 from repro.errors import StreamError
+from repro.obs import metrics as obs_metrics
 from repro.trace.event import Event, EventKind
 from repro.trace.trace import Trace
 from repro.stream.source import EventSource
@@ -210,6 +211,12 @@ class _Attachment:
     emitted: set = field(default_factory=set)
     last_result: Optional[AnalysisResult] = None
     last_error: Optional[str] = None
+    # Telemetry instruments, bound once at engine construction when a
+    # metrics registry is active (None otherwise -- the disabled path
+    # never touches them).
+    m_feed: Any = None
+    m_flush: Any = None
+    m_findings: Any = None
 
 
 # --------------------------------------------------------------------------- #
@@ -297,6 +304,29 @@ class StreamEngine:
         if len(set(names)) != len(names):
             raise StreamError(f"duplicate analyses attached: {names}")
 
+        # Telemetry: bind instruments once against the registry active at
+        # construction time.  ``self._metrics is None`` is the entire
+        # disabled-mode cost on the per-event path.
+        self._metrics = obs_metrics.ACTIVE
+        self._m_events = self._m_flushes = self._m_flush_errors = None
+        self._m_evicted = self._m_buffered = None
+        if self._metrics is not None:
+            registry = self._metrics
+            self._m_events = registry.counter("stream_events_total")
+            self._m_flushes = registry.counter("stream_flushes_total")
+            self._m_flush_errors = registry.counter(
+                "stream_flush_errors_total")
+            self._m_evicted = registry.counter("stream_evicted_total")
+            self._m_buffered = registry.gauge("stream_buffered_events")
+            for attachment in self._attachments:
+                if attachment.native:
+                    attachment.m_feed = registry.histogram(
+                        "stream_feed_seconds", analysis=attachment.name)
+                attachment.m_flush = registry.histogram(
+                    "stream_flush_seconds", analysis=attachment.name)
+                attachment.m_findings = registry.counter(
+                    "stream_findings_total", analysis=attachment.name)
+
     def _build_analysis(self, spec: Union[str, Analysis]) -> Analysis:
         if isinstance(spec, Analysis):
             if not isinstance(spec._backend_spec, str):
@@ -321,6 +351,12 @@ class StreamEngine:
     @property
     def analyses(self) -> List[str]:
         return [attachment.name for attachment in self._attachments]
+
+    @property
+    def metrics(self) -> Optional["obs_metrics.MetricsRegistry"]:
+        """The metrics registry this engine reports into (bound at
+        construction; ``None`` when telemetry was disabled then)."""
+        return self._metrics
 
     @property
     def order(self) -> Optional[GrowableOrder]:
@@ -351,6 +387,9 @@ class StreamEngine:
         self._ingest(event)
         self.stats.events = self._cursor
         self.stats.threads = len(self._next_index)
+        if self._metrics is not None:
+            self._m_events.inc()
+            self._m_buffered.set(self.buffered_events)
         if self.window.boundary(self._cursor):
             self.flush()
             self._evict()
@@ -374,7 +413,12 @@ class StreamEngine:
         self._maintain_backbone(event)
         for attachment in self._attachments:
             if attachment.native:
-                for finding in attachment.analysis.feed(event):
+                if attachment.m_feed is not None:
+                    with attachment.m_feed.time():
+                        found = list(attachment.analysis.feed(event))
+                else:
+                    found = attachment.analysis.feed(event)
+                for finding in found:
                     key = finding_key(finding)
                     # The dedup check matters during checkpoint replay:
                     # re-feeding the buffer rediscovers findings whose keys
@@ -448,6 +492,8 @@ class StreamEngine:
         del self._buffer[:cut]
         self._snapshot_cache = None
         self.stats.evicted += cut
+        if self._m_evicted is not None:
+            self._m_evicted.inc(cut)
 
     # ------------------------------------------------------------------ #
     # Flushing / emission
@@ -468,11 +514,17 @@ class StreamEngine:
         from repro.errors import ReproError
 
         self.stats.flushes += 1
+        if self._m_flushes is not None:
+            self._m_flushes.inc()
         self._last_flush_cursor = self._cursor
         results: Dict[str, AnalysisResult] = {}
         offsets: Dict[int, int] = {}
         for attachment in self._attachments:
+            timer = attachment.m_flush.time() \
+                if attachment.m_flush is not None else None
             try:
+                if timer is not None:
+                    timer.__enter__()
                 if attachment.native:
                     result = attachment.analysis.flush()
                 else:
@@ -481,7 +533,12 @@ class StreamEngine:
             except ReproError as error:
                 attachment.last_error = str(error)
                 self.stats.flush_errors += 1
+                if self._m_flush_errors is not None:
+                    self._m_flush_errors.inc()
                 continue
+            finally:
+                if timer is not None:
+                    timer.__exit__(None, None, None)
             attachment.last_error = None
             for finding in result.findings:
                 key = finding_key(finding,
@@ -498,6 +555,8 @@ class StreamEngine:
                              position=self._cursor)
         self._findings.append(item)
         self.stats.emitted += 1
+        if attachment.m_findings is not None:
+            attachment.m_findings.inc()
         if self.on_finding is not None:
             self.on_finding(item)
 

@@ -697,6 +697,13 @@ class LazyTrace(Trace):
         self._lazy = columns
         self._cache: Dict[int, Event] = {}
         self._hydrated = False
+        # Bound once at decode time; None keeps the per-event inflation
+        # path free of any telemetry cost when disabled.
+        from repro.obs import metrics as obs_metrics
+
+        active = obs_metrics.ACTIVE
+        self._m_hydrations = (active.counter("stc_hydrations_total")
+                              if active is not None else None)
 
     # -------------------------------------------------------------- #
     # Inflation machinery
@@ -711,6 +718,8 @@ class LazyTrace(Trace):
         event = self._cache.get(position)
         if event is not None:
             return event
+        if self._m_hydrations is not None:
+            self._m_hydrations.inc()
         lazy = self._lazy
         pool = lazy.pool
         value_id = lazy.value_ids[position]

@@ -18,9 +18,11 @@ reproducible gzip).
 from __future__ import annotations
 
 import gzip
+import os
 from pathlib import Path
 from typing import Optional, TextIO, Union
 
+from repro.obs import metrics as obs_metrics
 from repro.trace.binfmt import STC_MAGIC, read_trace_stc, write_trace_stc
 from repro.trace.formats import dump_trace, load_trace
 from repro.trace.trace import Trace
@@ -65,11 +67,16 @@ def save_trace(trace: Trace, destination: Union[str, Path, TextIO]) -> None:
     """Serialise ``trace`` to ``destination`` in the format its suffix
     selects: ``.stc`` / ``.stc.gz`` binary columnar, everything else STD
     text (text streams are always STD)."""
+    registry = obs_metrics.ACTIVE
     if (isinstance(destination, (str, Path))
             and path_format(destination) == "stc"):
         write_trace_stc(trace, destination)
+        if registry is not None:
+            registry.counter("trace_writes_total", format="stc").inc()
         return
     dump_trace(trace, destination)
+    if registry is not None:
+        registry.counter("trace_writes_total", format="std").inc()
 
 
 def read_trace(source: Union[str, Path, TextIO],
@@ -82,6 +89,21 @@ def read_trace(source: Union[str, Path, TextIO],
     ``name`` is the fallback name, as in
     :func:`~repro.trace.formats.load_trace` (a stored name wins).
     """
-    if isinstance(source, (str, Path)) and trace_format(source) == "stc":
-        return read_trace_stc(source)
-    return load_trace(source, name=name)
+    registry = obs_metrics.ACTIVE
+    if registry is None:
+        if isinstance(source, (str, Path)) and trace_format(source) == "stc":
+            return read_trace_stc(source)
+        return load_trace(source, name=name)
+    fmt = ("stc" if isinstance(source, (str, Path))
+           and trace_format(source) == "stc" else "std")
+    with registry.histogram("trace_parse_seconds", format=fmt).time():
+        trace = (read_trace_stc(source) if fmt == "stc"
+                 else load_trace(source, name=name))
+    registry.counter("trace_loads_total", format=fmt).inc()
+    if isinstance(source, (str, Path)):
+        try:
+            registry.counter("trace_parse_bytes_total", format=fmt) \
+                .inc(os.path.getsize(source))
+        except OSError:  # pragma: no cover - raced file removal
+            pass
+    return trace

@@ -15,6 +15,8 @@ from repro.api import (
     FuzzConfig,
     GenConfig,
     GenerateConfig,
+    ReportConfig,
+    StatsConfig,
     SweepConfig,
     WatchConfig,
 )
@@ -44,6 +46,8 @@ REPRESENTATIVES = [
                max_checks=10),
     BenchConfig(quick=True, repeats=2, out="-", threshold=3.0,
                 compare=False),
+    StatsConfig(source="m.jsonl", format="prom", index=0),
+    ReportConfig(mode="trend", dir="bench", out="tables", basename="trend"),
 ]
 
 

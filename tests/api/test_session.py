@@ -293,7 +293,8 @@ class TestCapabilities:
     def test_capabilities_shape(self, session):
         caps = session.capabilities()
         assert set(caps) == {"version", "analyses", "backends", "kinds",
-                             "suites", "formats", "exit_codes"}
+                             "suites", "formats", "observability",
+                             "exit_codes"}
         assert len(caps["analyses"]) == 7
         assert caps["exit_codes"] == {"ok": 0, "failure": 1, "error": 2,
                                       "interrupt": 130}
@@ -301,6 +302,10 @@ class TestCapabilities:
         assert caps["backends"]["vc"]["incremental"]
         assert not caps["backends"]["vc"]["dynamic"]
         assert caps["analyses"]["race-prediction"]["fed_by"]
+        obs = caps["observability"]
+        assert obs["sinks"] == ["memory", "jsonl", "prom"]
+        assert obs["metrics"]["stream_events_total"]["type"] == "counter"
+        assert obs["metrics"]["span_seconds"]["type"] == "histogram"
         json.dumps(caps)  # must serialize cleanly
 
     def test_capabilities_matches_version(self, session):

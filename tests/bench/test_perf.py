@@ -109,6 +109,23 @@ class TestPersistence:
         assert perf.read_document(path) == json.loads(
             json.dumps(document))
 
+    def test_default_output_path_dedupes_same_day_runs(self, tmp_path,
+                                                       monkeypatch):
+        # A second run on the same day must not overwrite the first
+        # report: the default name gains a -N suffix instead.
+        import datetime
+
+        monkeypatch.chdir(tmp_path)
+        first = perf.default_output_path()
+        assert first == \
+            f"BENCH_{datetime.date.today().isoformat()}.json"
+        (tmp_path / first).write_text("{}")
+        second = perf.default_output_path()
+        assert second == first[:-len(".json")] + "-1.json"
+        (tmp_path / second).write_text("{}")
+        third = perf.default_output_path()
+        assert third == first[:-len(".json")] + "-2.json"
+
     def test_build_baseline_contains_both_modes(self):
         document = perf.build_baseline(repeats=1, warmup=0,
                                        cases=_tiny_cases())

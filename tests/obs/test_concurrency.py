@@ -1,0 +1,94 @@
+"""Thread-safety: concurrent updates never lose counts, and get-or-create
+races resolve to one instrument."""
+
+import threading
+
+from repro.obs import MetricsRegistry
+
+THREADS = 8
+ITERATIONS = 5_000
+
+
+def _run_threads(work):
+    threads = [threading.Thread(target=work, args=(index,))
+               for index in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+class TestConcurrentUpdates:
+    def test_counter_increments_are_not_lost(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+
+        def work(index):
+            for _ in range(ITERATIONS):
+                counter.inc()
+
+        _run_threads(work)
+        assert counter.value == THREADS * ITERATIONS
+
+    def test_histogram_observations_are_not_lost(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(0.5, 1.5))
+
+        def work(index):
+            for _ in range(ITERATIONS):
+                histogram.observe(index % 2 + 0.25)  # 0.25 or 1.25
+
+        _run_threads(work)
+        assert histogram.count == THREADS * ITERATIONS
+        counts = histogram.describe()["counts"]
+        assert sum(counts) == THREADS * ITERATIONS
+        assert counts[2] == 0  # nothing above the last bound
+
+    def test_gauge_last_write_wins_without_corruption(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+
+        def work(index):
+            for _ in range(ITERATIONS):
+                gauge.set(index)
+
+        _run_threads(work)
+        assert gauge.value in range(THREADS)
+
+
+class TestConcurrentCreation:
+    def test_get_or_create_race_yields_one_instrument(self):
+        registry = MetricsRegistry()
+        barrier = threading.Barrier(THREADS)
+        seen = []
+        lock = threading.Lock()
+
+        def work(index):
+            barrier.wait()
+            counter = registry.counter("raced", worker=index % 2)
+            counter.inc()
+            with lock:
+                seen.append(counter)
+
+        _run_threads(work)
+        assert len({id(counter) for counter in seen}) == 2  # one per label
+        total = sum(instrument.value
+                    for instrument in registry.instruments())
+        assert total == THREADS
+
+    def test_concurrent_spans_and_snapshots_do_not_crash(self):
+        registry = MetricsRegistry()
+        errors = []
+
+        def work(index):
+            try:
+                for _ in range(200):
+                    with registry.span("load", worker=index):
+                        registry.counter("c").inc()
+                    registry.snapshot()
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        _run_threads(work)
+        assert not errors
+        assert registry.counter("c").value == THREADS * 200

@@ -1,0 +1,100 @@
+"""Disabled-mode cost: telemetry off must not allocate on hot paths.
+
+The claims under test (see docs/observability.md):
+
+* the no-op instruments are shared singletons whose methods allocate
+  nothing, and
+* a StreamEngine run with telemetry disabled performs **zero**
+  allocations attributable to :mod:`repro.obs` -- the entire disabled
+  cost is one ``is None`` check per event.
+
+Both are proven with ``tracemalloc`` filtered to the ``repro/obs``
+source files, so the assertions are about *where* allocations happen,
+not about noisy absolute byte counts.
+"""
+
+import os
+import tracemalloc
+
+import repro.obs.metrics as obs_metrics
+from repro.obs import (
+    NULL_CONTEXT,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    NULL_REGISTRY,
+)
+
+#: Filter matching every allocation made inside the obs package.
+OBS_FILTER = tracemalloc.Filter(
+    True, os.path.join(os.path.dirname(obs_metrics.__file__), "*"))
+
+
+def _obs_allocations(callable_):
+    """Bytes allocated inside repro/obs by ``callable_()``."""
+    tracemalloc.start()
+    try:
+        before = tracemalloc.take_snapshot()
+        callable_()
+        after = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    stats = after.filter_traces([OBS_FILTER]).compare_to(
+        before.filter_traces([OBS_FILTER]), "filename")
+    return sum(stat.size_diff for stat in stats)
+
+
+class TestNullInstruments:
+    def test_null_operations_allocate_nothing(self):
+        def hammer():
+            for _ in range(10_000):
+                NULL_COUNTER.inc()
+                NULL_GAUGE.set(1.0)
+                NULL_HISTOGRAM.observe(0.5)
+                with NULL_HISTOGRAM.time():
+                    pass
+                with NULL_REGISTRY.span("s"):
+                    pass
+
+        assert _obs_allocations(hammer) == 0
+
+    def test_null_registry_lookups_return_singletons(self):
+        # Instrument lookup through the null registry hands back the
+        # shared objects -- nothing per-call to collect.
+        for _ in range(3):
+            assert NULL_REGISTRY.counter("c", analysis="a") is NULL_COUNTER
+            assert NULL_REGISTRY.histogram("h") is NULL_HISTOGRAM
+            assert NULL_REGISTRY.span("s", x=1) is NULL_CONTEXT
+
+
+class TestDisabledEngine:
+    def test_100k_event_run_never_touches_obs(self):
+        from repro.stream.engine import StreamEngine
+        from repro.trace.event import Event, EventKind
+
+        assert obs_metrics.ACTIVE is None  # telemetry off
+
+        variables = [f"v{i}" for i in range(64)]
+        events = [Event(thread=i % 4, index=i // 4, kind=EventKind.READ,
+                        variable=variables[i % 64])
+                  for i in range(100_000)]
+        engine = StreamEngine(["c11-races"])
+        assert engine.metrics is None  # bound once, at construction
+
+        def run():
+            for event in events:
+                engine.feed(event)
+            engine.flush()
+
+        assert _obs_allocations(run) == 0
+        assert engine.stats.events == 100_000
+
+    def test_disabled_engine_binds_no_instruments(self):
+        from repro.stream.engine import StreamEngine
+
+        engine = StreamEngine(["race-prediction"])
+        assert engine.metrics is None
+        for attachment in engine._attachments:
+            assert attachment.m_feed is None
+            assert attachment.m_flush is None
+            assert attachment.m_findings is None

@@ -1,0 +1,151 @@
+"""Sinks and renderers: JSONL round trip, Prometheus exposition, tables."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    JsonlSink,
+    MemorySink,
+    MetricsRegistry,
+    load_snapshot,
+    read_snapshots,
+    render_prom,
+    render_stats_table,
+)
+
+
+def _sample_registry():
+    registry = MetricsRegistry()
+    registry.counter("events_total", source="t.std").inc(42)
+    registry.gauge("buffered").set(7)
+    histogram = registry.histogram("latency_seconds", buckets=(0.1, 1.0))
+    for value in (0.05, 0.5, 2.0):
+        histogram.observe(value)
+    with registry.span("analyze"):
+        with registry.span("load"):
+            pass
+    return registry
+
+
+class TestMemorySink:
+    def test_latest_tracks_emissions(self):
+        sink = MemorySink()
+        assert sink.latest is None
+        sink.emit({"counters": [], "n": 1})
+        sink.emit({"counters": [], "n": 2})
+        assert sink.latest["n"] == 2
+        assert len(sink.snapshots) == 2
+
+
+class TestJsonlRoundTrip:
+    def test_append_and_read_back(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        sink = JsonlSink(path)
+        first = _sample_registry().snapshot()
+        second = _sample_registry().snapshot()
+        sink.emit(first)
+        sink.emit(second)
+        snapshots = read_snapshots(path)
+        assert snapshots == [first, second]
+        assert load_snapshot(path) == second
+        assert load_snapshot(path, index=0) == first
+
+    def test_lines_are_compact_single_documents(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        JsonlSink(path).emit(_sample_registry().snapshot())
+        [line] = path.read_text().splitlines()
+        assert json.loads(line)["counters"]
+        assert ": " not in line and ", " not in line  # compact separators
+
+    def test_blank_lines_tolerated(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        sink = JsonlSink(path)
+        sink.emit(_sample_registry().snapshot())
+        with open(path, "a", encoding="utf-8") as stream:
+            stream.write("\n")
+        assert len(read_snapshots(path)) == 1
+
+    def test_malformed_line_is_an_error(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text('{"counters": []}\nnot json\n')
+        with pytest.raises(ObservabilityError, match="not valid JSON"):
+            read_snapshots(path)
+
+    def test_non_snapshot_document_is_an_error(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text('{"events": 3}\n')
+        with pytest.raises(ObservabilityError, match="not a metrics "
+                                                     "snapshot"):
+            read_snapshots(path)
+
+    def test_empty_file_is_an_error(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text("")
+        with pytest.raises(ObservabilityError, match="no metric snapshots"):
+            read_snapshots(path)
+
+    def test_out_of_range_index_is_an_error(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        JsonlSink(path).emit(_sample_registry().snapshot())
+        with pytest.raises(ObservabilityError, match="out of range"):
+            load_snapshot(path, index=3)
+
+
+class TestPromRendering:
+    def test_exposition_structure(self):
+        text = render_prom(_sample_registry().snapshot())
+        lines = text.splitlines()
+        assert text.endswith("\n")
+        assert "# TYPE events_total counter" in lines
+        assert 'events_total{source="t.std"} 42' in lines
+        assert "# TYPE buffered gauge" in lines
+        assert "buffered 7" in lines
+        assert "# TYPE latency_seconds histogram" in lines
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        text = render_prom(_sample_registry().snapshot())
+        assert 'latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'latency_seconds_bucket{le="1"} 2' in text
+        assert 'latency_seconds_bucket{le="+Inf"} 3' in text
+        assert "latency_seconds_sum 2.55" in text
+        assert "latency_seconds_count 3" in text
+
+    def test_type_line_emitted_once_per_name(self):
+        registry = MetricsRegistry()
+        registry.counter("c", a=1).inc()
+        registry.counter("c", a=2).inc()
+        text = render_prom(registry.snapshot())
+        assert text.count("# TYPE c counter") == 1
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", path='a"b\\c\nd').inc()
+        text = render_prom(registry.snapshot())
+        assert r'path="a\"b\\c\nd"' in text
+
+    def test_metric_names_sanitized(self):
+        registry = MetricsRegistry()
+        registry.counter("weird-name.total").inc()
+        assert "weird_name_total 1" in render_prom(registry.snapshot())
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prom(MetricsRegistry().snapshot()) == ""
+
+
+class TestStatsTable:
+    def test_table_rows_and_span_tree(self):
+        text = render_stats_table(_sample_registry().snapshot())
+        assert "events_total{source=t.std}" in text
+        assert "counter" in text and "gauge" in text
+        assert "count=3" in text
+        assert "spans:" in text
+        lines = text.splitlines()
+        [analyze_line] = [l for l in lines if l.startswith("  analyze")]
+        [load_line] = [l for l in lines if l.startswith("    load")]
+        assert analyze_line.endswith("s") and load_line.endswith("s")
+
+    def test_empty_snapshot_says_so(self):
+        assert "no metrics recorded" in \
+            render_stats_table(MetricsRegistry().snapshot())

@@ -1,0 +1,123 @@
+"""Span trees: nesting, the bounded root log, per-thread independence."""
+
+import threading
+
+from repro.obs import MAX_RECORDED_SPANS, MetricsRegistry
+
+
+class TestNesting:
+    def test_children_nest_under_the_open_span(self):
+        registry = MetricsRegistry()
+        with registry.span("root") as root:
+            with registry.span("load", format="stc"):
+                pass
+            with registry.span("run"):
+                with registry.span("flush"):
+                    pass
+        assert [child.name for child in root.children] == ["load", "run"]
+        assert [child.name for child in root.children[1].children] == \
+            ["flush"]
+        assert root.duration_ns >= sum(child.duration_ns
+                                       for child in root.children)
+
+    def test_current_span_tracks_the_stack(self):
+        registry = MetricsRegistry()
+        assert registry.current_span() is None
+        with registry.span("outer") as outer:
+            assert registry.current_span() is outer
+            with registry.span("inner") as inner:
+                assert registry.current_span() is inner
+            assert registry.current_span() is outer
+        assert registry.current_span() is None
+
+    def test_labels_are_stringified(self):
+        registry = MetricsRegistry()
+        with registry.span("s", jobs=4) as span:
+            pass
+        assert span.labels == {"jobs": "4"}
+
+    def test_to_dict_carries_the_tree(self):
+        registry = MetricsRegistry()
+        with registry.span("root") as root:
+            with registry.span("child"):
+                pass
+        document = root.to_dict()
+        assert document["name"] == "root"
+        assert document["duration_ns"] > 0
+        assert [c["name"] for c in document["children"]] == ["child"]
+        # Leaves omit the children key entirely (compact snapshots).
+        assert "children" not in document["children"][0]
+
+
+class TestRecording:
+    def test_only_roots_land_on_the_span_log(self):
+        registry = MetricsRegistry()
+        with registry.span("root"):
+            with registry.span("child"):
+                pass
+        assert [span["name"] for span in registry.spans] == ["root"]
+
+    def test_every_finished_span_feeds_span_seconds(self):
+        registry = MetricsRegistry()
+        with registry.span("root"):
+            with registry.span("child"):
+                pass
+            with registry.span("child"):
+                pass
+        names = {}
+        for instrument in registry.instruments():
+            if instrument.name == "span_seconds":
+                names[dict(instrument.labels)["name"]] = instrument.count
+        assert names == {"root": 1, "child": 2}
+
+    def test_root_log_is_bounded(self):
+        registry = MetricsRegistry()
+        for index in range(MAX_RECORDED_SPANS + 10):
+            with registry.span(f"s{index}"):
+                pass
+        spans = registry.spans
+        assert len(spans) == MAX_RECORDED_SPANS
+        assert spans[0]["name"] == "s10"  # oldest were dropped
+        assert spans[-1]["name"] == f"s{MAX_RECORDED_SPANS + 9}"
+
+    def test_out_of_order_exit_unwinds_instead_of_corrupting(self):
+        registry = MetricsRegistry()
+        outer = registry.span("outer")
+        inner = registry.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        # Close the outer span while the inner is still open (a leak across
+        # a generator boundary); the stack unwinds to it.
+        outer.__exit__(None, None, None)
+        assert registry.current_span() is None
+        assert [span["name"] for span in registry.spans] == ["outer"]
+        # The thread's stack still works afterwards.
+        with registry.span("next"):
+            pass
+        assert [span["name"] for span in registry.spans] == ["outer", "next"]
+
+
+class TestThreads:
+    def test_threads_build_independent_trees(self):
+        registry = MetricsRegistry()
+        errors = []
+
+        def work(index):
+            try:
+                with registry.span(f"thread-{index}") as root:
+                    with registry.span("step"):
+                        pass
+                assert registry.current_span() is None
+                assert [c.name for c in root.children] == ["step"]
+            except AssertionError as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=work, args=(i,))
+                   for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        roots = sorted(span["name"] for span in registry.spans)
+        assert roots == sorted(f"thread-{i}" for i in range(8))

@@ -1,0 +1,163 @@
+"""Perf trend reports: run collection, delta math, markdown rendering,
+and deterministic regeneration."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import build_trend, collect_runs, render_markdown, write_trend
+from repro.obs.trend import BASELINE_LABEL
+
+
+def _perf_document(mode, seconds, speedups=None, repeats=3):
+    return {
+        "version": 1,
+        "mode": mode,
+        "python": "3.12.0",
+        "repeats": repeats,
+        "results": {name: {"seconds": value, "runs": [value]}
+                    for name, value in seconds.items()},
+        "speedups": speedups or {},
+    }
+
+
+@pytest.fixture
+def bench_dir(tmp_path):
+    baseline = {
+        "modes": {
+            "quick": _perf_document("quick", {"fig11/csst": 0.10,
+                                              "sst-ops/flat": 0.02},
+                                    speedups={"fig11 flat-over-object": 2.0}),
+            "full": _perf_document("full", {"fig11/csst": 1.0}),
+        },
+    }
+    (tmp_path / "BENCH_baseline.json").write_text(json.dumps(baseline))
+    (tmp_path / "BENCH_2026-08-01.json").write_text(json.dumps(
+        _perf_document("quick", {"fig11/csst": 0.12, "sst-ops/flat": 0.02},
+                       speedups={"fig11 flat-over-object": 2.1})))
+    (tmp_path / "BENCH_2026-08-01-1.json").write_text(json.dumps(
+        _perf_document("quick", {"fig11/csst": 0.30})))
+    (tmp_path / "BENCH_2026-08-02.json").write_text(json.dumps(
+        _perf_document("full", {"fig11/csst": 0.4, "new-case": 9.0})))
+    return tmp_path
+
+
+class TestCollectRuns:
+    def test_baseline_first_then_dated_by_filename(self, bench_dir):
+        runs = collect_runs(bench_dir)
+        assert set(runs) == {"quick", "full"}
+        assert [run["label"] for run in runs["quick"]] == \
+            [BASELINE_LABEL, "2026-08-01", "2026-08-01-1"]
+        assert [run["label"] for run in runs["full"]] == \
+            [BASELINE_LABEL, "2026-08-02"]
+
+    def test_dated_runs_without_baseline(self, bench_dir):
+        (bench_dir / "BENCH_baseline.json").unlink()
+        runs = collect_runs(bench_dir)
+        assert [run["label"] for run in runs["quick"]] == \
+            ["2026-08-01", "2026-08-01-1"]
+
+    def test_empty_directory_is_an_error(self, tmp_path):
+        with pytest.raises(ObservabilityError, match="no BENCH_"):
+            collect_runs(tmp_path)
+
+    def test_non_perf_document_is_an_error(self, bench_dir):
+        (bench_dir / "BENCH_2026-08-03.json").write_text('{"mode": "full"}')
+        with pytest.raises(ObservabilityError, match="no 'results'"):
+            collect_runs(bench_dir)
+
+    def test_invalid_json_is_an_error(self, bench_dir):
+        (bench_dir / "BENCH_2026-08-03.json").write_text("{")
+        with pytest.raises(ObservabilityError, match="not valid JSON"):
+            collect_runs(bench_dir)
+
+
+class TestBuildTrend:
+    def test_seconds_series_and_deltas(self, bench_dir):
+        trend = build_trend(collect_runs(bench_dir))
+        quick = trend["modes"]["quick"]["cases"]["fig11/csst"]
+        assert quick["seconds"] == [0.10, 0.12, 0.30]
+        assert quick["baseline_seconds"] == 0.10
+        assert quick["latest_seconds"] == 0.30
+        assert quick["delta_vs_baseline"] == pytest.approx(3.0)
+
+    def test_missing_case_in_a_run_is_none_not_dropped(self, bench_dir):
+        trend = build_trend(collect_runs(bench_dir))
+        flat = trend["modes"]["quick"]["cases"]["sst-ops/flat"]
+        assert flat["seconds"] == [0.02, 0.02, None]
+        # Latest skips the None back to the last recorded value.
+        assert flat["latest_seconds"] == 0.02
+
+    def test_case_absent_from_baseline_has_no_delta(self, bench_dir):
+        case = build_trend(collect_runs(bench_dir)) \
+            ["modes"]["full"]["cases"]["new-case"]
+        assert case["baseline_seconds"] is None
+        assert case["delta_vs_baseline"] is None
+
+    def test_speedup_series(self, bench_dir):
+        speedups = build_trend(collect_runs(bench_dir)) \
+            ["modes"]["quick"]["speedups"]
+        assert speedups["fig11 flat-over-object"] == [2.0, 2.1, None]
+
+    def test_document_is_jsonable(self, bench_dir):
+        json.dumps(build_trend(collect_runs(bench_dir)))
+
+
+class TestMarkdown:
+    def test_every_case_and_mode_appears(self, bench_dir):
+        text = render_markdown(build_trend(collect_runs(bench_dir)))
+        assert "## mode: quick" in text and "## mode: full" in text
+        for case in ("fig11/csst", "sst-ops/flat", "new-case"):
+            assert case in text
+        assert "`BENCH_baseline.json`" in text
+
+    def test_regression_and_speedup_markers(self, bench_dir):
+        text = render_markdown(build_trend(collect_runs(bench_dir)))
+        assert "3.00x (regression)" in text   # quick fig11/csst 0.30/0.10
+        assert "0.40x (speedup)" in text      # full fig11/csst 0.4/1.0
+        assert "2.10x" in text                # speedup-ratio table
+
+
+class TestWriteTrend:
+    def test_writes_markdown_and_json_twin(self, bench_dir, tmp_path):
+        out = tmp_path / "tables"
+        document, md_path, json_path = write_trend(bench_dir, out)
+        assert md_path.endswith("perf_trend.md")
+        assert json.loads((out / "perf_trend.json").read_text()) == document
+        assert (out / "perf_trend.md").read_text() == \
+            render_markdown(document)
+
+    def test_regeneration_is_byte_identical(self, bench_dir, tmp_path):
+        out = tmp_path / "tables"
+        write_trend(bench_dir, out)
+        first_md = (out / "perf_trend.md").read_bytes()
+        first_json = (out / "perf_trend.json").read_bytes()
+        write_trend(bench_dir, out)
+        assert (out / "perf_trend.md").read_bytes() == first_md
+        assert (out / "perf_trend.json").read_bytes() == first_json
+
+    def test_basename_is_respected(self, bench_dir, tmp_path):
+        _, md_path, json_path = write_trend(bench_dir, tmp_path / "t",
+                                            basename="history")
+        assert md_path.endswith("history.md")
+        assert json_path.endswith("history.json")
+
+
+class TestAgainstCommittedBaseline:
+    def test_repo_baseline_renders_every_case(self, tmp_path):
+        # The committed two-mode baseline must always produce a complete
+        # report (the CI obs-smoke job regenerates it as an artifact).
+        import shutil
+        from pathlib import Path
+
+        repo_baseline = Path(__file__).resolve().parents[2] \
+            / "BENCH_baseline.json"
+        shutil.copy(repo_baseline, tmp_path / "BENCH_baseline.json")
+        document, _, _ = write_trend(tmp_path, tmp_path / "out")
+        baseline = json.loads(repo_baseline.read_text())
+        for mode, section in baseline["modes"].items():
+            cases = document["modes"][mode]["cases"]
+            assert set(cases) == set(section["results"])
+            for case in cases.values():
+                assert case["delta_vs_baseline"] == pytest.approx(1.0)

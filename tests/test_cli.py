@@ -607,3 +607,110 @@ class TestWatch:
         assert main(["watch", "--source", str(path), "--analyses",
                      "linearizability", "--max-events", "3"]) == 1
         assert "last flush failed" in capsys.readouterr().err
+
+
+class TestMetricsFlag:
+    def test_analyze_metrics_writes_parseable_jsonl(self, trace_file,
+                                                    tmp_path, capsys):
+        path = tmp_path / "m.jsonl"
+        assert main(["analyze", "race-prediction", str(trace_file),
+                     "--metrics", str(path)]) == 0
+        capsys.readouterr()
+        [line] = path.read_text().splitlines()
+        snapshot = json.loads(line)
+        names = {entry["name"] for entry in snapshot["counters"]}
+        assert "trace_loads_total" in names
+        assert [span["name"] for span in snapshot["spans"]] == ["analyze"]
+
+    def test_watch_metrics_counts_streamed_events(self, trace_file,
+                                                  tmp_path, capsys):
+        path = tmp_path / "m.jsonl"
+        assert main(["watch", "--source", str(trace_file), "--analyses",
+                     "race-prediction", "--flush-every", "30",
+                     "--metrics", str(path)]) == 0
+        capsys.readouterr()
+        snapshot = json.loads(path.read_text().splitlines()[-1])
+        events = [entry for entry in snapshot["counters"]
+                  if entry["name"] == "stream_events_total"]
+        assert events and events[0]["value"] == 180
+        latencies = [entry for entry in snapshot["histograms"]
+                     if entry["name"] == "stream_flush_seconds"]
+        assert latencies and latencies[0]["count"] > 0
+
+    def test_sweep_metrics_appends_across_runs(self, tmp_path, capsys):
+        path = tmp_path / "m.jsonl"
+        for _ in range(2):
+            assert main(["sweep", "--suite", "smoke", "--analyses",
+                         "race-prediction", "--backends", "vc",
+                         "--metrics", str(path)]) == 0
+        capsys.readouterr()
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_disabled_runs_write_nothing(self, trace_file, tmp_path,
+                                         capsys):
+        assert main(["analyze", "race-prediction", str(trace_file)]) == 0
+        capsys.readouterr()
+        assert not list(tmp_path.glob("*.jsonl"))
+
+
+class TestStatsCommand:
+    @pytest.fixture
+    def metrics_file(self, trace_file, tmp_path, capsys):
+        path = tmp_path / "m.jsonl"
+        assert main(["analyze", "race-prediction", str(trace_file),
+                     "--metrics", str(path)]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_table_output(self, metrics_file, capsys):
+        assert main(["stats", str(metrics_file)]) == 0
+        output = capsys.readouterr().out
+        assert "trace_loads_total{format=std}" in output
+        assert "spans:" in output
+
+    def test_json_output_is_the_snapshot(self, metrics_file, capsys):
+        assert main(["stats", str(metrics_file), "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document == json.loads(metrics_file.read_text())
+
+    def test_prom_output_is_valid_exposition(self, metrics_file, capsys):
+        assert main(["stats", str(metrics_file), "--format", "prom"]) == 0
+        output = capsys.readouterr().out
+        assert "# TYPE trace_loads_total counter" in output
+        assert 'trace_loads_total{format="std"} 1' in output
+        assert 'le="+Inf"' in output
+        # Every non-comment line is "name{labels} value".
+        for line in output.strip().splitlines():
+            if line.startswith("#"):
+                continue
+            name, value = line.rsplit(" ", 1)
+            assert name and float(value) >= 0
+
+    def test_missing_file_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_index_is_a_clean_error(self, metrics_file, capsys):
+        assert main(["stats", str(metrics_file), "--index", "5"]) == 2
+        assert "out of range" in capsys.readouterr().err
+
+
+class TestReportCommand:
+    def test_trend_report_from_bench_documents(self, tmp_path, capsys):
+        baseline = {"modes": {"quick": {
+            "python": "3", "repeats": 1,
+            "results": {"fig11/csst": {"seconds": 0.1}},
+        }}}
+        (tmp_path / "BENCH_baseline.json").write_text(json.dumps(baseline))
+        out = tmp_path / "tables"
+        assert main(["report", "trend", "--dir", str(tmp_path),
+                     "--out", str(out)]) == 0
+        output = capsys.readouterr().out
+        assert "perf_trend.md" in output
+        assert "fig11/csst" in (out / "perf_trend.md").read_text()
+        assert json.loads((out / "perf_trend.json").read_text())["modes"]
+
+    def test_empty_directory_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["report", "trend", "--dir", str(tmp_path),
+                     "--out", str(tmp_path / "t")]) == 2
+        assert "no BENCH_" in capsys.readouterr().err
