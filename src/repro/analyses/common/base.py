@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Type, Union
 
 from repro.core import (
+    AUTO_BACKEND,
     InstrumentedOrder,
     PartialOrder,
     dynamic_backends,
@@ -170,10 +171,17 @@ class Analysis:
         return (dynamic_backends() if cls.requires_deletion
                 else incremental_backends())
 
-    def __init__(self, backend: BackendSpec = "incremental-csst", **backend_kwargs) -> None:
+    def __init__(self, backend: BackendSpec = "incremental-csst",
+                 policy=None, **backend_kwargs) -> None:
         self._backend_spec = backend
         self._backend_kwargs = backend_kwargs
         self._stream_view = None
+        #: Selection policy used when ``backend`` is the ``auto``
+        #: pseudo-backend: a policy name, a ``BackendPolicy``, or ``None``
+        #: for the tuning layer's default.  Ignored for concrete backends.
+        self._policy = policy
+        self._resolved_backend: Optional[str] = None
+        self._selection_features = None
 
     # ------------------------------------------------------------------ #
     # Public entry point
@@ -188,6 +196,13 @@ class Analysis:
             trace_threads=trace.num_threads,
             backend=self._backend_name(),
         )
+        if self._resolved_backend is not None:
+            result.details["backend_selected"] = self._resolved_backend
+            result.details["policy"] = getattr(self._policy, "name",
+                                               str(self._policy))
+            if self._selection_features is not None:
+                result.details["feature_bucket"] = \
+                    self._selection_features.bucket()
         start = time.perf_counter()
         self._run(trace, order, result)
         result.elapsed_seconds = time.perf_counter() - start
@@ -288,8 +303,11 @@ class Analysis:
         if isinstance(self._backend_spec, PartialOrder):
             backend = self._backend_spec
         else:
+            spec = self._backend_spec
+            if str(spec) == AUTO_BACKEND:
+                spec = self._resolve_auto(trace)
             backend = make_partial_order(
-                self._backend_spec,
+                spec,
                 num_chains=self._num_chains(trace),
                 capacity_hint=capacity,
                 **self._backend_kwargs,
@@ -301,7 +319,30 @@ class Analysis:
             )
         return InstrumentedOrder(backend)
 
+    def _resolve_auto(self, trace: Trace) -> str:
+        """Resolve the ``auto`` pseudo-backend for ``trace``.
+
+        Extracts the trace's shape features and asks the selection
+        policy (:mod:`repro.tune`, imported lazily to keep the analyses
+        importable without the tuning layer in the loop) to pick among
+        :meth:`applicable_backends`.  The pick and its features are kept
+        so :meth:`run` can record them in the result details.
+        """
+        from repro import tune
+
+        policy = self._policy
+        if policy is None or isinstance(policy, str):
+            policy = self._policy = tune.make_policy(policy)
+        features = tune.extract_features(trace)
+        chosen = tune.choose_backend(type(self), features, policy)
+        self._resolved_backend = chosen
+        self._selection_features = features
+        return chosen
+
     def _backend_name(self) -> str:
         if isinstance(self._backend_spec, PartialOrder):
             return type(self._backend_spec).__name__
+        if self._resolved_backend is not None \
+                and str(self._backend_spec) == AUTO_BACKEND:
+            return self._resolved_backend
         return str(self._backend_spec)

@@ -125,6 +125,20 @@ def _check_metrics_path(value: Optional[str], command: str) -> None:
              f"{command} metrics must be a sink path, got {value!r}")
 
 
+def _check_policy(config: "Config", command: str) -> None:
+    """Validate the ``policy``/``policy_state`` pair of tuned requests."""
+    from repro.tune.policy import POLICY_NAMES
+
+    _require(config.policy is None or config.policy in POLICY_NAMES,
+             f"unknown {command} policy {config.policy!r}; "
+             f"known: {', '.join(POLICY_NAMES)}")
+    _require(config.policy_state is None
+             or (isinstance(config.policy_state, str)
+                 and bool(config.policy_state)),
+             f"{command} policy_state must be a file path, "
+             f"got {config.policy_state!r}")
+
+
 @dataclass(frozen=True)
 class Config:
     """Base class: dict round-trip shared by every request config."""
@@ -218,6 +232,8 @@ class AnalyzeConfig(Config):
     max_findings: int = 20
     params: Pairs = ()
     metrics: Optional[str] = None
+    policy: Optional[str] = None
+    policy_state: Optional[str] = None
 
     def __post_init__(self) -> None:
         _require(bool(self.analysis), "analyze config needs an analysis name")
@@ -225,6 +241,7 @@ class AnalyzeConfig(Config):
         _coerce_numbers(self, int, max_findings=self.max_findings)
         _set(self, params=_pairs(self.params, "analyze params"))
         _check_metrics_path(self.metrics, "analyze")
+        _check_policy(self, "analyze")
 
 
 @dataclass(frozen=True)
@@ -277,6 +294,9 @@ class SweepConfig(Config):
     seed: Optional[int] = None
     format: str = "table"
     metrics: Optional[str] = None
+    policy: Optional[str] = None
+    policy_state: Optional[str] = None
+    oracle: bool = False
 
     def __post_init__(self) -> None:
         _coerce_numbers(self, int, jobs=self.jobs, repeat=self.repeat,
@@ -293,6 +313,11 @@ class SweepConfig(Config):
              analyses=_name_tuple(self.analyses, "sweep analyses"),
              backends=_name_tuple(self.backends, "sweep backends"))
         _check_metrics_path(self.metrics, "sweep")
+        _check_policy(self, "sweep")
+        _require(not self.oracle
+                 or (self.backends is not None and "auto" in self.backends),
+                 "oracle mode validates the 'auto' pseudo-backend; "
+                 "include 'auto' in the sweep backends")
 
     def validation_warnings(self) -> Tuple[str, ...]:
         """Option combinations that run but drop a flag's effect."""
@@ -305,6 +330,12 @@ class SweepConfig(Config):
             warnings.append(
                 "timeout only applies to parallel runs; jobs=1 runs "
                 "inline and cannot be interrupted")
+        wants_auto = self.backends is not None and "auto" in self.backends
+        if (self.policy is not None or self.policy_state is not None) \
+                and not wants_auto:
+            warnings.append(
+                "policy/policy_state only apply to the 'auto' "
+                "pseudo-backend; include 'auto' in the sweep backends")
         return tuple(warnings)
 
 
@@ -332,6 +363,8 @@ class WatchConfig(Config):
     idle_timeout: Optional[float] = None
     max_events: Optional[int] = None
     metrics: Optional[str] = None
+    policy: Optional[str] = None
+    policy_state: Optional[str] = None
 
     def __post_init__(self) -> None:
         _require(bool(self.source), "watch config needs a source")
@@ -347,6 +380,7 @@ class WatchConfig(Config):
                  f"max_events must be >= 0, got {self.max_events}")
         _set(self, analyses=_name_tuple(self.analyses, "watch analyses"))
         _check_metrics_path(self.metrics, "watch")
+        _check_policy(self, "watch")
 
 
 @dataclass(frozen=True)

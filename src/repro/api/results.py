@@ -139,6 +139,8 @@ class AnalyzeResult(Result):
         return {
             "analysis": raw.analysis,
             "backend": raw.backend,
+            "backend_selected": raw.details.get("backend_selected",
+                                                raw.backend),
             "trace_name": raw.trace_name,
             "trace_events": raw.trace_events,
             "trace_threads": raw.trace_threads,
@@ -256,7 +258,7 @@ class WatchResult(Result):
 
     def to_dict(self) -> Dict[str, Any]:
         result = self.stream
-        return {
+        document = {
             "type": "summary",
             "name": result.name,
             "events": result.stats.events,
@@ -267,6 +269,10 @@ class WatchResult(Result):
             "final": {name: [str(finding) for finding in res.findings]
                       for name, res in sorted(result.results.items())},
         }
+        # Only `auto` runs carry picks; keep pre-tuning summaries intact.
+        if getattr(result, "backends_selected", None):
+            document["backends_selected"] = dict(result.backends_selected)
+        return document
 
     def to_table(self) -> str:
         result = self.stream

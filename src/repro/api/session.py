@@ -189,7 +189,13 @@ class Session:
         backend = config.backend or cls.default_backend()
         if trace is None:
             trace = read_trace(config.trace)
-        raw = cls(backend, **dict(config.params)).run(trace)
+        kwargs: Dict[str, Any] = dict(config.params)
+        if backend == "auto":
+            from repro.tune import make_policy
+
+            kwargs["policy"] = make_policy(config.policy,
+                                           state_path=config.policy_state)
+        raw = cls(backend, **kwargs).run(trace)
         return AnalyzeResult(raw=raw, max_findings=config.max_findings)
 
     def compare(self, config: CompareConfig,
@@ -246,6 +252,9 @@ class Session:
             timeout_seconds=config.timeout,
             repeats=config.repeat,
             seed=config.seed,
+            policy=config.policy,
+            policy_state_path=config.policy_state,
+            oracle=config.oracle,
         )
         if config.baseline is not None and config.format != "csv" \
                 and not any(record.backend == config.baseline
@@ -304,10 +313,19 @@ class Session:
         if not analyses and not resuming:
             raise ReproError("no analyses selected")
 
+        policy = None
+        if config.backend == "auto" or config.policy is not None \
+                or config.policy_state is not None:
+            from repro.tune import make_policy
+
+            policy = make_policy(config.policy,
+                                 state_path=config.policy_state)
+
         skip = 0
         resumed_from = None
         if resuming:
-            engine = restore_engine(config.checkpoint, on_finding=on_finding)
+            engine = restore_engine(config.checkpoint, on_finding=on_finding,
+                                    policy=policy)
             skip = engine.cursor
             resumed_from = config.checkpoint
             # The checkpoint's configuration wins on resume; say so whenever
@@ -346,12 +364,17 @@ class Session:
                                     flush_every=config.flush_every),
                 name=source.name,
                 on_finding=on_finding,
+                policy=policy,
             )
+        for item in engine.warnings:
+            notice("warning", str(item))
 
         result = engine.run(source, skip=skip, max_events=config.max_events,
                             checkpoint_path=config.checkpoint,
                             checkpoint_every=config.checkpoint_every)
 
+        for name, backend_name in sorted(result.backends_selected.items()):
+            notice("info", f"{name}: auto selected backend {backend_name}")
         for name, message in sorted(result.errors.items()):
             notice("warning", f"{name}: last flush failed: {message}")
         return WatchResult(warnings=tuple(warnings), stream=result,
@@ -513,9 +536,16 @@ class Session:
         codes of :mod:`repro.errors`."""
         from repro.obs import METRIC_CATALOG, SINK_KINDS
         from repro.core.factory import (
+            AUTO_BACKEND,
             FLAT_BACKENDS,
             dynamic_backends,
             incremental_backends,
+        )
+        from repro.tune import (
+            DEFAULT_POLICY,
+            FEATURE_NAMES,
+            POLICY_NAMES,
+            STATE_VERSION,
         )
 
         generators = self.registry.generators()
@@ -530,7 +560,8 @@ class Session:
             "analyses": {
                 name: {
                     "default_backend": cls.default_backend(),
-                    "backends": list(cls.applicable_backends()),
+                    "backends": list(cls.applicable_backends())
+                    + [AUTO_BACKEND],
                     "streaming_native": bool(cls.streaming_native),
                     "requires_deletion": bool(cls.requires_deletion),
                     "fed_by": sorted(fed_by.get(name, ())),
@@ -573,6 +604,13 @@ class Session:
                 "convert": list(RESULT_FORMATS),
                 "fuzz": list(RESULT_FORMATS),
                 "stats": list(StatsConfig.FORMATS),
+            },
+            "tuning": {
+                "auto_backend": AUTO_BACKEND,
+                "policies": list(POLICY_NAMES),
+                "default_policy": DEFAULT_POLICY,
+                "features": list(FEATURE_NAMES),
+                "state_version": STATE_VERSION,
             },
             "observability": {
                 "metrics": {name: dict(info)

@@ -75,43 +75,101 @@ SPEEDUP_PAIRS: Sequence[Tuple[str, str, str]] = (
     ("scn-mpmc-queue/vc-flat", "scn-mpmc-queue/vc",
      "scn-mpmc-flat-over-object"),
     ("trace-load/stc", "trace-load/std", "stc-parse-over-std-parse"),
+    # auto over its best static backend: the ratio is the selection
+    # overhead of the `auto` pseudo-backend (target: < 1.05x).
+    ("fig11/incremental-csst-flat", "fig11/auto",
+     "fig11-auto-over-best-static"),
+    ("race-prediction/incremental-csst-flat", "race-prediction/auto",
+     "race-prediction-auto-over-best-static"),
+    ("c11-races/vc-flat", "c11-races/auto", "c11-auto-over-best-static"),
 )
 
 
 # --------------------------------------------------------------------------- #
 # Case builders
 # --------------------------------------------------------------------------- #
+#: Backends the Figure 11 kernel runs on -- also the candidate list the
+#: ``fig11/auto`` case hands its selection policy.
+FIG11_BACKENDS: Sequence[str] = (
+    "csst", "csst-flat", "incremental-csst", "incremental-csst-flat",
+    "vc", "vc-flat")
+
+
+def _fig11_protocol(quick: bool):
+    """Backend-independent setup of the Figure 11 protocol: the candidate
+    cross-chain edges and the batch query mix, shared by every
+    ``fig11/*`` case (all seeds are fixed, so every backend replays the
+    identical protocol)."""
+    from repro.trace.generators import random_cross_edges
+
+    num_chains = 10
+    chain_length = 250 if quick else 1000
+    queries = 400 if quick else 2000
+    candidates = random_cross_edges(
+        num_chains, chain_length, count=chain_length,
+        window=FIGURE11_WINDOW, seed=7)
+    rng = random.Random(1234)
+    query_pairs = [
+        ((rng.randrange(num_chains), rng.randrange(chain_length)),
+         (rng.randrange(num_chains), rng.randrange(chain_length)))
+        for _ in range(queries)
+    ]
+    return num_chains, chain_length, candidates, query_pairs
+
+
+def _fig11_run(backend: str, protocol) -> object:
+    """Replay one prepared protocol on one backend."""
+    from repro.core import make_partial_order
+
+    num_chains, chain_length, candidates, query_pairs = protocol
+    order = make_partial_order(backend, num_chains, chain_length)
+    inserted = 0
+    reachable = order.reachable
+    insert = order.insert_edge
+    for source, target in candidates:
+        if reachable(source, target) or reachable(target, source):
+            continue
+        insert(source, target)
+        inserted += 1
+    return inserted, sum(order.query_many(query_pairs))
+
+
 def _fig11_kernel(backend: str) -> Callable[[bool], Callable[[], object]]:
     """The Figure 11 scalability protocol on one backend."""
 
     def setup(quick: bool) -> Callable[[], object]:
-        from repro.core import make_partial_order
-        from repro.trace.generators import random_cross_edges
-
-        num_chains = 10
-        chain_length = 250 if quick else 1000
-        queries = 400 if quick else 2000
-        candidates = random_cross_edges(
-            num_chains, chain_length, count=chain_length,
-            window=FIGURE11_WINDOW, seed=7)
-        rng = random.Random(1234)
-        query_pairs = [
-            ((rng.randrange(num_chains), rng.randrange(chain_length)),
-             (rng.randrange(num_chains), rng.randrange(chain_length)))
-            for _ in range(queries)
-        ]
+        protocol = _fig11_protocol(quick)
 
         def run() -> object:
-            order = make_partial_order(backend, num_chains, chain_length)
-            inserted = 0
-            reachable = order.reachable
-            insert = order.insert_edge
-            for source, target in candidates:
-                if reachable(source, target) or reachable(target, source):
-                    continue
-                insert(source, target)
-                inserted += 1
-            return inserted, sum(order.query_many(query_pairs))
+            return _fig11_run(backend, protocol)
+
+        return run
+
+    return setup
+
+
+def _fig11_auto_kernel() -> Callable[[bool], Callable[[], object]]:
+    """Figure 11 with the backend picked per run by the heuristic policy.
+
+    A proxy trace of the protocol's shape is generated in setup; the
+    timed region covers feature extraction + the policy pick + the chosen
+    kernel, so the ``*-auto-over-best-static`` speedup pair measures pure
+    selection overhead (the pick lands on the best static backend)."""
+
+    def setup(quick: bool) -> Callable[[], object]:
+        from repro.trace.generators import build_trace
+        from repro.tune import HeuristicPolicy, extract_features
+
+        protocol = _fig11_protocol(quick)
+        chain_length = protocol[1]
+        proxy = build_trace("racy", num_threads=10, events=chain_length,
+                            seed=7)
+        policy = HeuristicPolicy()
+
+        def run() -> object:
+            features = extract_features(proxy)
+            chosen = policy.choose("fig11", FIG11_BACKENDS, features)
+            return _fig11_run(chosen, protocol)
 
         return run
 
@@ -238,17 +296,19 @@ def default_cases() -> List[PerfCase]:
     """The fixed perf suite (order is the report order)."""
     cases = [
         PerfCase(f"fig11/{backend}", _fig11_kernel(backend))
-        for backend in ("csst", "csst-flat", "incremental-csst",
-                        "incremental-csst-flat", "vc", "vc-flat")
+        for backend in FIG11_BACKENDS
     ]
+    cases.append(PerfCase("fig11/auto", _fig11_auto_kernel()))
     cases.append(PerfCase("sst-ops/object", _sst_kernel(flat=False)))
     cases.append(PerfCase("sst-ops/flat", _sst_kernel(flat=True)))
-    for backend in ("incremental-csst", "incremental-csst-flat"):
+    # "auto" analysis cases resolve the backend inside run(), so their
+    # seconds include the per-run feature extraction + policy pick.
+    for backend in ("incremental-csst", "incremental-csst-flat", "auto"):
         cases.append(PerfCase(
             f"race-prediction/{backend}",
             _analysis_case("race-prediction", backend, "racy",
                            num_threads=4, events=400, seed=11)))
-    for backend in ("vc", "vc-flat"):
+    for backend in ("vc", "vc-flat", "auto"):
         cases.append(PerfCase(
             f"c11-races/{backend}",
             _analysis_case("c11-races", backend, "c11",
@@ -312,7 +372,9 @@ def run_perf(quick: bool = False, repeats: int = DEFAULT_REPEATS,
 
 
 def compute_speedups(results: Dict[str, Dict[str, object]]) -> Dict[str, float]:
-    """Flat-over-object ratios for every pair present in ``results``."""
+    """Slow-over-fast ratios for every pair present in ``results``:
+    flat over object, ``.stc`` parse over STD parse, and ``auto`` over
+    its best static backend (selection overhead)."""
     speedups: Dict[str, float] = {}
     for fast, slow, label in SPEEDUP_PAIRS:
         fast_entry = results.get(fast)
@@ -397,7 +459,7 @@ def format_report(document: Dict[str, object]) -> str:
     if speedups:
         lines = [f"  {label}: {ratio:.2f}x"
                  for label, ratio in speedups.items()]
-        report += "\nflat-over-object speedups:\n" + "\n".join(lines)
+        report += "\nspeedup ratios:\n" + "\n".join(lines)
     return report
 
 

@@ -118,7 +118,14 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("analysis", choices=sorted(_analyses()))
     analyze.add_argument("trace", help="trace file produced by 'generate'")
     analyze.add_argument("--backend", default=None,
-                         help="partial-order backend (default depends on the analysis)")
+                         help="partial-order backend (default depends on the "
+                              "analysis); 'auto' lets a tuning policy pick")
+    analyze.add_argument("--policy", default=None, metavar="NAME",
+                         help="selection policy for --backend auto: static, "
+                              "heuristic (default), or bandit")
+    analyze.add_argument("--policy-state", default=None, metavar="PATH",
+                         help="bandit policy state file (JSON) to warm-start "
+                              "from; see 'repro sweep --policy-state'")
     analyze.add_argument("--max-findings", type=int, default=20,
                          help="number of findings to print (0 prints none)")
     analyze.add_argument("--format", choices=RESULT_FORMATS, default="text",
@@ -143,7 +150,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes (1 = run inline, no pool)")
     sweep.add_argument("--backends", default=None,
                        help="comma-separated backend names (default: every "
-                            "backend applicable to each analysis)")
+                            "backend applicable to each analysis); include "
+                            "'auto' to add a policy-picked job per pair")
+    sweep.add_argument("--policy", default=None, metavar="NAME",
+                       help="selection policy for 'auto' jobs: static, "
+                            "heuristic (default), or bandit")
+    sweep.add_argument("--policy-state", default=None, metavar="PATH",
+                       help="policy state file (JSON): loaded before the "
+                            "sweep when it exists, and saved back with the "
+                            "runtimes observed by this sweep (bandit "
+                            "warm-start across runs)")
+    sweep.add_argument("--oracle", action="store_true",
+                       help="with 'auto' in --backends: also run every "
+                            "static backend per job and report the policy's "
+                            "regret vs the per-job optimum")
     sweep.add_argument("--analyses", default=None,
                        help="comma-separated analysis names (default: every "
                             "analysis the trace kind feeds)")
@@ -320,7 +340,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "the workload kind feeds")
     watch.add_argument("--backend", default=None,
                        help="partial-order backend forced on every attached "
-                            "analysis (default: per-analysis default)")
+                            "analysis (default: per-analysis default); "
+                            "'auto' lets a tuning policy pick per analysis "
+                            "from a preamble of streamed events")
+    watch.add_argument("--policy", default=None, metavar="NAME",
+                       help="selection policy for --backend auto: static, "
+                            "heuristic (default), or bandit")
+    watch.add_argument("--policy-state", default=None, metavar="PATH",
+                       help="bandit policy state file (JSON) to warm-start "
+                            "from, e.g. one saved by 'repro sweep "
+                            "--policy-state'")
     watch.add_argument("--window", default=None,
                        help="event window: 'none' (default, exact), SIZE "
                             "(tumbling), or SIZE/SLIDE (sliding); bounded "
@@ -458,7 +487,8 @@ def _generate(args: argparse.Namespace) -> int:
 
 def _analyze(args: argparse.Namespace) -> int:
     config = AnalyzeConfig(analysis=args.analysis, trace=args.trace,
-                           backend=args.backend,
+                           backend=args.backend, policy=args.policy,
+                           policy_state=args.policy_state,
                            max_findings=args.max_findings,
                            metrics=args.metrics)
     result = _session().run(config)
@@ -484,6 +514,8 @@ def _sweep(args: argparse.Namespace) -> int:
         return EXIT_OK
     config = SweepConfig(suite=args.suite, corpus=args.corpus, jobs=args.jobs,
                          analyses=args.analyses, backends=args.backends,
+                         policy=args.policy, policy_state=args.policy_state,
+                         oracle=args.oracle,
                          baseline=args.baseline, timeout=args.timeout,
                          repeat=args.repeat, seed=args.seed,
                          format=args.format, metrics=args.metrics)
@@ -600,7 +632,8 @@ def _fuzz(args: argparse.Namespace) -> int:
 
 def _watch(args: argparse.Namespace) -> int:
     config = WatchConfig(source=args.source, analyses=args.analyses,
-                         backend=args.backend, window=args.window,
+                         backend=args.backend, policy=args.policy,
+                         policy_state=args.policy_state, window=args.window,
                          flush_every=args.flush_every,
                          checkpoint=args.checkpoint,
                          checkpoint_every=args.checkpoint_every,

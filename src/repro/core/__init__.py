@@ -18,6 +18,7 @@ The package follows the structure of the paper:
 
 from repro.core.csst import CSST
 from repro.core.factory import (
+    AUTO_BACKEND,
     BACKENDS,
     DYNAMIC_BACKENDS,
     FLAT_BACKENDS,
@@ -48,6 +49,7 @@ from repro.core.suffix_minima import NaiveSuffixMinima, SuffixMinima
 from repro.core.vector_clock import VectorClockOrder
 
 __all__ = [
+    "AUTO_BACKEND",
     "BACKENDS",
     "CSST",
     "DEFAULT_BLOCK_SIZE",

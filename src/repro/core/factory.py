@@ -35,6 +35,14 @@ BACKENDS: Dict[str, Type[PartialOrder]] = {
     "graph": GraphOrder,
 }
 
+#: Pseudo-backend name resolved to a concrete backend by a selection
+#: policy (:mod:`repro.tune`) from the trace's shape features.  It is not
+#: an entry of :data:`BACKENDS` -- there is no class behind it -- so every
+#: front end that accepts it (``Analysis``, the sweep planner, the stream
+#: engine) special-cases the name before reaching
+#: :func:`make_partial_order`.
+AUTO_BACKEND = "auto"
+
 #: Backends usable in incremental-only analyses (paper Tables 1-6).
 INCREMENTAL_BACKENDS = ("vc", "st", "incremental-csst", "vc-flat",
                         "incremental-csst-flat")

@@ -544,4 +544,12 @@ METRIC_CATALOG: Dict[str, Dict[str, str]] = {
     "span_seconds": {
         "type": "histogram",
         "help": "duration of every finished span (labelled by span name)"},
+    "tune_pick_total": {
+        "type": "counter",
+        "help": "auto-backend selections made by a tuning policy "
+                "(labelled backend, policy)"},
+    "tune_regret_seconds": {
+        "type": "gauge",
+        "help": "total policy regret vs the per-job optimum of the last "
+                "oracle sweep"},
 }

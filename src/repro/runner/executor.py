@@ -25,6 +25,7 @@ record-for-record (modulo wall-clock times).
 
 from __future__ import annotations
 
+import json
 import statistics
 import time
 import traceback
@@ -33,6 +34,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.analyses.common.base import Analysis
+from repro.core import AUTO_BACKEND
 from repro.errors import ReproError
 from repro.obs import metrics as obs_metrics
 from repro.runner.corpus import (
@@ -63,6 +65,14 @@ class SweepJob:
     spec: TraceSpec
     analysis: str
     backend: str
+    #: Selection-policy name for ``auto`` jobs (``None``: layer default).
+    policy: Optional[str] = None
+    #: Warm-start policy state for ``auto`` jobs, as a JSON *string* --
+    #: a string (not a dict) keeps the job hashable and cheap to pickle.
+    policy_state: Optional[str] = None
+    #: Record the trace's feature bucket even for static jobs (oracle
+    #: sweeps do this so static measurements can warm a bandit).
+    tag_features: bool = False
 
     def describe(self) -> str:
         return f"{self.spec.trace_id} {self.analysis} [{self.backend}]"
@@ -77,7 +87,10 @@ def analyses_for_kind(kind: str) -> Tuple[str, ...]:
 
 def plan_jobs(suite: Suite,
               analyses: Optional[Sequence[str]] = None,
-              backends: Optional[Sequence[str]] = None) -> List[SweepJob]:
+              backends: Optional[Sequence[str]] = None,
+              policy: Optional[str] = None,
+              policy_state: Optional[str] = None,
+              oracle: bool = False) -> List[SweepJob]:
     """Expand a suite into a deterministic, ordered job list.
 
     ``analyses`` restricts the fan-out to the named analyses (default: every
@@ -89,18 +102,31 @@ def plan_jobs(suite: Suite,
     that leaves an explicitly named analysis with *zero* jobs anywhere in
     the suite (no kind feeds it, or no requested backend can serve it) is
     rejected with :class:`ReproError` rather than silently under-measuring.
+
+    The pseudo-backend ``"auto"`` adds one policy-dispatched job per
+    (trace, analysis) after that group's static jobs, carrying ``policy``
+    / ``policy_state`` (a JSON string) so pool workers can rebuild the
+    selection policy locally.  ``oracle`` additionally forces *every*
+    applicable static backend into the plan -- the per-job optimum needs
+    measuring -- and tags static jobs with their trace's feature bucket;
+    it requires ``"auto"`` among the requested backends.
     """
     registry = Analysis.registered()
     if analyses is not None:
         unknown = sorted(set(analyses) - set(registry))
         if unknown:
             raise ReproError(f"unknown analyses in sweep request: {unknown}")
+    want_auto = backends is not None and AUTO_BACKEND in backends
     if backends is not None:
         from repro.core import BACKENDS
 
-        unknown = sorted(set(backends) - set(BACKENDS))
+        unknown = sorted(set(backends) - set(BACKENDS) - {AUTO_BACKEND})
         if unknown:
             raise ReproError(f"unknown backends in sweep request: {unknown}")
+    if oracle and not want_auto:
+        raise ReproError(
+            "oracle mode validates the 'auto' pseudo-backend; include "
+            "'auto' in the requested backends")
     jobs: List[SweepJob] = []
     for spec in suite:
         kind_analyses = analyses_for_kind(spec.kind)
@@ -113,10 +139,18 @@ def plan_jobs(suite: Suite,
                 continue
             applicable = registry[analysis_name].applicable_backends()
             selected = [backend for backend in applicable
-                        if backends is None or backend in backends]
+                        if backends is None or backend in backends
+                        or oracle]
             for backend in selected:
                 jobs.append(SweepJob(suite=suite.name, spec=spec,
-                                     analysis=analysis_name, backend=backend))
+                                     analysis=analysis_name, backend=backend,
+                                     tag_features=oracle))
+            if want_auto:
+                jobs.append(SweepJob(suite=suite.name, spec=spec,
+                                     analysis=analysis_name,
+                                     backend=AUTO_BACKEND,
+                                     policy=policy,
+                                     policy_state=policy_state))
     if suite.specs and not jobs:
         raise ReproError(
             "sweep plan is empty: the requested analyses/backends do not "
@@ -139,14 +173,32 @@ def plan_jobs(suite: Suite,
 _WORKER_CORPUS = TraceCorpus()
 
 
+def _job_policy(job: SweepJob):
+    """Rebuild the selection policy an ``auto`` job describes (worker side)."""
+    from repro.tune import make_policy
+
+    state = json.loads(job.policy_state) if job.policy_state else None
+    name = job.policy
+    if name is None and isinstance(state, dict):
+        name = state.get("policy")
+    policy = make_policy(name)
+    if state is not None:
+        policy.load_state(state)
+    return policy
+
+
 def execute_job(job: SweepJob, corpus: Optional[TraceCorpus] = None,
-                repeats: int = 1) -> SweepRecord:
+                repeats: int = 1, policy=None) -> SweepRecord:
     """Run one job to completion, capturing any analysis error.
 
     ``repeats`` re-runs the analysis that many times over the same trace
     (fresh analysis instance per repeat) and reports min/median times, so
     sweep numbers stop being single-shot noise.  Findings and operation
     counts come from the first repeat (they are deterministic per job).
+
+    For ``auto`` jobs ``policy`` is the live policy object of an inline
+    run; pool workers leave it ``None`` and rebuild the policy from the
+    job's ``policy``/``policy_state`` fields instead.
 
     This is the worker-side entry point; it must stay a module-level
     function so it pickles by reference under ``spawn``.
@@ -155,16 +207,33 @@ def execute_job(job: SweepJob, corpus: Optional[TraceCorpus] = None,
     base = dict(suite=job.suite, trace_id=spec.trace_id, kind=spec.kind,
                 threads=spec.threads, events=spec.events, seed=spec.seed,
                 analysis=job.analysis, backend=job.backend)
+    is_auto = job.backend == AUTO_BACKEND
     try:
         trace = (corpus if corpus is not None else _WORKER_CORPUS).get(spec)
         analysis_cls = Analysis.by_name(job.analysis)
+        if is_auto and policy is None:
+            policy = _job_policy(job)
         result = None
         times = []
         for _ in range(max(1, repeats)):
-            outcome = analysis_cls(job.backend).run(trace)
+            if is_auto:
+                outcome = analysis_cls(job.backend, policy=policy).run(trace)
+            else:
+                outcome = analysis_cls(job.backend).run(trace)
             times.append(outcome.elapsed_seconds)
             if result is None:
                 result = outcome
+        if is_auto:
+            extras = dict(
+                backend_selected=result.details.get("backend_selected", ""),
+                policy=result.details.get("policy"),
+                feature_bucket=result.details.get("feature_bucket"))
+        else:
+            extras = dict(backend_selected=job.backend)
+            if job.tag_features:
+                from repro.tune import extract_features
+
+                extras["feature_bucket"] = extract_features(trace).bucket()
         return SweepRecord(status=STATUS_OK,
                            elapsed_seconds=min(times),
                            elapsed_median_seconds=statistics.median(times),
@@ -173,7 +242,7 @@ def execute_job(job: SweepJob, corpus: Optional[TraceCorpus] = None,
                            insert_count=result.insert_count,
                            delete_count=result.delete_count,
                            query_count=result.query_count,
-                           **base)
+                           **extras, **base)
     except Exception:
         return SweepRecord(status=STATUS_ERROR, error=traceback.format_exc(),
                            **base)
@@ -182,7 +251,8 @@ def execute_job(job: SweepJob, corpus: Optional[TraceCorpus] = None,
 def run_jobs(jobs: Sequence[SweepJob], *, workers: int = 1,
              timeout_seconds: Optional[float] = None,
              suite_name: Optional[str] = None,
-             repeats: int = 1) -> SweepResult:
+             repeats: int = 1,
+             policy=None) -> SweepResult:
     """Execute ``jobs`` and return records in job order.
 
     ``workers=1`` runs inline (sharing one trace corpus cache across jobs);
@@ -194,6 +264,14 @@ def run_jobs(jobs: Sequence[SweepJob], *, workers: int = 1,
     many times and reports min/median (see :func:`execute_job`); note that
     ``timeout_seconds`` bounds the *whole* job -- all of its repeats --
     so callers combining both should scale the budget accordingly.
+
+    ``policy`` is the live selection policy of a tuned sweep.  The
+    collector feeds every measured runtime that carries a feature bucket
+    back into it (:meth:`BackendPolicy.observe`), so inline runs learn
+    job-to-job and pool runs accumulate all observations into the state
+    the caller saves afterwards.  (Pool workers themselves rebuild the
+    policy from the job's warm-start state; live mid-sweep updates do not
+    cross the process boundary.)
     """
     if workers < 1:
         raise ReproError(f"workers must be >= 1, got {workers}")
@@ -213,7 +291,11 @@ def run_jobs(jobs: Sequence[SweepJob], *, workers: int = 1,
 
     if workers == 1:
         corpus = TraceCorpus()
-        result.records = [execute_job(job, corpus, repeats) for job in jobs]
+        for job in jobs:
+            record = execute_job(job, corpus, repeats, policy=policy)
+            if policy is not None:
+                _feed_policy(policy, record)
+            result.records.append(record)
         if registry is not None:
             for record in result.records:
                 _observe_record(registry, record)
@@ -258,6 +340,8 @@ def run_jobs(jobs: Sequence[SweepJob], *, workers: int = 1,
                 registry.histogram("sweep_queue_wait_seconds").observe(
                     time.perf_counter() - wait_start)
                 _observe_record(registry, record)
+            if policy is not None:
+                _feed_policy(policy, record)
             result.records.append(record)
     finally:
         if timed_out:
@@ -283,20 +367,66 @@ def run_suite(suite_name: str, *, workers: int = 1,
               backends: Optional[Sequence[str]] = None,
               timeout_seconds: Optional[float] = None,
               repeats: int = 1,
-              seed: Optional[int] = None) -> SweepResult:
+              seed: Optional[int] = None,
+              policy: Optional[str] = None,
+              policy_state_path: Optional[str] = None,
+              oracle: bool = False) -> SweepResult:
     """Plan and execute a full sweep of a registered suite.
 
     ``seed`` overrides the seed pinned in every suite spec (see
     :func:`repro.runner.corpus.override_seed`); the effective seed lands in
     each :class:`~repro.runner.results.SweepRecord` (and its CSV/JSON
     exports) either way, so a sweep is always reproducible from its output.
+
+    With ``"auto"`` among ``backends``, ``policy``/``policy_state_path``
+    select and warm-start the backend-selection policy; every measured
+    runtime is fed back into it and, when a state path is given, the
+    accumulated state is saved back to it after the sweep (sweeps
+    warm-start later watch sessions that way).  ``oracle=True`` runs all
+    applicable static backends alongside ``auto`` and attaches the regret
+    report (:meth:`~repro.runner.results.SweepResult.oracle_report`).
     """
     suite = get_suite(suite_name)
     if seed is not None:
         suite = override_seed(suite, seed)
-    jobs = plan_jobs(suite, analyses=analyses, backends=backends)
-    return run_jobs(jobs, workers=workers, timeout_seconds=timeout_seconds,
-                    suite_name=suite.name, repeats=repeats)
+    want_auto = backends is not None and AUTO_BACKEND in backends
+    policy_obj = None
+    shipped_state = None
+    if want_auto:
+        from repro.tune import make_policy, save_policy_state
+
+        policy_obj = make_policy(policy, state_path=policy_state_path)
+        shipped_state = json.dumps(policy_obj.state_dict())
+    jobs = plan_jobs(suite, analyses=analyses, backends=backends,
+                     policy=policy_obj.name if policy_obj else None,
+                     policy_state=shipped_state, oracle=oracle)
+    result = run_jobs(jobs, workers=workers, timeout_seconds=timeout_seconds,
+                      suite_name=suite.name, repeats=repeats,
+                      policy=policy_obj)
+    if oracle:
+        result.oracle = result.oracle_report()
+        registry = obs_metrics.ACTIVE
+        if registry is not None and result.oracle is not None:
+            registry.gauge("tune_regret_seconds").set(
+                result.oracle["regret_seconds"])
+    if policy_obj is not None and policy_state_path is not None:
+        save_policy_state(policy_obj, policy_state_path)
+    return result
+
+
+def _feed_policy(policy, record: SweepRecord) -> None:
+    """Feed one measured runtime back into the selection policy.
+
+    Any successful record carrying a feature bucket counts: ``auto`` jobs
+    teach the policy about its own picks, and oracle-tagged static jobs
+    contribute ground truth for every arm -- which is what makes a
+    warm-started bandit converge after a single oracle sweep.
+    """
+    if not record.ok or not record.feature_bucket:
+        return
+    backend = record.backend_selected or record.backend
+    policy.observe(record.analysis, record.feature_bucket, backend,
+                   record.elapsed_seconds)
 
 
 def _observe_record(registry: "obs_metrics.MetricsRegistry",

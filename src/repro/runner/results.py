@@ -33,6 +33,7 @@ CSV_COLUMNS: Tuple[str, ...] = (
     "analysis", "backend", "status", "elapsed_seconds",
     "elapsed_median_seconds", "repeats", "finding_count",
     "insert_count", "delete_count", "query_count", "error",
+    "backend_selected", "policy", "feature_bucket",
 )
 
 
@@ -67,10 +68,27 @@ class SweepRecord:
     delete_count: int = 0
     query_count: int = 0
     error: Optional[str] = None
+    #: The concrete backend that actually ran.  For ``auto`` jobs this is
+    #: the policy's pick; for static jobs it equals ``backend``.
+    backend_selected: str = ""
+    #: Selection policy name for ``auto`` jobs (``None`` for static ones).
+    policy: Optional[str] = None
+    #: Coarse trace-shape bucket (see ``TraceFeatures.bucket``); recorded
+    #: for ``auto`` jobs and, in oracle sweeps, for static jobs too so
+    #: their measurements can warm a bandit.
+    feature_bucket: Optional[str] = None
 
     @property
     def ok(self) -> bool:
         return self.status == STATUS_OK
+
+    @property
+    def display_backend(self) -> str:
+        """The backend cell for tables: ``auto:<pick>`` for resolved
+        ``auto`` jobs, the plain backend name otherwise."""
+        if self.backend_selected and self.backend_selected != self.backend:
+            return f"{self.backend}:{self.backend_selected}"
+        return self.backend
 
     @property
     def operation_count(self) -> int:
@@ -91,6 +109,10 @@ class SweepResult:
 
     suite: str
     records: List[SweepRecord] = field(default_factory=list)
+    #: Oracle-validation report (``repro sweep --oracle``): the ``auto``
+    #: policy's total regret vs the per-job best static backend.  ``None``
+    #: unless the sweep ran in oracle mode (see :meth:`oracle_report`).
+    oracle: Optional[Dict[str, object]] = None
 
     def __len__(self) -> int:
         return len(self.records)
@@ -152,6 +174,58 @@ class SweepResult:
                 totals.get(record.backend, 0.0) + record.elapsed_seconds)
         return totals
 
+    def oracle_report(self) -> Optional[Dict[str, object]]:
+        """Regret of the ``auto`` picks vs the per-job best static backend.
+
+        Considers every (trace, analysis) group holding an ``auto``
+        record plus at least one static record; the static minimum is the
+        per-job oracle.  Returns ``None`` when no group qualifies.
+        ``regret_ratio`` is the fraction by which the policy's total
+        runtime exceeds the oracle's (the acceptance gate of oracle
+        sweeps); ``optimal_picks`` counts jobs where the policy chose the
+        oracle's backend outright.
+        """
+        per_job: List[Dict[str, object]] = []
+        auto_total = 0.0
+        best_total = 0.0
+        optimal = 0
+        for (trace_id, analysis), per_backend in sorted(self._groups().items()):
+            auto_record = per_backend.get("auto")
+            statics = {backend: record
+                       for backend, record in per_backend.items()
+                       if backend != "auto"}
+            if auto_record is None or not statics:
+                continue
+            best_backend = min(statics,
+                               key=lambda b: statics[b].elapsed_seconds)
+            best_seconds = statics[best_backend].elapsed_seconds
+            auto_seconds = auto_record.elapsed_seconds
+            auto_total += auto_seconds
+            best_total += best_seconds
+            if auto_record.backend_selected == best_backend:
+                optimal += 1
+            per_job.append({
+                "trace_id": trace_id,
+                "analysis": analysis,
+                "selected": auto_record.backend_selected,
+                "best_backend": best_backend,
+                "auto_seconds": auto_seconds,
+                "best_seconds": best_seconds,
+                "regret_seconds": auto_seconds - best_seconds,
+            })
+        if not per_job:
+            return None
+        return {
+            "jobs": len(per_job),
+            "optimal_picks": optimal,
+            "auto_seconds": auto_total,
+            "best_seconds": best_total,
+            "regret_seconds": auto_total - best_total,
+            "regret_ratio": (auto_total - best_total) / best_total
+            if best_total > 0 else 0.0,
+            "per_job": per_job,
+        }
+
     # ------------------------------------------------------------------ #
     # Export
     # ------------------------------------------------------------------ #
@@ -159,14 +233,18 @@ class SweepResult:
         """The JSON-able document: sweep metadata, per-job records,
         aggregates.  This is the dict :meth:`to_json` serializes and what
         :class:`repro.api.results.SweepRunResult` re-exports, so the two
-        layers can never drift apart."""
-        return {
+        layers can never drift apart.  The ``oracle`` key appears only for
+        oracle-mode sweeps, keeping pre-tuning documents byte-identical."""
+        document = {
             "suite": self.suite,
             "jobs": len(self.records),
             "failures": len(self.failures()),
             "records": [record.to_dict() for record in self.records],
             "speedups": self.speedups(baseline),
         }
+        if self.oracle is not None:
+            document["oracle"] = self.oracle
+        return document
 
     def to_json(self, baseline: Optional[str] = None, indent: int = 2) -> str:
         """JSON document: sweep metadata, per-job records, aggregates."""
@@ -189,7 +267,8 @@ class SweepResult:
         headers = ["trace", "analysis", "backend", "status", "seconds",
                    "findings", "ops"]
         rows = [
-            [record.trace_id, record.analysis, record.backend, record.status,
+            [record.trace_id, record.analysis, record.display_backend,
+             record.status,
              f"{record.elapsed_seconds:.3f}", str(record.finding_count),
              str(record.operation_count)]
             for record in self.records
@@ -203,6 +282,14 @@ class SweepResult:
                      for backend, value in speedups.items()]
             report += ("\n" + f"geomean speedup vs {label}:\n"
                        + "\n".join(lines))
+        if self.oracle is not None:
+            oracle = self.oracle
+            report += (
+                "\noracle: {optimal}/{jobs} optimal picks, "
+                "regret {regret:.3f}s ({ratio:+.1%} vs per-job best)".format(
+                    optimal=oracle["optimal_picks"], jobs=oracle["jobs"],
+                    regret=oracle["regret_seconds"],
+                    ratio=oracle["regret_ratio"]))
         failures = self.failures()
         if failures:
             report += f"\n{len(failures)} job(s) failed:"

@@ -53,6 +53,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.analyses.common.base import Analysis, AnalysisResult
+from repro.core.factory import AUTO_BACKEND
 from repro.core.growable import GrowableOrder
 from repro.errors import StreamError
 from repro.obs import metrics as obs_metrics
@@ -124,6 +125,24 @@ class StreamFinding:
         return f"[{self.position}] {self.analysis}: {self.finding}"
 
 
+@dataclass(frozen=True)
+class StreamWarning:
+    """A typed, non-fatal condition of a streaming run.
+
+    ``category`` is a stable machine-readable tag (currently
+    ``"backend-fallback"``: a requested backend was inapplicable to an
+    analysis and the engine substituted its default -- previously a
+    silent switch).  ``analysis`` names the affected attachment.
+    """
+
+    category: str
+    analysis: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.category}] {self.analysis}: {self.message}"
+
+
 @dataclass
 class StreamStats:
     """Live counters of a streaming run."""
@@ -153,6 +172,11 @@ class StreamResult:
     #: middle of a pending operation), with the error message.  Their
     #: ``results`` entry is the last successful flush, if any.
     errors: Dict[str, str] = field(default_factory=dict)
+    #: Typed non-fatal conditions (see :class:`StreamWarning`).
+    warnings: List[StreamWarning] = field(default_factory=list)
+    #: Concrete backend picked per analysis when the ``auto``
+    #: pseudo-backend was requested (empty otherwise).
+    backends_selected: Dict[str, str] = field(default_factory=dict)
 
     @property
     def finding_count(self) -> int:
@@ -208,6 +232,10 @@ class _Attachment:
     analysis: Analysis
     name: str
     native: bool
+    #: Native attachment whose ``auto`` backend is not yet resolved: its
+    #: per-event ``feed`` is held back (the lazy online order would try to
+    #: build a backend named "auto") and replayed at resolution time.
+    held: bool = False
     emitted: set = field(default_factory=set)
     last_result: Optional[AnalysisResult] = None
     last_error: Optional[str] = None
@@ -232,7 +260,15 @@ class StreamEngine:
         must use *named* backend specs so flushes can rebuild fresh orders.
     backend:
         Backend name forced on analyses constructed from names (default:
-        each analysis's own default backend).
+        each analysis's own default backend).  The ``auto`` pseudo-backend
+        defers the choice to a selection policy (:mod:`repro.tune`): the
+        engine extracts trace-shape features from the stream's preamble
+        (the first :data:`AUTO_PREAMBLE_EVENTS` events, or whatever has
+        arrived by the first flush) and pins one concrete backend per
+        attachment for the rest of the run.
+    policy:
+        Selection policy for ``auto`` (a name, a ``BackendPolicy``
+        instance, or ``None`` for the tuning layer's default).
     window:
         A :class:`~repro.stream.window.Window` policy (default unbounded).
     backbone:
@@ -243,16 +279,20 @@ class StreamEngine:
         Callback invoked with each :class:`StreamFinding` as it is emitted.
     """
 
+    #: Events of stream preamble observed before resolving ``auto`` picks.
+    AUTO_PREAMBLE_EVENTS = 64
+
     def __init__(self, analyses: Sequence[Union[str, Analysis]],
                  *, backend: Optional[str] = None,
                  window: Optional[Window] = None,
                  name: str = "stream",
                  backbone: Optional[bool] = None,
-                 on_finding: Optional[Callable[[StreamFinding], None]] = None
+                 on_finding: Optional[Callable[[StreamFinding], None]] = None,
+                 policy=None,
                  ) -> None:
         if not analyses:
             raise StreamError("StreamEngine needs at least one analysis")
-        if backend is not None:
+        if backend is not None and backend != AUTO_BACKEND:
             from repro.core import BACKENDS
 
             if backend not in BACKENDS:
@@ -262,6 +302,9 @@ class StreamEngine:
                     f"known: {known}")
         self.name = name
         self.backend_option = backend
+        self._policy = policy
+        self.warnings: List[StreamWarning] = []
+        self.backends_selected: Dict[str, str] = {}
         self.window = window if window is not None else UnboundedWindow()
         self.on_finding = on_finding
         self.stats = StreamStats()
@@ -293,13 +336,19 @@ class StreamEngine:
         # Attach analyses.
         self._view = StreamView(self)
         self._attachments: List[_Attachment] = []
+        self._auto_pending: List[_Attachment] = []
         for spec in analyses:
             analysis = self._build_analysis(spec)
             native = bool(analysis.streaming_native) and not self.window.bounded
+            pending = isinstance(analysis._backend_spec, str) \
+                and analysis._backend_spec == AUTO_BACKEND
             analysis.begin(self._view)
-            self._attachments.append(
-                _Attachment(analysis=analysis, name=analysis.name,
-                            native=native))
+            attachment = _Attachment(analysis=analysis, name=analysis.name,
+                                     native=native,
+                                     held=native and pending)
+            self._attachments.append(attachment)
+            if pending:
+                self._auto_pending.append(attachment)
         names = [attachment.name for attachment in self._attachments]
         if len(set(names)) != len(names):
             raise StreamError(f"duplicate analyses attached: {names}")
@@ -336,8 +385,16 @@ class StreamEngine:
             return spec
         cls = Analysis.by_name(spec)
         backend = self.backend_option or cls.default_backend()
+        if backend == AUTO_BACKEND:
+            return cls(AUTO_BACKEND, policy=self._policy)
         if backend not in cls.applicable_backends():
-            backend = cls.default_backend()
+            fallback = cls.default_backend()
+            self.warnings.append(StreamWarning(
+                category="backend-fallback", analysis=cls.name,
+                message=f"requested backend {backend!r} is not applicable "
+                        f"to analysis {cls.name!r}; using its default "
+                        f"{fallback!r} instead"))
+            backend = fallback
         return cls(backend)
 
     # ------------------------------------------------------------------ #
@@ -385,6 +442,8 @@ class StreamEngine:
             raise StreamError("stream already finished")
         self._cursor += 1
         self._ingest(event)
+        if self._auto_pending and self._cursor >= self.AUTO_PREAMBLE_EVENTS:
+            self._resolve_auto()
         self.stats.events = self._cursor
         self.stats.threads = len(self._next_index)
         if self._metrics is not None:
@@ -412,7 +471,7 @@ class StreamEngine:
             self._snapshot_cache = None
         self._maintain_backbone(event)
         for attachment in self._attachments:
-            if attachment.native:
+            if attachment.native and not attachment.held:
                 if attachment.m_feed is not None:
                     with attachment.m_feed.time():
                         found = list(attachment.analysis.feed(event))
@@ -453,6 +512,48 @@ class StreamEngine:
                     order.insert_edge(last, event.node)
         self._last_node[event.thread] = event.node
         self.stats.backbone_edges = order.edge_count
+
+    # ------------------------------------------------------------------ #
+    # Auto-backend resolution
+    # ------------------------------------------------------------------ #
+    def _resolve_auto(self) -> None:
+        """Pin a concrete backend on every pending ``auto`` attachment.
+
+        Runs once, over whatever preamble has arrived (the feed path
+        triggers it at :data:`AUTO_PREAMBLE_EVENTS`; a flush on a shorter
+        stream triggers it with what there is).  The pick is pinned by
+        rewriting the attachment's backend spec, so later flushes never
+        flip-flop, checkpoints record the concrete name, and the lazy
+        online order of native analyses builds against a real backend.
+        Events already ingested are replayed into natives that were held
+        back, with the usual exactly-once emission.
+        """
+        if not self._auto_pending:
+            return
+        from repro import tune
+
+        policy = self._policy
+        if policy is None or isinstance(policy, str):
+            policy = self._policy = tune.make_policy(policy)
+        snapshot, _ = self.snapshot()
+        features = tune.extract_features(snapshot)
+        pending, self._auto_pending = self._auto_pending, []
+        for attachment in pending:
+            analysis = attachment.analysis
+            chosen = tune.choose_backend(type(analysis), features, policy)
+            analysis._backend_spec = chosen
+            analysis._resolved_backend = chosen
+            analysis._selection_features = features
+            self.backends_selected[attachment.name] = chosen
+            if attachment.held:
+                attachment.held = False
+                replay = self._live_trace if self._live_trace is not None \
+                    else self._buffer
+                for event in replay:
+                    for finding in analysis.feed(event):
+                        key = finding_key(finding)
+                        if key not in attachment.emitted:
+                            self._emit(attachment, finding, key)
 
     # ------------------------------------------------------------------ #
     # Windowing
@@ -513,6 +614,8 @@ class StreamEngine:
         """
         from repro.errors import ReproError
 
+        if self._auto_pending:
+            self._resolve_auto()
         self.stats.flushes += 1
         if self._m_flushes is not None:
             self._m_flushes.inc()
@@ -582,6 +685,8 @@ class StreamEngine:
             errors={attachment.name: attachment.last_error
                     for attachment in self._attachments
                     if attachment.last_error is not None},
+            warnings=list(self.warnings),
+            backends_selected=dict(self.backends_selected),
         )
 
     # ------------------------------------------------------------------ #
@@ -655,7 +760,7 @@ class StreamEngine:
     @classmethod
     def from_state(cls, state: Dict[str, Any],
                    *, on_finding: Optional[Callable[[StreamFinding], None]]
-                   = None) -> "StreamEngine":
+                   = None, policy=None) -> "StreamEngine":
         """Rebuild an engine from :meth:`state_dict` output.
 
         The window buffer is replayed through the normal ingestion path, so
@@ -688,6 +793,7 @@ class StreamEngine:
             name=state.get("name", "stream"),
             backbone=state.get("backbone"),
             on_finding=on_finding,
+            policy=policy,
         )
         for attachment in engine._attachments:
             attachment.emitted = set(

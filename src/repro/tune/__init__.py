@@ -1,0 +1,88 @@
+"""Adaptive backend selection: the layer between analyses and the factory.
+
+The ``auto`` pseudo-backend (:data:`repro.core.AUTO_BACKEND`) is resolved
+here instead of in :func:`repro.core.make_partial_order`: a caller
+extracts a :class:`TraceFeatures` vector from the trace's columns
+(:func:`extract_features`, zero ``Event`` materialisation even on lazy
+``.stc`` traces) and asks a :class:`BackendPolicy` to pick one of the
+analysis's applicable backends (:func:`choose_backend`).  Measured
+runtimes flow back through :meth:`BackendPolicy.observe` -- the sweep
+executor does this automatically -- and the learned state round-trips
+through JSON so sweeps warm-start watch sessions.
+
+See ``docs/tuning.md`` for the workflow and the oracle/regret
+validation mode of ``repro sweep``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.obs import metrics as obs_metrics
+from repro.tune.features import FEATURE_NAMES, TraceFeatures, extract_features
+from repro.tune.policy import (
+    DEFAULT_POLICY,
+    POLICY_NAMES,
+    STATE_VERSION,
+    BackendPolicy,
+    BanditPolicy,
+    HeuristicPolicy,
+    StaticPolicy,
+    make_policy,
+    save_policy_state,
+)
+
+__all__ = [
+    "BackendPolicy",
+    "BanditPolicy",
+    "DEFAULT_POLICY",
+    "FEATURE_NAMES",
+    "HeuristicPolicy",
+    "POLICY_NAMES",
+    "STATE_VERSION",
+    "StaticPolicy",
+    "TraceFeatures",
+    "choose_backend",
+    "extract_features",
+    "make_policy",
+    "resolve_backend",
+    "save_policy_state",
+]
+
+
+def choose_backend(analysis_cls, features: TraceFeatures,
+                   policy: BackendPolicy) -> str:
+    """Pick a concrete backend for ``analysis_cls`` on a trace with
+    ``features``.
+
+    Candidates come from ``analysis_cls.applicable_backends()`` with the
+    class default as tie-breaker, so the result is always a backend the
+    analysis accepts.  Emits ``tune_pick_total{backend=,policy=}`` when
+    metrics are active.
+    """
+    candidates = analysis_cls.applicable_backends()
+    default = analysis_cls.default_backend()
+    chosen = policy.choose(analysis_cls.name, candidates, features,
+                           default=default)
+    if chosen not in candidates:
+        chosen = default if default in candidates else candidates[0]
+    registry = obs_metrics.ACTIVE
+    if registry is not None:
+        registry.counter("tune_pick_total", backend=chosen,
+                         policy=policy.name).inc()
+    return chosen
+
+
+def resolve_backend(analysis_cls, trace,
+                    policy: Optional[BackendPolicy] = None
+                    ) -> Tuple[str, TraceFeatures]:
+    """Resolve ``auto`` for ``analysis_cls`` over ``trace``.
+
+    Convenience wrapper: extract features, build the default policy when
+    none is given, choose, and return ``(backend, features)`` so the
+    caller can record the bucket alongside the pick.
+    """
+    if policy is None or isinstance(policy, str):
+        policy = make_policy(policy)
+    features = extract_features(trace)
+    return choose_backend(analysis_cls, features, policy), features

@@ -294,7 +294,7 @@ class TestCapabilities:
         caps = session.capabilities()
         assert set(caps) == {"version", "analyses", "backends", "kinds",
                              "suites", "formats", "observability",
-                             "exit_codes"}
+                             "tuning", "exit_codes"}
         assert len(caps["analyses"]) == 7
         assert caps["exit_codes"] == {"ok": 0, "failure": 1, "error": 2,
                                       "interrupt": 130}
@@ -302,6 +302,11 @@ class TestCapabilities:
         assert caps["backends"]["vc"]["incremental"]
         assert not caps["backends"]["vc"]["dynamic"]
         assert caps["analyses"]["race-prediction"]["fed_by"]
+        tuning = caps["tuning"]
+        assert tuning["auto_backend"] == "auto"
+        assert tuning["policies"] == ["static", "heuristic", "bandit"]
+        assert tuning["default_policy"] == "heuristic"
+        assert "auto" in caps["analyses"]["race-prediction"]["backends"]
         obs = caps["observability"]
         assert obs["sinks"] == ["memory", "jsonl", "prom"]
         assert obs["metrics"]["stream_events_total"]["type"] == "counter"

@@ -1,0 +1,231 @@
+"""The ``auto`` pseudo-backend end to end: analysis layer, sweep
+executor (oracle/regret), streaming engine, session facade."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analyses.common.base import Analysis
+from repro.api import AnalyzeConfig, Session, SweepConfig, WatchConfig
+from repro.core import AUTO_BACKEND, BACKENDS
+from repro.errors import ConfigError, ReproError
+from repro.runner.executor import plan_jobs, run_suite
+from repro.runner.corpus import SUITES
+from repro.stream.engine import StreamEngine
+from repro.trace.generators import build_trace
+from repro.tune import BanditPolicy, HeuristicPolicy, save_policy_state
+
+
+def write_trace(tmp_path, kind="racy", threads=3, events=40, seed=1):
+    from repro.trace import dumps_trace
+
+    trace = build_trace(kind, num_threads=threads, events=events, seed=seed)
+    path = tmp_path / "t.std"
+    path.write_text(dumps_trace(trace))
+    return trace, path
+
+
+class TestAnalysisLayer:
+    def test_auto_is_not_a_factory_backend(self):
+        assert AUTO_BACKEND not in BACKENDS
+
+    def test_auto_resolves_to_a_concrete_backend(self):
+        trace = build_trace("racy", num_threads=3, events=40, seed=1)
+        cls = Analysis.by_name("race-prediction")
+        auto = cls(AUTO_BACKEND).run(trace)
+        assert auto.backend in cls.applicable_backends()
+        assert auto.details["backend_selected"] == auto.backend
+        assert auto.details["policy"] == "heuristic"
+        assert auto.details["feature_bucket"]
+        static = cls(auto.backend).run(trace)
+        assert [str(f) for f in auto.findings] \
+            == [str(f) for f in static.findings]
+
+    def test_auto_honours_an_explicit_policy_instance(self):
+        trace = build_trace("c11", num_threads=3, events=30, seed=2)
+        cls = Analysis.by_name("c11-races")
+        result = cls(AUTO_BACKEND, policy=HeuristicPolicy()).run(trace)
+        # Atomic-heavy trace: the heuristic prefers vector clocks.
+        assert result.backend == "vc-flat"
+
+    def test_static_backends_record_no_selection(self):
+        trace = build_trace("racy", num_threads=3, events=40, seed=1)
+        result = Analysis.by_name("race-prediction")("vc").run(trace)
+        assert "backend_selected" not in result.details
+
+
+class TestSweepPlanning:
+    def test_auto_adds_one_job_per_pair(self):
+        suite = SUITES["smoke"]
+        static = plan_jobs(suite)
+        auto_only = plan_jobs(suite, backends=[AUTO_BACKEND])
+        assert all(job.backend == AUTO_BACKEND for job in auto_only)
+        pairs = {(job.spec.trace_id, job.analysis) for job in static}
+        assert {(job.spec.trace_id, job.analysis) for job in auto_only} \
+            == pairs
+
+    def test_oracle_runs_statics_alongside_auto(self):
+        suite = SUITES["smoke"]
+        jobs = plan_jobs(suite, backends=[AUTO_BACKEND], oracle=True)
+        backends = {job.backend for job in jobs}
+        assert AUTO_BACKEND in backends
+        assert len(backends) > 1
+        assert all(job.tag_features for job in jobs
+                   if job.backend != AUTO_BACKEND)
+
+    def test_oracle_without_auto_rejected(self):
+        with pytest.raises(ReproError, match="oracle"):
+            plan_jobs(SUITES["smoke"], backends=["vc"], oracle=True)
+
+    def test_unknown_backend_still_rejected(self):
+        with pytest.raises(ReproError):
+            plan_jobs(SUITES["smoke"], backends=["auto", "vcc"])
+
+
+class TestSweepExecution:
+    def test_auto_sweep_records_selection(self):
+        result = run_suite("smoke", backends=[AUTO_BACKEND],
+                           analyses=["race-prediction"])
+        assert result.records
+        for record in result.records:
+            assert record.ok
+            assert record.backend == AUTO_BACKEND
+            assert record.backend_selected in BACKENDS
+            assert record.policy == "heuristic"
+            assert record.feature_bucket
+            assert record.display_backend \
+                == f"auto:{record.backend_selected}"
+
+    def test_oracle_report_and_regret(self, tmp_path):
+        state = tmp_path / "state.json"
+        result = run_suite("smoke", backends=[AUTO_BACKEND],
+                           analyses=["race-prediction"], policy="bandit",
+                           policy_state_path=str(state), oracle=True)
+        assert result.oracle is not None
+        report = result.oracle
+        assert report["jobs"] > 0
+        assert report["optimal_picks"] <= report["jobs"]
+        assert report["regret_seconds"] == pytest.approx(
+            report["auto_seconds"] - report["best_seconds"])
+        assert "oracle" in result.to_document()
+        assert "oracle:" in result.to_table()
+        # The sweep saved learned state for warm-starting later runs.
+        document = json.loads(state.read_text())
+        assert document["policy"] == "bandit"
+        assert document["arms"]
+
+    def test_non_oracle_document_has_no_oracle_key(self):
+        result = run_suite("smoke", backends=[AUTO_BACKEND],
+                           analyses=["race-prediction"])
+        assert "oracle" not in result.to_document()
+
+
+class TestStreamEngine:
+    def test_auto_pins_backend_and_matches_batch(self):
+        trace = build_trace("racy", num_threads=3, events=60, seed=1)
+        engine = StreamEngine(["race-prediction"], backend=AUTO_BACKEND)
+        result = engine.run(trace)
+        chosen = result.backends_selected["race-prediction"]
+        assert chosen in BACKENDS
+        batch = Analysis.by_name("race-prediction")(chosen).run(trace)
+        assert len(result.final_findings_for("race-prediction")) \
+            == len(batch.findings)
+
+    def test_short_stream_resolves_at_flush(self):
+        trace = build_trace("racy", num_threads=2, events=8, seed=3)
+        assert len(trace) < StreamEngine.AUTO_PREAMBLE_EVENTS
+        engine = StreamEngine(["race-prediction"], backend=AUTO_BACKEND)
+        result = engine.run(trace)
+        assert result.backends_selected["race-prediction"] in BACKENDS
+
+    def test_native_analysis_resolves_before_first_feed(self):
+        trace = build_trace("c11", num_threads=3, events=40, seed=2)
+        engine = StreamEngine(["c11-races"], backend=AUTO_BACKEND)
+        result = engine.run(trace)
+        chosen = result.backends_selected["c11-races"]
+        batch = Analysis.by_name("c11-races")(chosen).run(trace)
+        assert len(result.final_findings_for("c11-races")) \
+            == len(batch.findings)
+
+    def test_fallback_emits_a_typed_warning(self):
+        # linearizability cannot run on vc; the silent fallback of old
+        # versions must now surface a StreamWarning.
+        engine = StreamEngine(["linearizability"], backend="vc")
+        assert len(engine.warnings) == 1
+        warning = engine.warnings[0]
+        assert warning.category == "backend-fallback"
+        assert warning.analysis == "linearizability"
+        assert "vc" in warning.message
+        trace = build_trace("history", num_threads=2, events=10, seed=1)
+        result = engine.run(trace)
+        assert result.warnings == [warning]
+
+    def test_applicable_backend_warns_nothing(self):
+        engine = StreamEngine(["race-prediction"], backend="vc")
+        assert engine.warnings == []
+
+
+class TestSessionFacade:
+    def test_analyze_auto(self, tmp_path):
+        _trace, path = write_trace(tmp_path)
+        config = AnalyzeConfig(analysis="race-prediction", trace=str(path),
+                               backend="auto")
+        result = Session().run(config)
+        document = result.to_dict()
+        assert document["backend"] in BACKENDS
+        assert document["backend_selected"] == document["backend"]
+
+    def test_analyze_static_reports_itself_as_selected(self, tmp_path):
+        _trace, path = write_trace(tmp_path)
+        config = AnalyzeConfig(analysis="race-prediction", trace=str(path),
+                               backend="vc")
+        assert Session().run(config).to_dict()["backend_selected"] == "vc"
+
+    def test_watch_auto_reports_selection(self, tmp_path):
+        _trace, path = write_trace(tmp_path, events=60)
+        notices = []
+        config = WatchConfig(source=str(path), analyses="race-prediction",
+                             backend="auto")
+        result = Session().run(
+            config, on_notice=lambda kind, message: notices.append(message))
+        document = result.to_dict()
+        assert document["backends_selected"]["race-prediction"] in BACKENDS
+        assert any("auto selected backend" in message for message in notices)
+
+    def test_watch_warm_starts_from_sweep_state(self, tmp_path):
+        state = tmp_path / "state.json"
+        save_policy_state(BanditPolicy(seed=1), str(state))
+        _trace, path = write_trace(tmp_path, events=60)
+        config = WatchConfig(source=str(path), analyses="race-prediction",
+                             backend="auto", policy="bandit",
+                             policy_state=str(state))
+        result = Session().run(config)
+        assert result.to_dict()["backends_selected"]["race-prediction"] \
+            in BACKENDS
+
+    def test_capabilities_advertise_tuning(self):
+        document = Session().capabilities()
+        tuning = document["tuning"]
+        assert tuning["auto_backend"] == AUTO_BACKEND
+        assert tuning["default_policy"] in tuning["policies"]
+        assert "events" in tuning["features"]
+        for entry in document["analyses"].values():
+            assert AUTO_BACKEND in entry["backends"]
+
+
+class TestConfigValidation:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            AnalyzeConfig(analysis="race-prediction", trace="t.std",
+                          policy="oracle")
+
+    def test_oracle_requires_auto(self):
+        with pytest.raises(ConfigError):
+            SweepConfig(oracle=True, backends="vc")
+
+    def test_policy_without_auto_warns(self):
+        config = SweepConfig(backends="vc", policy="bandit")
+        assert any("auto" in message
+                   for message in config.validation_warnings())

@@ -1,0 +1,182 @@
+"""TraceFeatures extraction: determinism, representation-independence,
+and the zero-materialization contract.
+
+Three contracts under test, the first two as hypothesis properties:
+
+* **deterministic** -- extracting twice from the same trace yields an
+  equal (and equally hashable) feature vector;
+* **representation-independent** -- an eager ``Trace``, the lazy trace
+  decoded from its ``.stc`` encoding, and an STD text round trip all
+  produce identical features;
+* **lazy** -- extraction from a ``.stc``-backed trace materializes zero
+  :class:`Event` objects (same counting stand-in as
+  ``tests/trace/test_binfmt.py``).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import (
+    Event,
+    EventKind,
+    MemoryOrder,
+    Trace,
+    decode_trace,
+    dumps_trace,
+    encode_trace,
+    loads_trace,
+)
+from repro.trace.generators import GENERATOR_REGISTRY, build_trace
+from repro.tune import FEATURE_NAMES, TraceFeatures, extract_features
+from repro.tune.features import _tri
+
+#: Event shapes the strategy can emit: (kind, needs_variable_prefix,
+#: needs_memory_order).  Locks get their own namespace so lock_density
+#: and contention are exercised independently.
+_SHAPES = [
+    (EventKind.READ, "x", None),
+    (EventKind.WRITE, "x", None),
+    (EventKind.ATOMIC_READ, "a", MemoryOrder.ACQUIRE),
+    (EventKind.ATOMIC_WRITE, "a", MemoryOrder.RELEASE),
+    (EventKind.ACQUIRE, "lock", None),
+    (EventKind.RELEASE, "lock", None),
+    (EventKind.FENCE, None, MemoryOrder.SEQ_CST),
+]
+
+
+@st.composite
+def traces(draw) -> Trace:
+    """Random small traces over a feature-relevant event mix."""
+    num_threads = draw(st.integers(min_value=1, max_value=4))
+    ops = draw(st.lists(
+        st.tuples(st.integers(0, num_threads - 1),
+                  st.integers(0, len(_SHAPES) - 1),
+                  st.integers(0, 4)),
+        min_size=0, max_size=60))
+    trace = Trace(name="prop")
+    for thread, shape, var in ops:
+        kind, prefix, order = _SHAPES[shape]
+        kwargs = {}
+        if prefix is not None:
+            kwargs["variable"] = f"{prefix}{var}"
+        if kind in (EventKind.READ, EventKind.WRITE, EventKind.ATOMIC_READ,
+                    EventKind.ATOMIC_WRITE):
+            kwargs["value"] = var
+        if order is not None:
+            kwargs["memory_order"] = order
+        trace.append(thread, kind, **kwargs)
+    return trace
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(traces())
+    def test_extraction_is_deterministic(self, trace):
+        first, second = extract_features(trace), extract_features(trace)
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first.vector() == second.vector()
+        assert first.bucket() == second.bucket()
+
+    @settings(max_examples=60, deadline=None)
+    @given(traces())
+    def test_eager_lazy_and_text_round_trip_agree(self, trace):
+        eager = extract_features(trace)
+        lazy = extract_features(decode_trace(encode_trace(trace)))
+        text = extract_features(loads_trace(dumps_trace(trace)))
+        assert eager == lazy == text
+
+    @settings(max_examples=60, deadline=None)
+    @given(traces())
+    def test_invariants(self, trace):
+        features = extract_features(trace)
+        assert features.events == len(trace)
+        assert features.accesses == features.reads + features.writes
+        assert features.atomics <= features.accesses
+        assert sum(count for _name, count in features.kind_hist) \
+            == features.events
+        assert 0.0 <= features.lock_density <= 1.0
+        assert 0.0 <= features.atomic_fraction <= 1.0
+        assert 0.0 <= features.mean_contention <= features.max_contention \
+            <= 1.0 or features.accesses == 0
+        vector = features.vector()
+        assert len(vector) == len(FEATURE_NAMES)
+        assert all(isinstance(value, float) and not math.isnan(value)
+                   for value in vector)
+
+
+class TestGeneratorKinds:
+    @pytest.mark.parametrize("kind", sorted(GENERATOR_REGISTRY))
+    def test_every_generator_kind_extracts(self, kind):
+        trace = build_trace(kind, num_threads=3, events=20, seed=7)
+        features = extract_features(trace)
+        assert features.events == len(trace)
+        assert features.threads <= trace.num_threads
+        lazy = extract_features(decode_trace(encode_trace(trace)))
+        assert features == lazy
+
+    def test_empty_trace(self):
+        features = extract_features(Trace(name="empty"))
+        assert features.events == 0
+        assert features.read_write_ratio == 0.0
+        assert features.max_contention == 0.0
+        assert features.bucket() == "t0e0rw0lk0c0"
+
+
+class CountingEvent(Event):
+    """Stand-in for ``binfmt.Event`` that counts materializations."""
+
+    instances = 0
+
+    def __init__(self, *args, **kwargs):
+        type(self).instances += 1
+        super().__init__(*args, **kwargs)
+
+
+@pytest.fixture
+def counting_event(monkeypatch):
+    CountingEvent.instances = 0
+    monkeypatch.setattr("repro.trace.binfmt.Event", CountingEvent)
+    return CountingEvent
+
+
+class TestLaziness:
+    def test_stc_extraction_materializes_zero_events(self, counting_event):
+        """The acceptance contract: feature extraction over a lazy
+        ``.stc`` trace inflates no Event objects at all."""
+        trace = build_trace("c11", num_threads=3, events=20, seed=7)
+        loaded = decode_trace(encode_trace(trace))
+        features = extract_features(loaded)
+        assert features == extract_features(trace)
+        assert counting_event.instances == 0
+        assert loaded.materialized_count == 0
+
+
+class TestBucket:
+    def test_tri_thresholds(self):
+        assert _tri(0.0, 0.5, 2.0) == 0
+        assert _tri(0.5, 0.5, 2.0) == 1
+        assert _tri(1.99, 0.5, 2.0) == 1
+        assert _tri(2.0, 0.5, 2.0) == 2
+
+    def test_bucket_encodes_log_sizes(self):
+        trace = build_trace("racy", num_threads=4, events=30, seed=1)
+        features = extract_features(trace)
+        bucket = features.bucket()
+        assert bucket.startswith(
+            f"t{int(math.log2(features.threads))}"
+            f"e{int(math.log10(features.events))}rw")
+
+    def test_similar_traces_share_size_digits(self):
+        # Same kind/shape, different seed: the log-scale size digits (and
+        # usually the regime digits) agree, so policies can aggregate.
+        first = extract_features(
+            build_trace("racy", num_threads=4, events=30, seed=1))
+        second = extract_features(
+            build_trace("racy", num_threads=4, events=30, seed=2))
+        assert first.bucket()[:4] == second.bucket()[:4] == "t2e2"
