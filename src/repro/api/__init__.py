@@ -44,6 +44,7 @@ from repro.api.config import (
     ReportConfig,
     StatsConfig,
     SweepConfig,
+    TimelineConfig,
     WatchConfig,
 )
 from repro.api.registry import Registry, default_registry
@@ -59,6 +60,7 @@ from repro.api.results import (
     Result,
     StatsResult,
     SweepRunResult,
+    TimelineResult,
     WatchResult,
 )
 from repro.api.session import Session
@@ -89,6 +91,8 @@ __all__ = [
     "StatsResult",
     "SweepConfig",
     "SweepRunResult",
+    "TimelineConfig",
+    "TimelineResult",
     "WatchConfig",
     "WatchResult",
     "default_registry",

@@ -125,6 +125,12 @@ def _check_metrics_path(value: Optional[str], command: str) -> None:
              f"{command} metrics must be a sink path, got {value!r}")
 
 
+def _check_timeline_path(value: Optional[str], command: str) -> None:
+    """Validate a ``timeline`` output-path field (``--timeline PATH``)."""
+    _require(value is None or (isinstance(value, str) and bool(value)),
+             f"{command} timeline must be an output path, got {value!r}")
+
+
 def _check_policy(config: "Config", command: str) -> None:
     """Validate the ``policy``/``policy_state`` pair of tuned requests."""
     from repro.tune.policy import POLICY_NAMES
@@ -294,6 +300,7 @@ class SweepConfig(Config):
     seed: Optional[int] = None
     format: str = "table"
     metrics: Optional[str] = None
+    timeline: Optional[str] = None
     policy: Optional[str] = None
     policy_state: Optional[str] = None
     oracle: bool = False
@@ -313,6 +320,7 @@ class SweepConfig(Config):
              analyses=_name_tuple(self.analyses, "sweep analyses"),
              backends=_name_tuple(self.backends, "sweep backends"))
         _check_metrics_path(self.metrics, "sweep")
+        _check_timeline_path(self.timeline, "sweep")
         _check_policy(self, "sweep")
         _require(not self.oracle
                  or (self.backends is not None and "auto" in self.backends),
@@ -363,6 +371,7 @@ class WatchConfig(Config):
     idle_timeout: Optional[float] = None
     max_events: Optional[int] = None
     metrics: Optional[str] = None
+    timeline: Optional[str] = None
     policy: Optional[str] = None
     policy_state: Optional[str] = None
 
@@ -380,6 +389,7 @@ class WatchConfig(Config):
                  f"max_events must be >= 0, got {self.max_events}")
         _set(self, analyses=_name_tuple(self.analyses, "watch analyses"))
         _check_metrics_path(self.metrics, "watch")
+        _check_timeline_path(self.timeline, "watch")
         _check_policy(self, "watch")
 
 
@@ -548,7 +558,7 @@ class StatsConfig(Config):
 
     command: ClassVar[str] = "stats"
 
-    FORMATS: ClassVar[Tuple[str, ...]] = ("table", "json", "prom")
+    FORMATS: ClassVar[Tuple[str, ...]] = ("table", "json", "prom", "chrome")
 
     source: str
     format: str = "table"
@@ -559,6 +569,31 @@ class StatsConfig(Config):
         _require(self.format in self.FORMATS,
                  f"unknown stats format {self.format!r}; "
                  f"known: {', '.join(self.FORMATS)}")
+        _coerce_numbers(self, int, index=self.index)
+
+
+@dataclass(frozen=True)
+class TimelineConfig(Config):
+    """Render a recorded metrics snapshot as a Chrome trace-event /
+    Perfetto timeline (CLI: ``repro timeline``).
+
+    ``source`` is a JSON-lines metrics file written by ``--metrics PATH``
+    (or any single-snapshot JSON document); ``index`` picks the snapshot
+    line (default: the latest).  ``out`` is the trace-event JSON
+    destination (``"-"``: stdout).  Rendering is deterministic, so
+    ``repro timeline run.jsonl`` reproduces byte-for-byte the file a
+    ``--timeline`` flag wrote for the same snapshot.
+    """
+
+    command: ClassVar[str] = "timeline"
+
+    source: str
+    out: str = "-"
+    index: int = -1
+
+    def __post_init__(self) -> None:
+        _require(bool(self.source), "timeline config needs a metrics file")
+        _require(bool(self.out), "timeline config needs an output path")
         _coerce_numbers(self, int, index=self.index)
 
 
@@ -593,5 +628,5 @@ class ReportConfig(Config):
 ALL_CONFIGS: Tuple[type, ...] = (
     GenerateConfig, AnalyzeConfig, CompareConfig, SweepConfig, WatchConfig,
     GenConfig, ConvertConfig, FuzzConfig, BenchConfig, StatsConfig,
-    ReportConfig,
+    TimelineConfig, ReportConfig,
 )

@@ -417,6 +417,50 @@ class StatsResult(Result):
 
         return render_prom(self.snapshot)
 
+    def to_chrome(self) -> str:
+        from repro.obs.export import render_chrome_json
+
+        return render_chrome_json(self.snapshot)
+
+
+@dataclass
+class TimelineResult(Result):
+    """One rendered timeline (from
+    :class:`~repro.api.config.TimelineConfig`).
+
+    :attr:`snapshot` is the selected snapshot document; :attr:`rendered`
+    the canonical Chrome trace-event JSON text -- the exact bytes written
+    to :attr:`out_path` (when ``out`` was a file), identical to what a
+    ``--timeline`` flag would have produced from the same snapshot.
+    """
+
+    source: str = ""
+    snapshot: Dict[str, Any] = field(default_factory=dict)
+    snapshot_count: int = 0
+    index: int = -1
+    rendered: str = ""
+    out_path: Optional[str] = None  #: trace file written, if any
+
+    def to_dict(self) -> Dict[str, Any]:
+        from repro.obs.export import render_chrome_trace
+
+        return render_chrome_trace(self.snapshot)
+
+    def to_json(self, indent: int = 2) -> str:
+        # The canonical (compact, key-sorted) form, NOT re-indented:
+        # byte-identical output is the whole point of this command.
+        return self.rendered
+
+    def to_table(self) -> str:
+        events = self.to_dict()["traceEvents"]
+        lanes = {(event["pid"], event["tid"]) for event in events
+                 if event["ph"] == "X"}
+        if self.out_path is not None:
+            return (f"wrote {self.out_path}: {len(events)} events across "
+                    f"{len(lanes)} lanes (open in chrome://tracing or "
+                    f"https://ui.perfetto.dev)")
+        return self.rendered
+
 
 @dataclass
 class ReportResult(Result):

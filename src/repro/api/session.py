@@ -44,6 +44,7 @@ from repro.api.config import (
     ReportConfig,
     StatsConfig,
     SweepConfig,
+    TimelineConfig,
     WatchConfig,
 )
 from repro.api.registry import Registry, default_registry
@@ -59,6 +60,7 @@ from repro.api.results import (
     Result,
     StatsResult,
     SweepRunResult,
+    TimelineResult,
     WatchResult,
 )
 from repro.obs import metrics as obs_metrics
@@ -112,11 +114,12 @@ class Session:
         not a stray ``TypeError``.
 
         When telemetry is enabled -- a session-wide registry
-        (``Session(metrics=...)``) or a ``metrics`` sink path on the
-        config -- the whole run executes under one root span named after
-        the command, ``result.telemetry`` carries the registry snapshot,
-        and a sink path receives one JSON line per run (append
-        semantics).
+        (``Session(metrics=...)``), a ``metrics`` sink path, or a
+        ``timeline`` output path on the config -- the whole run executes
+        under one root span named after the command, ``result.telemetry``
+        carries the registry snapshot, a sink path receives one JSON line
+        per run (append semantics), and a timeline path receives the
+        snapshot rendered as Chrome trace-event JSON.
         """
         for config_type, method, allowed in (
                 (GenerateConfig, self.generate, ()),
@@ -129,6 +132,7 @@ class Session:
                 (FuzzConfig, self.fuzz, ("on_case",)),
                 (BenchConfig, self.bench, ()),
                 (StatsConfig, self.stats, ()),
+                (TimelineConfig, self.timeline, ()),
                 (ReportConfig, self.report, ())):
             if isinstance(config, config_type):
                 unsupported = sorted(set(hooks) - set(allowed))
@@ -147,9 +151,10 @@ class Session:
                           hooks: Dict[str, Any]) -> Result:
         """Execute one dispatched workflow, instrumented when enabled."""
         metrics_path = getattr(config, "metrics", None)
+        timeline_path = getattr(config, "timeline", None)
         registry = self.metrics
         if registry is None:
-            if metrics_path is None:
+            if metrics_path is None and timeline_path is None:
                 return method(config, **hooks)
             registry = obs_metrics.MetricsRegistry()
         with obs_metrics.use_registry(registry):
@@ -160,6 +165,10 @@ class Session:
             from repro.obs.sinks import JsonlSink
 
             JsonlSink(metrics_path).emit(result.telemetry)
+        if timeline_path is not None:
+            from repro.obs.export import write_chrome_trace
+
+            write_chrome_trace(result.telemetry, timeline_path)
         return result
 
     # ------------------------------------------------------------------ #
@@ -513,6 +522,37 @@ class Session:
                            snapshot_count=len(snapshots),
                            index=config.index)
 
+    def timeline(self, config: TimelineConfig) -> TimelineResult:
+        """Render one recorded snapshot as a Chrome trace-event timeline.
+
+        Loads ``config.source`` exactly like :meth:`stats`, renders the
+        selected snapshot deterministically
+        (:func:`repro.obs.export.render_chrome_json`), and writes the file
+        when ``config.out`` is a path -- producing byte-for-byte the same
+        output a ``--timeline`` flag would have written live for the same
+        snapshot.
+        """
+        from repro.obs.export import render_chrome_json
+        from repro.obs.sinks import read_snapshots
+
+        snapshots = read_snapshots(config.source)
+        try:
+            snapshot = snapshots[config.index]
+        except IndexError:
+            raise ReproError(
+                f"{config.source}: snapshot index {config.index} out of "
+                f"range ({len(snapshots)} snapshots)") from None
+        rendered = render_chrome_json(snapshot)
+        out_path = None
+        if config.out != "-":
+            out_path = config.out
+            with open(out_path, "w", encoding="utf-8") as stream:
+                stream.write(rendered + "\n")
+        return TimelineResult(source=config.source, snapshot=snapshot,
+                              snapshot_count=len(snapshots),
+                              index=config.index, rendered=rendered,
+                              out_path=out_path)
+
     def report(self, config: ReportConfig) -> ReportResult:
         """Generate a longitudinal report (``trend``: every
         ``BENCH_*.json`` in ``config.dir`` rendered into ``config.out``)."""
@@ -604,6 +644,7 @@ class Session:
                 "convert": list(RESULT_FORMATS),
                 "fuzz": list(RESULT_FORMATS),
                 "stats": list(StatsConfig.FORMATS),
+                "timeline": ["chrome"],
             },
             "tuning": {
                 "auto_backend": AUTO_BACKEND,

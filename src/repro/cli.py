@@ -49,6 +49,7 @@ from repro.api import (
     Session,
     StatsConfig,
     SweepConfig,
+    TimelineConfig,
     WatchConfig,
 )
 from repro.errors import EXIT_OK, ReproError, exit_code_for
@@ -196,6 +197,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--metrics", default=None, metavar="PATH",
                        help="enable telemetry and append a JSON-lines "
                             "metrics snapshot to PATH (see 'repro stats')")
+    sweep.add_argument("--timeline", default=None, metavar="PATH",
+                       help="enable telemetry and write the run's merged "
+                            "span timeline to PATH as Chrome trace-event "
+                            "JSON (open in chrome://tracing or Perfetto)")
     sweep.add_argument("--list-suites", action="store_true",
                        help="list the registered trace suites and exit")
     sweep.add_argument("--list-analyses", action="store_true",
@@ -379,6 +384,10 @@ def build_parser() -> argparse.ArgumentParser:
     watch.add_argument("--metrics", default=None, metavar="PATH",
                        help="enable telemetry and append a JSON-lines "
                             "metrics snapshot to PATH (see 'repro stats')")
+    watch.add_argument("--timeline", default=None, metavar="PATH",
+                       help="enable telemetry and write the session's span "
+                            "timeline (per-flush/per-checkpoint spans) to "
+                            "PATH as Chrome trace-event JSON")
 
     stats = subparsers.add_parser(
         "stats",
@@ -395,6 +404,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="which snapshot line to render; negative "
                             "indices count from the end (default: -1, "
                             "the latest)")
+
+    timeline = subparsers.add_parser(
+        "timeline",
+        help="render a telemetry snapshot written via --metrics as a "
+             "Chrome trace-event / Perfetto timeline (deterministic: "
+             "reproduces a --timeline file byte-for-byte)")
+    timeline.add_argument("source",
+                          help="JSON-lines metrics file written by a "
+                               "--metrics run")
+    timeline.add_argument("--out", default="-",
+                          help="trace-event JSON output path ('-' prints "
+                               "to stdout)")
+    timeline.add_argument("--index", type=int, default=-1,
+                          help="which snapshot line to render; negative "
+                               "indices count from the end (default: -1, "
+                               "the latest)")
 
     report = subparsers.add_parser(
         "report",
@@ -518,7 +543,8 @@ def _sweep(args: argparse.Namespace) -> int:
                          oracle=args.oracle,
                          baseline=args.baseline, timeout=args.timeout,
                          repeat=args.repeat, seed=args.seed,
-                         format=args.format, metrics=args.metrics)
+                         format=args.format, metrics=args.metrics,
+                         timeline=args.timeline)
     # Dropped-option warnings are knowable up front; surface them before a
     # potentially long sweep so the user can still abort and rerun.
     preflight = config.validation_warnings()
@@ -638,7 +664,8 @@ def _watch(args: argparse.Namespace) -> int:
                          checkpoint=args.checkpoint,
                          checkpoint_every=args.checkpoint_every,
                          follow=args.follow, idle_timeout=args.idle_timeout,
-                         max_events=args.max_events, metrics=args.metrics)
+                         max_events=args.max_events, metrics=args.metrics,
+                         timeline=args.timeline)
     jsonl = args.format == "jsonl"
 
     def emit(item) -> None:
@@ -670,8 +697,18 @@ def _stats(args: argparse.Namespace) -> int:
     result = _session().run(config)
     if config.format == "prom":
         print(result.to_prom())
+    elif config.format == "chrome":
+        print(result.to_chrome())
     else:
         _render(result, config.format)
+    return result.exit_code
+
+
+def _timeline(args: argparse.Namespace) -> int:
+    config = TimelineConfig(source=args.source, out=args.out,
+                            index=args.index)
+    result = _session().run(config)
+    print(result.to_table())
     return result.exit_code
 
 
@@ -696,8 +733,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {"generate": _generate, "analyze": _analyze,
                 "compare": _compare, "sweep": _sweep, "bench": _bench,
                 "gen": _gen, "convert": _convert, "fuzz": _fuzz,
-                "watch": _watch, "stats": _stats, "report": _report,
-                "capabilities": _capabilities}
+                "watch": _watch, "stats": _stats, "timeline": _timeline,
+                "report": _report, "capabilities": _capabilities}
     try:
         return handlers[args.command](args)
     except KeyboardInterrupt:

@@ -9,6 +9,9 @@ Three layers:
   :func:`use_registry` installs one.
 * :mod:`repro.obs.sinks` -- snapshot consumers: in-memory, JSON-lines
   files, Prometheus text exposition, and the ``repro stats`` table.
+* :mod:`repro.obs.context` / :mod:`repro.obs.export` -- cross-process
+  trace propagation (id minting, worker-snapshot merging) and the Chrome
+  trace-event / Perfetto timeline exporter.
 * :mod:`repro.obs.trend` -- the longitudinal perf dashboard over
   accumulated ``BENCH_*.json`` documents.
 
@@ -16,6 +19,19 @@ The full metric catalogue lives in :data:`METRIC_CATALOG` and is exposed
 through ``Session.capabilities()["observability"]``.
 """
 
+from repro.obs.context import (
+    merge_snapshot,
+    new_span_id,
+    new_trace_id,
+)
+from repro.obs.export import (
+    CHROME_REQUIRED_KEYS,
+    METRICS_LANE_PID,
+    render_chrome_json,
+    render_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
 from repro.obs.metrics import (
     DEFAULT_TIME_BUCKETS,
     METRIC_CATALOG,
@@ -53,6 +69,15 @@ from repro.obs.trend import (
 )
 
 __all__ = [
+    "merge_snapshot",
+    "new_span_id",
+    "new_trace_id",
+    "CHROME_REQUIRED_KEYS",
+    "METRICS_LANE_PID",
+    "render_chrome_json",
+    "render_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
     "DEFAULT_TIME_BUCKETS",
     "METRIC_CATALOG",
     "MAX_RECORDED_SPANS",

@@ -1,0 +1,93 @@
+"""Cross-process trace context: id minting and snapshot merging.
+
+``repro.obs`` registries are in-process objects; a sweep that fans jobs
+out over a :class:`~concurrent.futures.ProcessPoolExecutor` therefore
+needs an explicit propagation step or the workers' telemetry is lost.
+This module is that step, in three parts:
+
+* **Context minting** -- the collector mints one run-wide ``trace_id``
+  plus a ``span_id`` per job (:func:`new_trace_id` /
+  :func:`new_span_id`) and ships them inside the pickled
+  :class:`~repro.runner.executor.SweepJob`.  A job carrying a trace id
+  is the worker's signal to capture telemetry even though no registry is
+  installed in its process.
+* **Worker capture** -- the worker runs the job on a fresh, job-local
+  :class:`~repro.obs.metrics.MetricsRegistry` installed as the active
+  registry, so every instrumented layer underneath (trace I/O, analysis
+  runs, partial-order op counts) records into it.  Because the registry
+  is born empty, its snapshot *is* the job's metric delta; the root span
+  is stamped with ``pid``/``tid``/``wall_start_ns`` at record time (see
+  ``MetricsRegistry._record_root``), which is what makes span trees from
+  different processes comparable -- ``perf_counter_ns`` readings are not.
+* **Collector merge** -- :func:`merge_snapshot` folds a worker snapshot
+  back into the collector's live registry: counters add, gauges last-
+  write-wins, histograms merge bucket-by-bucket (bounds are fixed at
+  creation, so merged snapshots stay comparable), and the worker's
+  finished span trees are grafted as children of the collector's open
+  sweep span.  Inline (``workers=1``) and pooled sweeps thus produce
+  equivalent merged snapshots -- the parity the tests pin.
+"""
+
+from __future__ import annotations
+
+import uuid
+from typing import Any, Dict, Optional
+
+from repro.obs.metrics import Histogram, MetricsRegistry, _label_key
+from repro.obs.spans import Span
+
+__all__ = ["new_trace_id", "new_span_id", "merge_snapshot"]
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-digit run identifier."""
+    return uuid.uuid4().hex
+
+
+def new_span_id() -> str:
+    """A fresh 16-hex-digit span identifier."""
+    return uuid.uuid4().hex[:16]
+
+
+def merge_snapshot(registry: MetricsRegistry,
+                   snapshot: Dict[str, Any],
+                   parent_span: Optional[Span] = None) -> None:
+    """Fold one serialized snapshot into a live registry.
+
+    ``snapshot`` is the document produced by
+    :meth:`MetricsRegistry.snapshot` in another process (typically read
+    off a :class:`~repro.runner.results.SweepRecord`); it may have been
+    through a JSON round-trip.  Merge semantics per instrument kind:
+
+    * counters: values add (counters are cumulative deltas of the
+      worker-local registry, which was born empty);
+    * gauges: last write wins, matching live gauge semantics;
+    * histograms: per-bucket counts, sum, and count add.  The worker and
+      collector share the fixed default bounds; a genuinely conflicting
+      bounds set raises through the registry's usual conflict error.
+
+    Finished span trees are grafted under ``parent_span`` when one is
+    given (the collector's open sweep span), otherwise appended to the
+    registry's root-span log directly.  Grafted trees keep their
+    ``pid``/``tid``/``wall_start_ns`` stamps -- each opens its own clock
+    domain in the timeline export.
+    """
+    for entry in snapshot.get("counters", ()):
+        # inc(0) still materializes the metric: a counter a worker touched
+        # without ticking must exist in the merged snapshot too, or inline
+        # and pooled sweeps would disagree about the metric set.
+        registry.counter(entry["name"], **entry.get("labels", {})) \
+            .inc(entry.get("value", 0))
+    for entry in snapshot.get("gauges", ()):
+        registry.gauge(entry["name"], **entry.get("labels", {})) \
+            .set(entry.get("value", 0.0))
+    for entry in snapshot.get("histograms", ()):
+        histogram = registry._get(
+            Histogram, entry["name"], _label_key(entry.get("labels", {})),
+            tuple(entry["bounds"]))
+        histogram.absorb(entry["counts"], entry["sum"], entry["count"])
+    for span_document in snapshot.get("spans", ()):
+        if parent_span is not None:
+            parent_span.children.append(span_document)
+        else:
+            registry.record_span_document(span_document)

@@ -1,0 +1,200 @@
+"""Timeline export: metric snapshots rendered as Chrome trace-event JSON.
+
+:func:`render_chrome_trace` turns one snapshot document (from
+:meth:`repro.obs.metrics.MetricsRegistry.snapshot`, possibly merged
+across processes) into the Chrome trace-event format -- the
+``{"traceEvents": [...]}`` JSON that both ``chrome://tracing`` and
+`Perfetto <https://ui.perfetto.dev>`_ open directly:
+
+* every finished span becomes a complete (``ph="X"``) event with
+  microsecond ``ts``/``dur``, laid out in per-``pid``/per-``tid`` lanes;
+* error-status spans are flagged (``cname="terrible"`` colors them red
+  in chrome://tracing; ``args.status``/``args.error_type`` carry the
+  diagnostic either way);
+* counters become counter (``ph="C"``) events stamped at snapshot time,
+  on a dedicated pseudo-process lane (pid ``0``, named ``metrics``);
+* metadata (``ph="M"``) events name each process lane.
+
+**Clock domains.**  Span ``start_ns`` values are per-process
+``perf_counter_ns`` readings; only a node carrying an explicit
+``wall_start_ns`` anchor (stamped on every root at record time) maps its
+subtree onto the shared wall-clock axis.  Children are placed relative
+to their parent via perf offsets -- exact within one process -- while a
+grafted child with its own anchor (a worker's span tree merged under the
+collector's sweep span) opens a new clock domain with its own
+``pid``/``tid`` lane.  Cross-process placement is therefore as accurate
+as the hosts' wall clocks; on one machine that is sub-millisecond, ample
+for sweep timelines.
+
+Rendering is deterministic: events are stably sorted and the canonical
+text form (:func:`render_chrome_json`) serializes with sorted keys, so
+the same snapshot always produces byte-identical output -- ``repro
+timeline run.jsonl`` reproduces the file ``--timeline`` wrote.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+__all__ = [
+    "CHROME_REQUIRED_KEYS",
+    "METRICS_LANE_PID",
+    "render_chrome_trace",
+    "render_chrome_json",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+]
+
+#: Keys every trace event must carry (the schema the CI smoke validates).
+CHROME_REQUIRED_KEYS = ("ph", "ts", "pid", "tid", "name")
+
+#: Pseudo-pid of the counter lane (no real process has pid 0).
+METRICS_LANE_PID = 0
+
+
+def _format_labels(labels: Dict[str, Any]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{key}={value}"
+                     for key, value in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _span_events(node: Dict[str, Any], events: List[Dict[str, Any]],
+                 pid: int, tid: int,
+                 wall_anchor_ns: int, perf_anchor_ns: int) -> None:
+    """Emit one span subtree.  ``wall_anchor_ns`` is the wall-clock time
+    corresponding to the ``perf_counter_ns`` reading ``perf_anchor_ns``
+    in this subtree's process; a node with its own ``wall_start_ns``
+    opens a new clock domain (and lane) for itself and its children."""
+    if "wall_start_ns" in node:
+        pid = node.get("pid", pid)
+        tid = node.get("tid", tid)
+        wall_anchor_ns = node["wall_start_ns"]
+        perf_anchor_ns = node.get("start_ns", 0)
+    start_wall_ns = wall_anchor_ns + (node.get("start_ns", 0)
+                                      - perf_anchor_ns)
+    event: Dict[str, Any] = {
+        "ph": "X",
+        "cat": "span",
+        "name": node.get("name", ""),
+        "ts": start_wall_ns // 1000,
+        "dur": node.get("duration_ns", 0) // 1000,
+        "pid": pid,
+        "tid": tid,
+    }
+    args = dict(node.get("labels", {}))
+    status = node.get("status", "ok")
+    if status != "ok":
+        event["cname"] = "terrible"  # chrome://tracing renders this red
+        args["status"] = status
+        if node.get("error_type"):
+            args["error_type"] = node["error_type"]
+    if args:
+        event["args"] = args
+    events.append(event)
+    for child in node.get("children", ()):
+        _span_events(child, events, pid, tid,
+                     wall_anchor_ns, perf_anchor_ns)
+
+
+def render_chrome_trace(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """One snapshot as a Chrome trace-event document (a plain dict)."""
+    events: List[Dict[str, Any]] = []
+    snapshot_ts_ns = snapshot.get("ts_ns", 0)
+
+    for root in snapshot.get("spans", ()):
+        # Roots recorded before anchoring existed fall back to "ended at
+        # snapshot time" -- approximate, but still a renderable lane.
+        fallback = snapshot_ts_ns - root.get("duration_ns", 0)
+        _span_events(root, events,
+                     root.get("pid", METRICS_LANE_PID),
+                     root.get("tid", 0),
+                     root.get("wall_start_ns", fallback),
+                     root.get("start_ns", 0))
+
+    counter_ts = snapshot_ts_ns // 1000
+    for entry in snapshot.get("counters", ()):
+        events.append({
+            "ph": "C",
+            "name": entry["name"] + _format_labels(entry.get("labels", {})),
+            "ts": counter_ts,
+            "pid": METRICS_LANE_PID,
+            "tid": 0,
+            "args": {"value": entry.get("value", 0)},
+        })
+
+    pids = sorted({event["pid"] for event in events})
+    for pid in pids:
+        events.append({
+            "ph": "M",
+            "name": "process_name",
+            "ts": 0,
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": "metrics" if pid == METRICS_LANE_PID
+                     else f"process {pid}"},
+        })
+
+    # Stable lane-major order; within a lane, metadata (ts 0) leads and
+    # longer spans precede the children they enclose at the same tick.
+    events.sort(key=lambda event: (
+        event["pid"], event["tid"], event["ts"], -event.get("dur", 0),
+        event["ph"], event["name"]))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def render_chrome_json(snapshot: Dict[str, Any]) -> str:
+    """The canonical text form of :func:`render_chrome_trace` (sorted
+    keys, compact separators) -- byte-identical for equal snapshots."""
+    return json.dumps(render_chrome_trace(snapshot), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def write_chrome_trace(snapshot: Dict[str, Any],
+                       path: Union[str, Path]) -> None:
+    """Write the canonical Chrome trace JSON for ``snapshot`` to ``path``."""
+    with open(path, "w", encoding="utf-8") as stream:
+        stream.write(render_chrome_json(snapshot) + "\n")
+
+
+def validate_chrome_trace(document: Any) -> List[str]:
+    """Schema problems of a trace-event document (empty list: valid).
+
+    Checks the containment shape, the required keys of every event
+    (:data:`CHROME_REQUIRED_KEYS`, plus ``dur`` on complete events),
+    numeric non-negative timestamps, and that ``ts`` is monotonically
+    non-decreasing within each ``(pid, tid)`` lane -- the properties the
+    CI ``timeline-smoke`` job asserts on emitted files.
+    """
+    if not isinstance(document, dict):
+        return ["document is not a JSON object"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["document has no traceEvents array"]
+    problems: List[str] = []
+    last_ts: Dict[Any, Any] = {}
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {index}: not an object")
+            continue
+        missing = [key for key in CHROME_REQUIRED_KEYS if key not in event]
+        if missing:
+            problems.append(f"event {index}: missing keys {missing}")
+            continue
+        ts = event["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"event {index}: ts must be a non-negative "
+                            f"number, got {ts!r}")
+            continue
+        if event["ph"] == "X" and "dur" not in event:
+            problems.append(f"event {index}: complete event without dur")
+        lane = (event["pid"], event["tid"])
+        if lane in last_ts and ts < last_ts[lane]:
+            problems.append(f"event {index}: ts {ts} goes backwards in "
+                            f"lane pid={lane[0]} tid={lane[1]} "
+                            f"(previous {last_ts[lane]})")
+        last_ts[lane] = ts
+    return problems

@@ -28,6 +28,7 @@ stay comparable.
 from __future__ import annotations
 
 import bisect
+import os
 import threading
 import time
 from typing import Any, Dict, Iterator, List, Optional, Tuple
@@ -164,6 +165,24 @@ class Histogram:
 
     def time(self) -> "_Timer":
         return _Timer(self)
+
+    def absorb(self, counts: List[int], total: float, count: int) -> None:
+        """Merge another histogram's per-bucket counts into this one.
+
+        Used by :func:`repro.obs.context.merge_snapshot` to fold worker
+        snapshots into the collector's registry; the caller is responsible
+        for matching bounds (the registry's get-or-create already rejects
+        a bounds conflict for the same instrument identity).
+        """
+        if len(counts) != len(self._counts):
+            raise ObservabilityError(
+                f"histogram {self.name!r} cannot absorb {len(counts)} "
+                f"buckets into {len(self._counts)}")
+        with self._lock:
+            for index, value in enumerate(counts):
+                self._counts[index] += value
+            self._sum += total
+            self._count += count
 
     def describe(self) -> Dict[str, Any]:
         return {"name": self.name, "labels": dict(self.labels),
@@ -334,8 +353,25 @@ class MetricsRegistry:
             .observe(span.duration_seconds)
 
     def _record_root(self, span: Span) -> None:
+        # Root spans are stamped with their clock domain: ``start_ns``
+        # values are per-process ``perf_counter_ns`` readings, so the
+        # wall-clock anchor (derived at record time, when the duration is
+        # known) is what lets trees from different processes land on one
+        # timeline (see repro.obs.export).
+        document = span.to_dict()
+        document["pid"] = os.getpid()
+        document["tid"] = threading.get_ident()
+        document["wall_start_ns"] = time.time_ns() - span.duration_ns
+        self.record_span_document(document)
+
+    def record_span_document(self, document: Dict[str, Any]) -> None:
+        """Append one finished span *tree* (a JSON-able dict) to the
+        bounded root-span log.  This is how snapshots merged from other
+        processes -- and synthetic spans for work that never ran, e.g.
+        timed-out sweep jobs -- enter the log; live spans go through the
+        span stack and arrive here via :meth:`_record_root`."""
         with self._span_seconds_lock:
-            self._spans.append(span.to_dict())
+            self._spans.append(document)
             if len(self._spans) > MAX_RECORDED_SPANS:
                 del self._spans[0]
 
@@ -407,6 +443,9 @@ class NullRegistry(MetricsRegistry):
 
     def current_span(self) -> None:
         return None
+
+    def record_span_document(self, document: Dict[str, Any]) -> None:
+        pass
 
     @property
     def spans(self) -> List[Dict[str, Any]]:
@@ -509,6 +548,10 @@ METRIC_CATALOG: Dict[str, Dict[str, str]] = {
     "sweep_jobs_total": {
         "type": "counter", "help": "sweep jobs collected (labelled by "
                                    "status: ok/error/timeout)"},
+    "sweep_job_timeout_total": {
+        "type": "counter",
+        "help": "sweep jobs abandoned by the collector's per-job timeout "
+                "(each also leaves a synthetic error-status span)"},
     "sweep_job_seconds": {
         "type": "histogram",
         "help": "per-job analysis wall time (labelled analysis, backend)"},

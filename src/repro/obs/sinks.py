@@ -221,6 +221,8 @@ def _render_span(span: Dict[str, Any], depth: int) -> str:
     labels = _format_labels(span.get("labels", {}))
     line = (f"{'  ' * depth}{span['name']}{labels}: "
             f"{span.get('duration_ns', 0) / 1e9:.6f}s")
+    if span.get("status", "ok") != "ok":
+        line += f" [{span.get('error_type') or span['status']}]"
     children = span.get("children", ())
     if children:
         line += "\n" + "\n".join(_render_span(child, depth + 1)

@@ -23,15 +23,26 @@ that created them: finished *root* spans land on the registry's bounded
 span log, and every finished span also feeds the ``span_seconds``
 histogram labelled with the span name, so span timings show up in plain
 metric snapshots (and Prometheus exposition) without walking trees.
+
+A span that exits with an exception records ``status="error"`` and the
+exception type name; snapshot dicts only carry the keys when set, so
+clean spans serialize exactly as before.  A span's children may also be
+plain *dicts* -- finished span trees grafted from another process'
+snapshot (see :mod:`repro.obs.context`) -- and ``to_dict`` passes those
+through verbatim.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Union
 
-__all__ = ["Span", "SpanStack"]
+__all__ = ["STATUS_ERROR", "STATUS_OK", "Span", "SpanStack"]
+
+#: Span completion status values (mirrors the sweep-record vocabulary).
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
 
 
 class Span:
@@ -39,7 +50,7 @@ class Span:
     hand -- and used as a context manager (re-entry is not supported)."""
 
     __slots__ = ("name", "labels", "start_ns", "duration_ns", "children",
-                 "_stack")
+                 "status", "error_type", "_stack")
 
     def __init__(self, name: str, labels: Dict[str, str],
                  stack: Optional["SpanStack"]) -> None:
@@ -47,7 +58,9 @@ class Span:
         self.labels = labels
         self.start_ns: int = 0
         self.duration_ns: int = 0
-        self.children: List["Span"] = []
+        self.children: List[Union["Span", Dict[str, Any]]] = []
+        self.status: str = STATUS_OK
+        self.error_type: Optional[str] = None
         self._stack = stack
 
     @property
@@ -62,20 +75,33 @@ class Span:
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         self.duration_ns = time.perf_counter_ns() - self.start_ns
+        if exc_type is not None:
+            self.status = STATUS_ERROR
+            self.error_type = exc_type.__name__
         if self._stack is not None:
             self._stack.pop(self)
         return False
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-able span tree (the form stored in metric snapshots)."""
+        """JSON-able span tree (the form stored in metric snapshots).
+
+        ``status``/``error_type`` appear only for failed spans, so clean
+        trees keep their compact pre-status shape.  Dict children (span
+        trees merged in from another process) pass through as-is.
+        """
         out: Dict[str, Any] = {
             "name": self.name,
             "labels": dict(self.labels),
             "start_ns": self.start_ns,
             "duration_ns": self.duration_ns,
         }
+        if self.status != STATUS_OK:
+            out["status"] = self.status
+            if self.error_type is not None:
+                out["error_type"] = self.error_type
         if self.children:
-            out["children"] = [child.to_dict() for child in self.children]
+            out["children"] = [child.to_dict() if isinstance(child, Span)
+                               else child for child in self.children]
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -117,11 +143,16 @@ class SpanStack:
         frames = self._frames()
         # Tolerate exits out of order (a span leaked across a generator
         # boundary): unwind to the span being closed rather than corrupting
-        # the stack for the rest of the thread's lifetime.
+        # the stack for the rest of the thread's lifetime.  Every unwound
+        # intermediate still gets the finish hook -- it never ran
+        # ``__exit__``, so its duration is stamped here; dropping it
+        # silently would make its time vanish from ``span_seconds``.
         while frames:
             top = frames.pop()
             if top is span:
                 break
+            top.duration_ns = time.perf_counter_ns() - top.start_ns
+            self._on_finish(top)
         self._on_finish(span)
         if not frames:
             self._on_root(span)

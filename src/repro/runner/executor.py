@@ -26,17 +26,20 @@ record-for-record (modulo wall-clock times).
 from __future__ import annotations
 
 import json
+import os
 import statistics
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
-from dataclasses import dataclass
+from contextlib import nullcontext
+from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence, Tuple
 
 from repro.analyses.common.base import Analysis
 from repro.core import AUTO_BACKEND
 from repro.errors import ReproError
 from repro.obs import metrics as obs_metrics
+from repro.obs.context import merge_snapshot, new_span_id, new_trace_id
 from repro.runner.corpus import (
     Suite,
     TraceCorpus,
@@ -73,6 +76,14 @@ class SweepJob:
     #: Record the trace's feature bucket even for static jobs (oracle
     #: sweeps do this so static measurements can warm a bandit).
     tag_features: bool = False
+    #: Distributed-tracing context, set by the collector when telemetry is
+    #: on: the run-wide trace id plus this job's span id.  A job carrying
+    #: a trace id tells a pool worker (which has no registry installed) to
+    #: capture telemetry on a job-local registry and ship the snapshot
+    #: back inside its record; ``None``/``None`` means tracing is off and
+    #: the job runs exactly as before.
+    trace_id: Optional[str] = None
+    span_id: Optional[str] = None
 
     def describe(self) -> str:
         return f"{self.spec.trace_id} {self.analysis} [{self.backend}]"
@@ -187,8 +198,17 @@ def _job_policy(job: SweepJob):
     return policy
 
 
+def _job_span_labels(job: SweepJob) -> dict:
+    """Labels of a job's ``sweep_job`` span (same set inline and pooled,
+    so merged span trees keep one shape regardless of worker count)."""
+    return dict(trace=job.trace_id, span=job.span_id,
+                workload=job.spec.trace_id, analysis=job.analysis,
+                backend=job.backend)
+
+
 def execute_job(job: SweepJob, corpus: Optional[TraceCorpus] = None,
-                repeats: int = 1, policy=None) -> SweepRecord:
+                repeats: int = 1, policy=None,
+                capture_telemetry: bool = False) -> SweepRecord:
     """Run one job to completion, capturing any analysis error.
 
     ``repeats`` re-runs the analysis that many times over the same trace
@@ -200,52 +220,90 @@ def execute_job(job: SweepJob, corpus: Optional[TraceCorpus] = None,
     run; pool workers leave it ``None`` and rebuild the policy from the
     job's ``policy``/``policy_state`` fields instead.
 
+    A job carrying a ``trace_id`` runs under a ``sweep_job`` span.  In the
+    collector's own process that span simply nests under the open sweep
+    span; with ``capture_telemetry=True`` (how the collector submits
+    traced jobs to pool workers) the job instead runs on a fresh job-local
+    registry whose snapshot -- the job's exact telemetry delta, since the
+    registry was born empty -- comes back on the record's ``telemetry``
+    field for the collector to merge.  The flag must be explicit: under
+    the ``fork`` start method a worker *inherits* a copy of the
+    collector's active registry, so "no registry installed" cannot mark
+    the worker side.
+
     This is the worker-side entry point; it must stay a module-level
     function so it pickles by reference under ``spawn``.
     """
-    spec = job.spec
-    base = dict(suite=job.suite, trace_id=spec.trace_id, kind=spec.kind,
-                threads=spec.threads, events=spec.events, seed=spec.seed,
-                analysis=job.analysis, backend=job.backend)
-    is_auto = job.backend == AUTO_BACKEND
-    try:
-        trace = (corpus if corpus is not None else _WORKER_CORPUS).get(spec)
-        analysis_cls = Analysis.by_name(job.analysis)
-        if is_auto and policy is None:
-            policy = _job_policy(job)
-        result = None
-        times = []
-        for _ in range(max(1, repeats)):
-            if is_auto:
-                outcome = analysis_cls(job.backend, policy=policy).run(trace)
-            else:
-                outcome = analysis_cls(job.backend).run(trace)
-            times.append(outcome.elapsed_seconds)
-            if result is None:
-                result = outcome
-        if is_auto:
-            extras = dict(
-                backend_selected=result.details.get("backend_selected", ""),
-                policy=result.details.get("policy"),
-                feature_bucket=result.details.get("feature_bucket"))
-        else:
-            extras = dict(backend_selected=job.backend)
-            if job.tag_features:
-                from repro.tune import extract_features
+    if capture_telemetry and job.trace_id is not None:
+        worker_registry = obs_metrics.MetricsRegistry()
+        with obs_metrics.use_registry(worker_registry):
+            record = _execute_spanned(job, corpus, repeats, policy,
+                                      worker_registry)
+        return replace(record, telemetry=worker_registry.snapshot())
+    return _execute_spanned(job, corpus, repeats, policy, obs_metrics.ACTIVE)
 
-                extras["feature_bucket"] = extract_features(trace).bucket()
-        return SweepRecord(status=STATUS_OK,
-                           elapsed_seconds=min(times),
-                           elapsed_median_seconds=statistics.median(times),
-                           repeats=len(times),
-                           finding_count=result.finding_count,
-                           insert_count=result.insert_count,
-                           delete_count=result.delete_count,
-                           query_count=result.query_count,
-                           **extras, **base)
+
+def _execute_spanned(job: SweepJob, corpus, repeats, policy,
+                     registry) -> SweepRecord:
+    """Run a job under its ``sweep_job`` span (when traced), folding any
+    failure into an error record *after* the span has seen the exception
+    -- that is what stamps ``status="error"``/``error_type`` on it."""
+    try:
+        if registry is not None and job.trace_id is not None:
+            with registry.span("sweep_job", **_job_span_labels(job)):
+                return _run_job(job, corpus, repeats, policy)
+        return _run_job(job, corpus, repeats, policy)
     except Exception:
         return SweepRecord(status=STATUS_ERROR, error=traceback.format_exc(),
-                           **base)
+                           **_job_base(job))
+
+
+def _job_base(job: SweepJob) -> dict:
+    spec = job.spec
+    return dict(suite=job.suite, trace_id=spec.trace_id, kind=spec.kind,
+                threads=spec.threads, events=spec.events, seed=spec.seed,
+                analysis=job.analysis, backend=job.backend)
+
+
+def _run_job(job: SweepJob, corpus: Optional[TraceCorpus],
+             repeats: int, policy) -> SweepRecord:
+    """The actual work of one job; raises on failure (see callers)."""
+    spec = job.spec
+    is_auto = job.backend == AUTO_BACKEND
+    trace = (corpus if corpus is not None else _WORKER_CORPUS).get(spec)
+    analysis_cls = Analysis.by_name(job.analysis)
+    if is_auto and policy is None:
+        policy = _job_policy(job)
+    result = None
+    times = []
+    for _ in range(max(1, repeats)):
+        if is_auto:
+            outcome = analysis_cls(job.backend, policy=policy).run(trace)
+        else:
+            outcome = analysis_cls(job.backend).run(trace)
+        times.append(outcome.elapsed_seconds)
+        if result is None:
+            result = outcome
+    if is_auto:
+        extras = dict(
+            backend_selected=result.details.get("backend_selected", ""),
+            policy=result.details.get("policy"),
+            feature_bucket=result.details.get("feature_bucket"))
+    else:
+        extras = dict(backend_selected=job.backend)
+        if job.tag_features:
+            from repro.tune import extract_features
+
+            extras["feature_bucket"] = extract_features(trace).bucket()
+    return SweepRecord(status=STATUS_OK,
+                       elapsed_seconds=min(times),
+                       elapsed_median_seconds=statistics.median(times),
+                       repeats=len(times),
+                       finding_count=result.finding_count,
+                       insert_count=result.insert_count,
+                       delete_count=result.delete_count,
+                       query_count=result.query_count,
+                       **extras, **_job_base(job))
 
 
 def run_jobs(jobs: Sequence[SweepJob], *, workers: int = 1,
@@ -283,19 +341,30 @@ def run_jobs(jobs: Sequence[SweepJob], *, workers: int = 1,
     if not jobs:
         return result
 
-    # Telemetry is collector-side: pool workers are separate processes, so
-    # their in-process registries never propagate.  Job wall time comes
-    # from the record; queue wait is the collector's submit-to-result
-    # latency for each future.
+    # Distributed tracing: with a registry active the collector mints one
+    # run-wide trace id plus a span id per job and ships them on the jobs.
+    # Inline jobs then nest real ``sweep_job`` child spans under the open
+    # ``sweep`` span; pool workers capture job-local snapshots that come
+    # back on their records and are merged under the same sweep span
+    # below -- so both modes produce equivalent merged snapshots.  Queue
+    # wait is the collector's submit-to-result latency for each future.
     registry = obs_metrics.ACTIVE
+    if registry is not None:
+        trace_id = new_trace_id()
+        jobs = [replace(job, trace_id=trace_id, span_id=new_span_id())
+                for job in jobs]
+        sweep_scope = registry.span("sweep", suite=name, trace=trace_id)
+    else:
+        sweep_scope = nullcontext()
 
     if workers == 1:
         corpus = TraceCorpus()
-        for job in jobs:
-            record = execute_job(job, corpus, repeats, policy=policy)
-            if policy is not None:
-                _feed_policy(policy, record)
-            result.records.append(record)
+        with sweep_scope:
+            for job in jobs:
+                record = execute_job(job, corpus, repeats, policy=policy)
+                if policy is not None:
+                    _feed_policy(policy, record)
+                result.records.append(record)
         if registry is not None:
             for record in result.records:
                 _observe_record(registry, record)
@@ -304,45 +373,56 @@ def run_jobs(jobs: Sequence[SweepJob], *, workers: int = 1,
     pool = ProcessPoolExecutor(max_workers=min(workers, len(jobs)))
     timed_out = False
     try:
-        futures = [pool.submit(execute_job, job, None, repeats)
-                   for job in jobs]
-        for job, future in zip(jobs, futures):
-            wait_start = time.perf_counter() if registry is not None else 0.0
-            try:
-                record = future.result(timeout=timeout_seconds)
-            except FutureTimeout:
-                # cancel() succeeds only for jobs that never left the queue
-                # -- label those honestly: they never ran.
-                if future.cancel():
-                    timed_out = True
-                    record = _failure_record(
-                        job, STATUS_TIMEOUT,
-                        f"job was still queued when its {timeout_seconds}s "
-                        f"collection window expired")
-                elif future.done():
-                    # Finished between the timeout firing and the cancel
-                    # attempt: keep the real result instead of mislabeling
-                    # a completed job as a timeout.
-                    try:
-                        record = future.result(timeout=0)
-                    except Exception:  # completed with e.g. BrokenProcessPool
-                        record = _failure_record(job, STATUS_ERROR,
-                                                 traceback.format_exc())
-                else:
-                    timed_out = True
-                    record = _failure_record(
-                        job, STATUS_TIMEOUT,
-                        f"job did not complete within {timeout_seconds}s")
-            except Exception:  # worker died (e.g. BrokenProcessPool)
-                record = _failure_record(job, STATUS_ERROR,
-                                         traceback.format_exc())
-            if registry is not None:
-                registry.histogram("sweep_queue_wait_seconds").observe(
-                    time.perf_counter() - wait_start)
-                _observe_record(registry, record)
-            if policy is not None:
-                _feed_policy(policy, record)
-            result.records.append(record)
+        with sweep_scope as sweep_span:
+            futures = [pool.submit(execute_job, job, None, repeats, None,
+                                   registry is not None)
+                       for job in jobs]
+            for job, future in zip(jobs, futures):
+                wait_start = (time.perf_counter() if registry is not None
+                              else 0.0)
+                try:
+                    record = future.result(timeout=timeout_seconds)
+                except FutureTimeout:
+                    # cancel() succeeds only for jobs that never left the
+                    # queue -- label those honestly: they never ran.
+                    if future.cancel():
+                        timed_out = True
+                        record = _failure_record(
+                            job, STATUS_TIMEOUT,
+                            f"job was still queued when its "
+                            f"{timeout_seconds}s collection window expired")
+                        _note_timeout(registry, sweep_span, job)
+                    elif future.done():
+                        # Finished between the timeout firing and the
+                        # cancel attempt: keep the real result instead of
+                        # mislabeling a completed job as a timeout.
+                        try:
+                            record = future.result(timeout=0)
+                        except Exception:  # e.g. BrokenProcessPool
+                            record = _failure_record(job, STATUS_ERROR,
+                                                     traceback.format_exc())
+                    else:
+                        timed_out = True
+                        record = _failure_record(
+                            job, STATUS_TIMEOUT,
+                            f"job did not complete within "
+                            f"{timeout_seconds}s")
+                        _note_timeout(registry, sweep_span, job)
+                except Exception:  # worker died (e.g. BrokenProcessPool)
+                    record = _failure_record(job, STATUS_ERROR,
+                                             traceback.format_exc())
+                if registry is not None:
+                    registry.histogram("sweep_queue_wait_seconds").observe(
+                        time.perf_counter() - wait_start)
+                    if record.telemetry is not None:
+                        # Fold the worker's delta into the live registry and
+                        # drop the payload -- records stay transport-free.
+                        merge_snapshot(registry, record.telemetry, sweep_span)
+                        record = replace(record, telemetry=None)
+                    _observe_record(registry, record)
+                if policy is not None:
+                    _feed_policy(policy, record)
+                result.records.append(record)
     finally:
         if timed_out:
             # A timed-out job is still running in its worker; a plain
@@ -427,6 +507,34 @@ def _feed_policy(policy, record: SweepRecord) -> None:
     backend = record.backend_selected or record.backend
     policy.observe(record.analysis, record.feature_bucket, backend,
                    record.elapsed_seconds)
+
+
+def _note_timeout(registry, sweep_span, job: SweepJob) -> None:
+    """Leave a telemetry trail for a job the collector abandoned.
+
+    The worker never reported back, so the collector stands in for it:
+    a ``sweep_job_timeout_total`` tick plus a synthetic zero-duration
+    error-status span grafted under the sweep span (anchored to the
+    collector's clock at the moment of abandonment), so timeouts are
+    visible in timelines instead of silently missing lanes.
+    """
+    if registry is None:
+        return
+    registry.counter("sweep_job_timeout_total").inc()
+    document = {
+        "name": "sweep_job",
+        "labels": _job_span_labels(job),
+        "start_ns": 0,
+        "duration_ns": 0,
+        "status": "error",
+        "error_type": "timeout",
+        "pid": os.getpid(),
+        "wall_start_ns": time.time_ns(),
+    }
+    if sweep_span is not None:
+        sweep_span.children.append(document)
+    else:  # pragma: no cover - sweeps always trace under an open span
+        registry.record_span_document(document)
 
 
 def _observe_record(registry: "obs_metrics.MetricsRegistry",

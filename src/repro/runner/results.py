@@ -16,7 +16,7 @@ Export reuses the benchmark layer: CSV via
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional, Tuple
 
 from repro.bench.export import Destination, rows_to_csv
@@ -77,6 +77,14 @@ class SweepRecord:
     #: for ``auto`` jobs and, in oracle sweeps, for static jobs too so
     #: their measurements can warm a bandit.
     feature_bucket: Optional[str] = None
+    #: Worker-local telemetry snapshot (metric deltas + finished span
+    #: trees) for jobs that ran in a pool worker with tracing on; ``None``
+    #: otherwise.  Collector-side transport only: the collector merges it
+    #: and drops it, and it is excluded from ``to_dict``/CSV/JSON exports
+    #: so record documents keep their pinned shape (``compare=False``
+    #: keeps record equality about outcomes, not transport payloads).
+    telemetry: Optional[Dict[str, object]] = field(default=None,
+                                                   compare=False)
 
     @property
     def ok(self) -> bool:
@@ -96,7 +104,8 @@ class SweepRecord:
         return self.insert_count + self.delete_count + self.query_count
 
     def to_dict(self) -> Dict[str, object]:
-        return asdict(self)
+        return {spec.name: getattr(self, spec.name)
+                for spec in fields(self) if spec.name != "telemetry"}
 
     def to_row(self) -> List[object]:
         data = self.to_dict()

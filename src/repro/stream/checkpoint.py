@@ -45,8 +45,11 @@ def save_checkpoint(engine: StreamEngine, path: Union[str, Path]) -> None:
     registry = engine.metrics
     timer = registry.histogram("checkpoint_seconds").time() \
         if registry is not None else None
+    span = registry.span("checkpoint") if registry is not None else None
     if timer is not None:
         timer.__enter__()
+    if span is not None:
+        span.__enter__()
     try:
         state = engine.state_dict()
         path = Path(path)
@@ -57,9 +60,15 @@ def save_checkpoint(engine: StreamEngine, path: Union[str, Path]) -> None:
                 stream.write("\n")
             os.replace(temp_path, path)
         except OSError as error:
+            if span is not None:
+                # Close by hand so the span records the error status.
+                span.__exit__(CheckpointError, error, None)
+                span = None
             raise CheckpointError(
                 f"cannot save checkpoint to {path}: {error}") from error
     finally:
+        if span is not None:
+            span.__exit__(None, None, None)
         if timer is not None:
             timer.__exit__(None, None, None)
     if registry is not None:

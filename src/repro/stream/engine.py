@@ -611,7 +611,17 @@ class StreamEngine:
         operations are still pending -- so per-analysis errors are recorded
         (``stats.flush_errors``, ``StreamResult.errors``) rather than
         killing the monitor: the next flush simply re-evaluates.
+
+        With telemetry on, each flush runs under a ``stream_flush`` span
+        with one ``flush_analysis`` child per attachment (error-status for
+        failed ones), so a watch session renders as a real timeline.
         """
+        if self._metrics is not None:
+            with self._metrics.span("stream_flush"):
+                return self._flush_attachments()
+        return self._flush_attachments()
+
+    def _flush_attachments(self) -> Dict[str, AnalysisResult]:
         from repro.errors import ReproError
 
         if self._auto_pending:
@@ -625,21 +635,33 @@ class StreamEngine:
         for attachment in self._attachments:
             timer = attachment.m_flush.time() \
                 if attachment.m_flush is not None else None
+            span = (self._metrics.span("flush_analysis",
+                                       analysis=attachment.name)
+                    if self._metrics is not None else None)
             try:
                 if timer is not None:
                     timer.__enter__()
-                if attachment.native:
-                    result = attachment.analysis.flush()
-                else:
-                    snapshot, offsets = self.snapshot()
-                    result = attachment.analysis.run(snapshot)
-            except ReproError as error:
-                attachment.last_error = str(error)
-                self.stats.flush_errors += 1
-                if self._m_flush_errors is not None:
-                    self._m_flush_errors.inc()
-                continue
+                if span is not None:
+                    span.__enter__()
+                try:
+                    if attachment.native:
+                        result = attachment.analysis.flush()
+                    else:
+                        snapshot, offsets = self.snapshot()
+                        result = attachment.analysis.run(snapshot)
+                except ReproError as error:
+                    if span is not None:
+                        # Close by hand so the span records error status.
+                        span.__exit__(ReproError, error, None)
+                        span = None
+                    attachment.last_error = str(error)
+                    self.stats.flush_errors += 1
+                    if self._m_flush_errors is not None:
+                        self._m_flush_errors.inc()
+                    continue
             finally:
+                if span is not None:
+                    span.__exit__(None, None, None)
                 if timer is not None:
                     timer.__exit__(None, None, None)
             attachment.last_error = None

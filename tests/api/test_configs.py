@@ -18,6 +18,7 @@ from repro.api import (
     ReportConfig,
     StatsConfig,
     SweepConfig,
+    TimelineConfig,
     WatchConfig,
 )
 from repro.errors import ConfigError, ReproError
@@ -47,6 +48,7 @@ REPRESENTATIVES = [
     BenchConfig(quick=True, repeats=2, out="-", threshold=3.0,
                 compare=False),
     StatsConfig(source="m.jsonl", format="prom", index=0),
+    TimelineConfig(source="m.jsonl", out="t.json", index=0),
     ReportConfig(mode="trend", dir="bench", out="tables", basename="trend"),
 ]
 

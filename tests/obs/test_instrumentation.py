@@ -13,10 +13,16 @@ from repro.api import (
     Session,
     StatsConfig,
     SweepConfig,
+    TimelineConfig,
     WatchConfig,
 )
 from repro.errors import ReproError
-from repro.obs import METRIC_CATALOG, MetricsRegistry, use_registry
+from repro.obs import (
+    METRIC_CATALOG,
+    MetricsRegistry,
+    use_registry,
+    validate_chrome_trace,
+)
 from repro.trace import dump_trace
 
 
@@ -283,3 +289,69 @@ class TestStatsAndReport:
         assert "fig11/csst" in \
             (tmp_path / "tables" / "perf_trend.md").read_text()
         assert "perf_trend.md" in result.to_table()
+
+
+class TestTimeline:
+    def test_timeline_flag_writes_a_valid_trace(self, session, trace_file,
+                                                tmp_path):
+        timeline = tmp_path / "t.json"
+        result = session.run(WatchConfig(source=trace_file,
+                                         analyses="race-prediction",
+                                         flush_every=30,
+                                         timeline=str(timeline)))
+        assert result.exit_code == 0
+        document = json.loads(timeline.read_text())
+        assert validate_chrome_trace(document) == []
+        names = {event["name"] for event in document["traceEvents"]
+                 if event["ph"] == "X"}
+        assert {"watch", "stream_flush", "flush_analysis"} <= names
+
+    def test_timeline_command_reproduces_the_flag_output(self, session,
+                                                         trace_file,
+                                                         tmp_path):
+        # Acceptance: ``repro timeline run.jsonl`` renders byte-for-byte
+        # the file ``--timeline`` wrote from the live registry.
+        metrics = tmp_path / "m.jsonl"
+        live = tmp_path / "live.json"
+        session.run(WatchConfig(source=trace_file,
+                                analyses="race-prediction",
+                                metrics=str(metrics), timeline=str(live)))
+        replayed = tmp_path / "replayed.json"
+        result = session.run(TimelineConfig(source=str(metrics),
+                                            out=str(replayed)))
+        assert result.exit_code == 0
+        assert replayed.read_bytes() == live.read_bytes()
+        assert result.out_path == str(replayed)
+        assert "lanes" in result.to_table()
+        # to_json is the file's text (sans trailing newline), verbatim.
+        assert result.to_json() + "\n" == live.read_text()
+
+    def test_timeline_to_stdout_renders_inline(self, session, trace_file,
+                                               tmp_path):
+        metrics = tmp_path / "m.jsonl"
+        session.run(AnalyzeConfig(analysis="race-prediction",
+                                  trace=trace_file, metrics=str(metrics)))
+        result = session.run(TimelineConfig(source=str(metrics)))
+        assert result.out_path is None
+        document = json.loads(result.to_table())
+        assert validate_chrome_trace(document) == []
+
+    def test_timeline_bad_index_is_a_clean_error(self, session, trace_file,
+                                                 tmp_path):
+        metrics = tmp_path / "m.jsonl"
+        session.run(AnalyzeConfig(analysis="race-prediction",
+                                  trace=trace_file, metrics=str(metrics)))
+        with pytest.raises(ReproError, match="out of range"):
+            session.run(TimelineConfig(source=str(metrics), index=7))
+
+    def test_stats_chrome_format_matches_timeline_rendering(self, session,
+                                                            trace_file,
+                                                            tmp_path):
+        metrics = tmp_path / "m.jsonl"
+        session.run(AnalyzeConfig(analysis="race-prediction",
+                                  trace=trace_file, metrics=str(metrics)))
+        stats = session.run(StatsConfig(source=str(metrics),
+                                        format="chrome"))
+        timeline = session.run(TimelineConfig(source=str(metrics)))
+        assert stats.to_chrome() == timeline.to_json()
+        assert validate_chrome_trace(json.loads(stats.to_chrome())) == []

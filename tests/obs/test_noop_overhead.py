@@ -98,3 +98,34 @@ class TestDisabledEngine:
             assert attachment.m_feed is None
             assert attachment.m_flush is None
             assert attachment.m_findings is None
+
+
+class TestDisabledSweep:
+    def test_pooled_sweep_with_telemetry_off_is_free(self):
+        """A pooled sweep with no active registry must neither allocate
+        from repro.obs on the collector side nor attach per-job telemetry
+        payloads to the records it ships back."""
+        from repro.runner.corpus import Suite, TraceSpec, grid
+        from repro.runner.executor import plan_jobs, run_jobs
+
+        assert obs_metrics.ACTIVE is None  # telemetry off
+
+        suite = Suite(name="tiny", description="overhead probe",
+                      specs=grid(["racy"], [2], [16]))
+        jobs = plan_jobs(suite, backends=["vc", "st"])
+        holder = {}
+
+        def run():
+            holder["result"] = run_jobs(jobs, workers=2, suite_name="tiny")
+
+        assert _obs_allocations(run) == 0
+        result = holder["result"]
+        assert len(result.records) == len(jobs) and not result.failures()
+        # No trace context was minted, and no snapshot rode along: the
+        # record on the wire is exactly the enabled-mode record minus
+        # telemetry (``to_dict`` never carries the field either way).
+        for record in result.records:
+            assert record.telemetry is None
+            assert "telemetry" not in record.to_dict()
+        for job in jobs:
+            assert job.trace_id is None and job.span_id is None

@@ -91,6 +91,16 @@ class TestRecording:
         outer.__exit__(None, None, None)
         assert registry.current_span() is None
         assert [span["name"] for span in registry.spans] == ["outer"]
+        # The unwound inner span was *finished*, not dropped: it has a
+        # stamped duration, hangs off the outer tree, and fed the
+        # ``span_seconds`` histogram like any cleanly closed span.
+        assert inner.duration_ns >= 0
+        assert [child["name"]
+                for child in registry.spans[0]["children"]] == ["inner"]
+        observed = {entry["labels"]["name"]: entry["count"]
+                    for entry in registry.snapshot()["histograms"]
+                    if entry["name"] == "span_seconds"}
+        assert observed == {"outer": 1, "inner": 1}
         # The thread's stack still works afterwards.
         with registry.span("next"):
             pass
