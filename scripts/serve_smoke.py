@@ -1,0 +1,176 @@
+#!/usr/bin/env python
+"""CI smoke test for ``repro serve`` socket mode with crash recovery.
+
+Starts a real ``python -m repro serve`` subprocess listening on a local
+socket, replays a multi-tenant corpus through it (one tenant per
+source), SIGKILLs one worker process mid-replay using the ``--pid-file``
+the server wrote, and asserts that the merged findings and per-tenant
+summaries still match a sequential per-tenant ``repro watch`` baseline.
+Also sanity-checks the exported timeline (one lane per worker plus the
+supervisor's own).
+
+Usage (from the repository root, with ``PYTHONPATH=src``)::
+
+    python scripts/serve_smoke.py --workers 2 --kill-at 30 \
+        --timeline serve-trace.json
+"""
+
+import argparse
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+if SRC not in os.environ.get("PYTHONPATH", "").split(os.pathsep):
+    os.environ["PYTHONPATH"] = os.pathsep.join(
+        part for part in (SRC, os.environ.get("PYTHONPATH")) if part)
+
+SOURCES = [
+    "racy:threads=3,events=60,seed=1",
+    "racy:threads=2,events=40,seed=7",
+    "deadlock:threads=4,events=50,seed=3",
+]
+ANALYSES = "race-prediction,deadlock-prediction"
+
+
+def free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def wait_for_pids(path: str, expected: int, timeout: float = 20.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if os.path.exists(path):
+            with open(path, "r", encoding="utf-8") as stream:
+                pids = [int(line) for line in stream if line.strip()]
+            if len(pids) == expected:
+                return pids
+        time.sleep(0.05)
+    raise SystemExit(f"pid file {path!r} never listed {expected} workers")
+
+
+def replay_and_kill(port: int, lines, kill_pid: int, kill_at: int) -> int:
+    """Send protocol lines, killing ``kill_pid`` after ``kill_at`` events.
+    Returns the number of event lines sent."""
+    events = 0
+    killed = False
+    with socket.create_connection(("127.0.0.1", port), timeout=30) as sock:
+        stream = sock.makefile("rw", encoding="utf-8", newline="\n")
+        for line in lines:
+            stream.write(line + "\n")
+            stream.flush()
+            if not line.startswith("#"):
+                events += 1
+                if not killed and events >= kill_at:
+                    os.kill(kill_pid, signal.SIGKILL)
+                    killed = True
+                    print(f"killed worker pid {kill_pid} after "
+                          f"{events} events", flush=True)
+        sock.shutdown(socket.SHUT_WR)
+        responses = [line.rstrip("\n") for line in stream if line.strip()]
+    if responses:
+        raise SystemExit(f"server rejected lines: {responses}")
+    return events
+
+
+def watch_baseline(source: str):
+    """Sequential single-tenant ``repro watch`` over one source."""
+    out = subprocess.run(
+        [sys.executable, "-m", "repro", "watch", "--source", source,
+         "--analyses", ANALYSES, "--format", "jsonl"],
+        check=True, capture_output=True, text=True).stdout
+    lines = [json.loads(line) for line in out.splitlines() if line.strip()]
+    summary = [line for line in lines if line["type"] == "summary"][0]
+    findings = sorted((line["analysis"], line["position"], line["finding"])
+                      for line in lines if line["type"] == "finding")
+    return summary, findings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--kill-at", type=int, default=30,
+                        help="SIGKILL one worker after this many events")
+    parser.add_argument("--timeline", default="serve-trace.json")
+    parser.add_argument("--checkpoint-dir", default="serve-ckpt")
+    parser.add_argument("--stop-after", type=float, default=8.0)
+    args = parser.parse_args()
+
+    from repro.serve.frontdoor import open_replay, replay_lines
+
+    tenants = [tenant for tenant, _ in open_replay(SOURCES)]
+    port = free_port()
+    pid_file = "serve-pids.txt"
+    if os.path.exists(pid_file):
+        os.remove(pid_file)
+
+    command = [
+        sys.executable, "-m", "repro", "serve",
+        "--analyses", ANALYSES,
+        "--listen", f"127.0.0.1:{port}",
+        "--workers", str(args.workers),
+        "--checkpoint-dir", args.checkpoint_dir,
+        "--checkpoint-every", "16",
+        "--pid-file", pid_file,
+        "--timeline", args.timeline,
+        "--stop-after", str(args.stop_after),
+        "--format", "jsonl",
+    ]
+    server = subprocess.Popen(command, stdout=subprocess.PIPE, text=True)
+    try:
+        pids = wait_for_pids(pid_file, args.workers)
+        events = replay_and_kill(port, replay_lines(SOURCES),
+                                 kill_pid=pids[0], kill_at=args.kill_at)
+        out, _ = server.communicate(timeout=args.stop_after + 120)
+    finally:
+        if server.poll() is None:
+            server.kill()
+    if server.returncode != 0:
+        raise SystemExit(f"serve exited {server.returncode}")
+
+    lines = [json.loads(line) for line in out.splitlines() if line.strip()]
+    document = [line for line in lines if line["type"] == "serve"][0]
+    served_findings = {tenant: sorted(
+        (f["analysis"], f["position"], f["finding"])
+        for f in document["findings"] if f["tenant"] == tenant)
+        for tenant in tenants}
+
+    assert document["respawns"] >= 1, "worker kill never triggered a respawn"
+    assert sorted(document["tenants"]) == sorted(tenants), document["tenants"]
+    assert document["events"] == events, (document["events"], events)
+
+    for source, tenant in zip(SOURCES, tenants):
+        summary, findings = watch_baseline(source)
+        served = document["summaries"][tenant]
+        assert served["final"] == summary["final"], \
+            f"{tenant}: final analysis results diverge from sequential watch"
+        assert served["events"] == summary["events"], \
+            (tenant, served["events"], summary["events"])
+        assert served_findings[tenant] == findings, \
+            f"{tenant}: merged findings feed diverges from sequential watch"
+
+    with open(args.timeline, "r", encoding="utf-8") as stream:
+        timeline = json.load(stream)
+    spans = [e for e in timeline["traceEvents"] if e.get("ph") == "X"]
+    lanes = {e["pid"] for e in spans}
+    assert len(lanes) >= args.workers + 1, \
+        f"expected supervisor + {args.workers} worker lanes, got {lanes}"
+    assert any(e["name"] == "serve_worker" for e in spans), \
+        "no serve_worker span in the timeline"
+
+    print(f"serve smoke OK: {len(tenants)} tenants, {events} events, "
+          f"{document['respawns']} respawn(s), findings parity with "
+          f"sequential watch, {len(lanes)} timeline lanes")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,6 +42,10 @@ Sub-packages
 ``repro.stream``
     Streaming engine: online event ingestion, windowed incremental
     analyses, checkpoint/restore (``python -m repro watch``).
+``repro.serve``
+    Multi-tenant sharded streaming service: many feeds across worker
+    processes with quotas, backpressure, and crash recovery
+    (``python -m repro serve``).
 """
 
 from repro._version import __version__
@@ -53,6 +57,7 @@ from repro.api import (
     GenConfig,
     GenerateConfig,
     Registry,
+    ServeConfig,
     Session,
     SweepConfig,
     WatchConfig,
@@ -102,6 +107,7 @@ __all__ = [
     "ReproError",
     "SegmentTree",
     "SegmentTreeOrder",
+    "ServeConfig",
     "Session",
     "SparseSegmentTree",
     "StreamError",

@@ -42,6 +42,7 @@ from repro.api.config import (
     GenConfig,
     GenerateConfig,
     ReportConfig,
+    ServeConfig,
     StatsConfig,
     SweepConfig,
     TimelineConfig,
@@ -58,6 +59,7 @@ from repro.api.results import (
     GenerateResult,
     ReportResult,
     Result,
+    ServeResult,
     StatsResult,
     SweepRunResult,
     TimelineResult,
@@ -86,6 +88,8 @@ __all__ = [
     "ReportConfig",
     "ReportResult",
     "Result",
+    "ServeConfig",
+    "ServeResult",
     "Session",
     "StatsConfig",
     "StatsResult",

@@ -374,9 +374,25 @@ class WatchConfig(Config):
     timeline: Optional[str] = None
     policy: Optional[str] = None
     policy_state: Optional[str] = None
+    #: Additional sources beyond ``source``.  More than one source turns
+    #: the watch into a multi-tenant run through the serving code path
+    #: (one tenant per source); options that only make sense for a single
+    #: feed (follow, checkpoint resume, max_events) are rejected then.
+    sources: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         _require(bool(self.source), "watch config needs a source")
+        _set(self, sources=tuple(str(item) for item in self.sources or ()))
+        if self.sources:
+            _require(self.analyses is not None and bool(self.analyses),
+                     "multi-source watch needs explicit analyses")
+            _require(not self.follow,
+                     "--follow only applies to a single source")
+            _require(self.checkpoint is None,
+                     "checkpoint resume only applies to a single source; "
+                     "use serve's checkpoint_dir for multi-tenant state")
+            _require(self.max_events is None,
+                     "max_events only applies to a single source")
         _coerce_numbers(self, int, flush_every=self.flush_every,
                         checkpoint_every=self.checkpoint_every,
                         max_events=self.max_events)
@@ -391,6 +407,76 @@ class WatchConfig(Config):
         _check_metrics_path(self.metrics, "watch")
         _check_timeline_path(self.timeline, "watch")
         _check_policy(self, "watch")
+
+
+@dataclass(frozen=True)
+class ServeConfig(Config):
+    """Multi-tenant sharded streaming service (CLI: ``repro serve``).
+
+    Exactly one ingest mode must be configured: **replay** (``sources``,
+    one tenant per source, deterministic round-robin interleave -- the
+    testing/CI mode) or **socket** (``host``/``port``, the line protocol
+    of :mod:`repro.serve.protocol`).  ``workers=0`` runs the degenerate
+    in-process path with no worker processes (no crash recovery).
+    """
+
+    command: ClassVar[str] = "serve"
+
+    analyses: Tuple[str, ...] = ()
+    sources: Tuple[str, ...] = ()
+    host: Optional[str] = None
+    port: Optional[int] = None
+    workers: int = 2
+    backend: Optional[str] = "auto"
+    window: Optional[str] = None
+    flush_every: Optional[int] = None
+    checkpoint_dir: Optional[str] = None
+    checkpoint_every: Optional[int] = None
+    policy: Optional[str] = None
+    policy_state: Optional[str] = None
+    queue_size: int = 256
+    quota_events: Optional[int] = None
+    drain_timeout: float = 60.0
+    stop_after: Optional[float] = None
+    crash_worker: Optional[str] = None
+    #: Write one worker pid per line here once workers are up -- the hook
+    #: external kill-a-worker tests (and the CI smoke job) use to aim.
+    pid_file: Optional[str] = None
+    metrics: Optional[str] = None
+    timeline: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        _set(self, analyses=_name_tuple(self.analyses, "serve analyses",
+                                        default=()) or (),
+             sources=tuple(str(item) for item in self.sources or ()))
+        _require(bool(self.analyses), "serve config needs analyses")
+        socket_mode = self.host is not None or self.port is not None
+        _require(bool(self.sources) != socket_mode,
+                 "serve needs exactly one of: replay sources, or a "
+                 "host/port socket to listen on")
+        _coerce_numbers(self, int, workers=self.workers, port=self.port,
+                        flush_every=self.flush_every,
+                        checkpoint_every=self.checkpoint_every,
+                        queue_size=self.queue_size,
+                        quota_events=self.quota_events)
+        _coerce_numbers(self, float, drain_timeout=self.drain_timeout,
+                        stop_after=self.stop_after)
+        _require(self.workers >= 0,
+                 f"workers must be >= 0, got {self.workers}")
+        _require(self.queue_size >= 1,
+                 f"queue_size must be >= 1, got {self.queue_size}")
+        _require(self.quota_events is None or self.quota_events >= 1,
+                 f"quota_events must be >= 1, got {self.quota_events}")
+        _require(self.flush_every is None or self.flush_every >= 1,
+                 f"flush_every must be >= 1, got {self.flush_every}")
+        _require(self.checkpoint_every is None or self.checkpoint_every >= 1,
+                 f"checkpoint_every must be >= 1, got "
+                 f"{self.checkpoint_every}")
+        _require(self.crash_worker is None or self.workers >= 1,
+                 "crash_worker requires worker processes (workers >= 1)")
+        _check_metrics_path(self.metrics, "serve")
+        _check_timeline_path(self.timeline, "serve")
+        _check_policy(self, "serve")
 
 
 @dataclass(frozen=True)
@@ -627,6 +713,6 @@ class ReportConfig(Config):
 #: Every request config, in CLI-subcommand order.
 ALL_CONFIGS: Tuple[type, ...] = (
     GenerateConfig, AnalyzeConfig, CompareConfig, SweepConfig, WatchConfig,
-    GenConfig, ConvertConfig, FuzzConfig, BenchConfig, StatsConfig,
-    TimelineConfig, ReportConfig,
+    ServeConfig, GenConfig, ConvertConfig, FuzzConfig, BenchConfig,
+    StatsConfig, TimelineConfig, ReportConfig,
 )

@@ -291,6 +291,71 @@ class WatchResult(Result):
 
 
 @dataclass
+class ServeResult(Result):
+    """One service run (from :class:`~repro.api.config.ServeConfig`).
+
+    Wraps the service-layer :class:`~repro.serve.service.ServeOutcome`
+    (:attr:`outcome`).  ``to_dict`` nests, per tenant, the *identical*
+    summary document a single-source ``repro watch`` over that tenant's
+    feed would emit -- that shape equality is the serve/watch parity
+    contract the integration tests pin.
+    """
+
+    outcome: Any = None
+
+    @property
+    def exit_code(self) -> int:
+        # Like watch: a tenant whose final flush failed (or whose feed
+        # was poisoned by a bad line) is not a clean success.
+        for document in self.outcome.summaries.values():
+            if document.get("errors"):
+                return EXIT_FAILURE
+        return EXIT_FAILURE if self.outcome.errors else EXIT_OK
+
+    def to_dict(self) -> Dict[str, Any]:
+        outcome = self.outcome
+        document: Dict[str, Any] = {
+            "type": "serve",
+            "tenants": list(outcome.tenants),
+            "events": outcome.events,
+            "workers": outcome.workers,
+            "respawns": outcome.respawns,
+            "quota_rejected": outcome.rejected,
+            "findings": [
+                {"tenant": item.tenant, "analysis": item.analysis,
+                 "position": item.position, "finding": item.finding}
+                for item in sorted(
+                    outcome.findings,
+                    key=lambda f: (f.tenant, f.position, f.analysis,
+                                   f.finding))
+            ],
+            "summaries": {tenant: outcome.summaries[tenant]
+                          for tenant in outcome.tenants},
+        }
+        if outcome.errors:
+            document["errors"] = [
+                {"tenant": tenant, "error": text}
+                for tenant, text in outcome.errors]
+        return document
+
+    def to_table(self) -> str:
+        outcome = self.outcome
+        lines = [f"served {len(outcome.tenants)} tenants, "
+                 f"{outcome.events} events, {len(outcome.findings)} "
+                 f"findings ({outcome.workers} workers, "
+                 f"{outcome.respawns} respawns)"]
+        for tenant in outcome.tenants:
+            doc = outcome.summaries[tenant]
+            lines.append(f"  {tenant}: {doc['events']} events, "
+                         f"{doc['emitted']} findings")
+        if outcome.rejected:
+            lines.append(f"  quota-rejected events: {outcome.rejected}")
+        for tenant, text in outcome.errors[:5]:
+            lines.append(f"  error[{tenant}]: {text}")
+        return "\n".join(lines)
+
+
+@dataclass
 class CorpusResult(Result):
     """One built corpus (from :class:`~repro.api.config.GenConfig`);
     ``to_dict`` is the manifest document written to disk."""

@@ -42,6 +42,7 @@ from repro.api.config import (
     GenConfig,
     GenerateConfig,
     ReportConfig,
+    ServeConfig,
     StatsConfig,
     SweepConfig,
     TimelineConfig,
@@ -58,6 +59,7 @@ from repro.api.results import (
     GenerateResult,
     ReportResult,
     Result,
+    ServeResult,
     StatsResult,
     SweepRunResult,
     TimelineResult,
@@ -127,6 +129,7 @@ class Session:
                 (CompareConfig, self.compare, ("trace",)),
                 (SweepConfig, self.sweep, ()),
                 (WatchConfig, self.watch, ("on_finding", "on_notice")),
+                (ServeConfig, self.serve, ("on_finding", "on_notice")),
                 (GenConfig, self.gen_corpus, ()),
                 (ConvertConfig, self.convert, ()),
                 (FuzzConfig, self.fuzz, ("on_case",)),
@@ -283,7 +286,28 @@ class Session:
         :class:`~repro.stream.engine.StreamFinding` as it is discovered;
         ``on_notice`` receives progress/diagnostic lines (see
         :data:`NoticeHook`).  Warnings are also collected on the result.
+
+        With extra ``sources`` the watch becomes a multi-tenant run (one
+        tenant per source) through the serving code path -- in-process,
+        no worker fan-out -- and returns a
+        :class:`~repro.api.results.ServeResult` whose ``on_finding`` items
+        are :class:`~repro.serve.supervisor.TenantFinding` (same fields
+        plus ``tenant``).
         """
+        if config.sources:
+            return self.serve(
+                ServeConfig(
+                    analyses=config.analyses,
+                    sources=(config.source,) + config.sources,
+                    workers=0,
+                    backend=config.backend,
+                    window=config.window,
+                    flush_every=config.flush_every,
+                    checkpoint_every=config.checkpoint_every,
+                    policy=config.policy,
+                    policy_state=config.policy_state,
+                ),
+                on_finding=on_finding, on_notice=on_notice)
         from repro.stream import (
             GeneratorSource,
             StreamEngine,
@@ -390,6 +414,61 @@ class Session:
                            backbone=engine.order is not None,
                            cursor=engine.cursor, checkpoint=config.checkpoint,
                            resumed_from=resumed_from, resume_cursor=skip)
+
+    def serve(self, config: ServeConfig,
+              on_finding: Optional[Callable[[Any], None]] = None,
+              on_notice: Optional[NoticeHook] = None) -> ServeResult:
+        """Run the multi-tenant sharded streaming service once.
+
+        Replay mode (``config.sources``) runs the sources to completion
+        and returns; socket mode (``config.host``/``port``) serves the
+        ingest line protocol until interrupted (or ``config.stop_after``
+        seconds).  ``on_finding`` receives each merged-feed
+        :class:`~repro.serve.supervisor.TenantFinding` as it arrives;
+        ``on_notice`` receives progress/diagnostic lines (see
+        :data:`NoticeHook`).  Warnings are also collected on the result.
+        """
+        from repro.serve.service import run_serve
+
+        warnings: List[str] = []
+
+        def notice(kind: str, message: str) -> None:
+            if kind == "warning":
+                warnings.append(message)
+            if on_notice is not None:
+                on_notice(kind, message)
+
+        def started(service: Any) -> None:
+            if config.pid_file and hasattr(service, "worker_pids"):
+                with open(config.pid_file, "w", encoding="utf-8") as stream:
+                    for pid in service.worker_pids:
+                        stream.write(f"{pid}\n")
+
+        analyses = [self.registry.resolve_analysis(item)
+                    for item in config.analyses]
+        outcome = run_serve(
+            analyses,
+            sources=config.sources,
+            host=config.host,
+            port=config.port,
+            workers=config.workers,
+            backend=config.backend,
+            window=config.window,
+            flush_every=config.flush_every,
+            checkpoint_dir=config.checkpoint_dir,
+            checkpoint_every=config.checkpoint_every,
+            policy=config.policy,
+            policy_state=config.policy_state,
+            queue_size=config.queue_size,
+            quota_events=config.quota_events,
+            drain_timeout=config.drain_timeout,
+            crash_worker=config.crash_worker,
+            stop_after_seconds=config.stop_after,
+            on_finding=on_finding,
+            on_notice=notice,
+            on_started=started,
+        )
+        return ServeResult(warnings=tuple(warnings), outcome=outcome)
 
     def gen_corpus(self, config: GenConfig) -> CorpusResult:
         """Build a trace corpus plus manifest (and register its suite)."""
@@ -581,6 +660,8 @@ class Session:
             dynamic_backends,
             incremental_backends,
         )
+        from repro.serve.routing import DEFAULT_VNODES, TENANT_PATTERN
+        from repro.serve.supervisor import RESPAWN_LIMIT
         from repro.tune import (
             DEFAULT_POLICY,
             FEATURE_NAMES,
@@ -640,6 +721,7 @@ class Session:
                 "compare": list(RESULT_FORMATS),
                 "sweep": list(SweepConfig.FORMATS),
                 "watch": list(WATCH_FORMATS),
+                "serve": list(WATCH_FORMATS),
                 "gen": list(RESULT_FORMATS),
                 "convert": list(RESULT_FORMATS),
                 "fuzz": list(RESULT_FORMATS),
@@ -652,6 +734,22 @@ class Session:
                 "default_policy": DEFAULT_POLICY,
                 "features": list(FEATURE_NAMES),
                 "state_version": STATE_VERSION,
+            },
+            "serving": {
+                "protocol": {
+                    "event": "<tenant>|<std-event-line>",
+                    "end": "#end|<tenant>",
+                    "bye": "#bye",
+                    "error": "#error|<tenant>|<message>",
+                },
+                "tenant_pattern": TENANT_PATTERN.pattern,
+                "routing": {
+                    "ring": "consistent-hash (sha1)",
+                    "vnodes": DEFAULT_VNODES,
+                },
+                "modes": ["replay", "socket"],
+                "recovery": "checkpoint restore + journal replay",
+                "respawn_limit": RESPAWN_LIMIT,
             },
             "observability": {
                 "metrics": {name: dict(info)

@@ -14,6 +14,7 @@ typical workflow does not require writing Python:
     python -m repro compare tso-consistency trace.txt
     python -m repro sweep --suite smoke --jobs 2 --format json
     python -m repro watch --source trace.txt --analyses race_prediction,deadlock
+    python -m repro serve --source a.std --source b.std --analyses race_prediction --workers 2
     python -m repro gen corpus --out corpus/ --kinds locked-mix,heap-churn
     python -m repro fuzz --seeds 50 --quick
     python -m repro sweep --suite smoke --metrics metrics.jsonl
@@ -46,6 +47,7 @@ from repro.api import (
     GenConfig,
     GenerateConfig,
     ReportConfig,
+    ServeConfig,
     Session,
     StatsConfig,
     SweepConfig,
@@ -333,11 +335,14 @@ def build_parser() -> argparse.ArgumentParser:
         "watch",
         help="stream a trace through analyses, emitting findings as they "
              "are discovered")
-    watch.add_argument("--source", required=True,
+    watch.add_argument("--source", required=True, action="append",
                        help="trace file (.std / .std.gz / .stc), corpus manifest "
                             "(manifest.json[#TRACE_ID]), or generator spec "
                             "kind[:key=value,...] "
-                            "(e.g. racy:threads=3,events=60,seed=1)")
+                            "(e.g. racy:threads=3,events=60,seed=1); "
+                            "repeatable -- several sources run as one "
+                            "multi-tenant watch (one tenant per source, "
+                            "findings prefixed with the tenant id)")
     watch.add_argument("--analyses", default=None,
                        help="comma-separated analysis names (underscore "
                             "spellings and unique prefixes accepted); "
@@ -388,6 +393,79 @@ def build_parser() -> argparse.ArgumentParser:
                        help="enable telemetry and write the session's span "
                             "timeline (per-flush/per-checkpoint spans) to "
                             "PATH as Chrome trace-event JSON")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the multi-tenant sharded streaming service: many event "
+             "feeds, N worker processes, crash recovery")
+    serve.add_argument("--analyses", required=True,
+                       help="comma-separated analysis names attached to "
+                            "every tenant's engine")
+    serve.add_argument("--source", action="append", default=None,
+                       help="replay mode: trace file / corpus manifest "
+                            "member / generator spec, one tenant per "
+                            "source; repeatable (mutually exclusive with "
+                            "--listen)")
+    serve.add_argument("--listen", default=None, metavar="HOST:PORT",
+                       help="socket mode: serve the ingest line protocol "
+                            "on this address (port 0 picks a free port; "
+                            "mutually exclusive with --source)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker processes sharding the tenants "
+                            "(default: 2; 0 = in-process, no crash "
+                            "recovery)")
+    serve.add_argument("--backend", default="auto",
+                       help="partial-order backend for every engine "
+                            "(default: auto -- a tuning policy picks per "
+                            "tenant and analysis)")
+    serve.add_argument("--policy", default=None, metavar="NAME",
+                       help="selection policy for --backend auto: static, "
+                            "heuristic (default), or bandit")
+    serve.add_argument("--policy-state", default=None, metavar="PATH",
+                       help="bandit policy state file (JSON) to warm-start "
+                            "from")
+    serve.add_argument("--window", default=None,
+                       help="event window per tenant engine (see 'repro "
+                            "watch --window')")
+    serve.add_argument("--flush-every", type=int, default=None,
+                       help="re-evaluate batch-fallback analyses every N "
+                            "events per tenant")
+    serve.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                       help="directory for per-tenant checkpoints "
+                            "(<tenant>.json); enables crashed-worker "
+                            "state recovery")
+    serve.add_argument("--checkpoint-every", type=int, default=None,
+                       help="checkpoint each tenant every N consumed "
+                            "events")
+    serve.add_argument("--queue-size", type=int, default=256,
+                       help="bounded per-worker command queue; a full "
+                            "queue pushes back on ingest (default: 256)")
+    serve.add_argument("--quota-events", type=int, default=None,
+                       help="per-tenant event quota; events beyond it are "
+                            "rejected with a protocol error")
+    serve.add_argument("--drain-timeout", type=float, default=60.0,
+                       help="seconds to wait for tenant summaries at "
+                            "shutdown (default: 60)")
+    serve.add_argument("--stop-after", type=float, default=None,
+                       help="socket mode: stop listening after this many "
+                            "seconds (testing hook)")
+    serve.add_argument("--crash-worker", default=None,
+                       metavar="INDEX@EVENTS",
+                       help="fault injection: worker INDEX exits hard "
+                            "after consuming EVENTS events (testing hook; "
+                            "recovery is expected to hide it)")
+    serve.add_argument("--pid-file", default=None, metavar="PATH",
+                       help="write one worker pid per line once workers "
+                            "are up (for external kill tests)")
+    serve.add_argument("--format", choices=WATCH_FORMATS, default="text",
+                       help="output format (default: text)")
+    serve.add_argument("--metrics", default=None, metavar="PATH",
+                       help="enable telemetry and append a JSON-lines "
+                            "metrics snapshot to PATH (see 'repro stats')")
+    serve.add_argument("--timeline", default=None, metavar="PATH",
+                       help="enable telemetry and write the merged span "
+                            "timeline (one lane per worker) to PATH as "
+                            "Chrome trace-event JSON")
 
     stats = subparsers.add_parser(
         "stats",
@@ -656,8 +734,42 @@ def _fuzz(args: argparse.Namespace) -> int:
     return result.exit_code
 
 
+def _finding_hooks(jsonl: bool):
+    """The ``on_finding``/``on_notice`` pair watch and serve share.
+
+    ``on_finding`` items may be single-feed
+    :class:`~repro.stream.engine.StreamFinding` (no tenant) or merged-feed
+    :class:`~repro.serve.supervisor.TenantFinding` (tenant-prefixed).
+    """
+
+    def emit(item) -> None:
+        tenant = getattr(item, "tenant", None)
+        if jsonl:
+            document = {"type": "finding", "analysis": item.analysis,
+                        "position": item.position,
+                        "finding": str(item.finding)}
+            if tenant is not None:
+                document["tenant"] = tenant
+            print(json.dumps(document), flush=True)
+        else:
+            line = f"[{item.position:>6d}] {item.analysis}: {item.finding}"
+            if tenant is not None:
+                line = f"{tenant} {line}"
+            print(line, flush=True)
+
+    def notice(kind: str, message: str) -> None:
+        if kind == "warning":
+            _warn(message)
+        elif not jsonl:
+            print(message, flush=True)
+
+    return emit, notice
+
+
 def _watch(args: argparse.Namespace) -> int:
-    config = WatchConfig(source=args.source, analyses=args.analyses,
+    sources = list(args.source)
+    config = WatchConfig(source=sources[0], sources=tuple(sources[1:]),
+                         analyses=args.analyses,
                          backend=args.backend, policy=args.policy,
                          policy_state=args.policy_state, window=args.window,
                          flush_every=args.flush_every,
@@ -667,22 +779,45 @@ def _watch(args: argparse.Namespace) -> int:
                          max_events=args.max_events, metrics=args.metrics,
                          timeline=args.timeline)
     jsonl = args.format == "jsonl"
+    emit, notice = _finding_hooks(jsonl)
+    result = _session().run(config, on_finding=emit, on_notice=notice)
+    if jsonl:
+        print(json.dumps(result.to_dict()), flush=True)
+    else:
+        print(result.to_table())
+    return result.exit_code
 
-    def emit(item) -> None:
-        if jsonl:
-            print(json.dumps({"type": "finding", "analysis": item.analysis,
-                              "position": item.position,
-                              "finding": str(item.finding)}), flush=True)
-        else:
-            print(f"[{item.position:>6d}] {item.analysis}: {item.finding}",
-                  flush=True)
 
-    def notice(kind: str, message: str) -> None:
-        if kind == "warning":
-            _warn(message)
-        elif not jsonl:
-            print(message)
-
+def _serve(args: argparse.Namespace) -> int:
+    host, port = None, None
+    if args.listen is not None:
+        address, separator, port_text = args.listen.rpartition(":")
+        if not separator:
+            raise ReproError(f"malformed --listen {args.listen!r}: "
+                             f"expected HOST:PORT")
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise ReproError(f"malformed --listen port {port_text!r}") \
+                from None
+        host = address or "127.0.0.1"
+    config = ServeConfig(analyses=args.analyses,
+                         sources=tuple(args.source or ()),
+                         host=host, port=port, workers=args.workers,
+                         backend=args.backend, policy=args.policy,
+                         policy_state=args.policy_state, window=args.window,
+                         flush_every=args.flush_every,
+                         checkpoint_dir=args.checkpoint_dir,
+                         checkpoint_every=args.checkpoint_every,
+                         queue_size=args.queue_size,
+                         quota_events=args.quota_events,
+                         drain_timeout=args.drain_timeout,
+                         stop_after=args.stop_after,
+                         crash_worker=args.crash_worker,
+                         pid_file=args.pid_file,
+                         metrics=args.metrics, timeline=args.timeline)
+    jsonl = args.format == "jsonl"
+    emit, notice = _finding_hooks(jsonl)
     result = _session().run(config, on_finding=emit, on_notice=notice)
     if jsonl:
         print(json.dumps(result.to_dict()), flush=True)
@@ -733,7 +868,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {"generate": _generate, "analyze": _analyze,
                 "compare": _compare, "sweep": _sweep, "bench": _bench,
                 "gen": _gen, "convert": _convert, "fuzz": _fuzz,
-                "watch": _watch, "stats": _stats, "timeline": _timeline,
+                "watch": _watch, "serve": _serve,
+                "stats": _stats, "timeline": _timeline,
                 "report": _report, "capabilities": _capabilities}
     try:
         return handlers[args.command](args)

@@ -102,6 +102,25 @@ class CheckpointError(StreamError):
     """Raised when a stream checkpoint cannot be saved or restored."""
 
 
+class FeedCancelledError(StreamError):
+    """Raised to producers blocked in :meth:`FeedSource.push`/``emit`` when
+    the *consumer* side went away (the consuming iterator was closed or the
+    feed was cancelled).  Without this, a producer blocked on backpressure
+    against a dead consumer would deadlock forever -- worker shutdown in
+    :mod:`repro.serve` relies on the typed unblock."""
+
+
+class ServeError(ReproError):
+    """Raised by the multi-tenant serving layer (:mod:`repro.serve`):
+    malformed ingest lines, unknown tenants, supervisor/worker failures,
+    quota violations surfaced as errors."""
+
+
+class ProtocolError(ServeError):
+    """Raised when an ingest line violates the serve line protocol
+    (bad tenant id, malformed control line, event for an ended tenant)."""
+
+
 class ConfigError(ReproError):
     """Raised by :mod:`repro.api` when a request config is invalid
     (unknown keys, out-of-range values, conflicting options)."""

@@ -595,4 +595,28 @@ METRIC_CATALOG: Dict[str, Dict[str, str]] = {
         "type": "gauge",
         "help": "total policy regret vs the per-job optimum of the last "
                 "oracle sweep"},
+    "serve_events_total": {
+        "type": "counter",
+        "help": "events consumed by the serve workers (labelled by "
+                "tenant)"},
+    "serve_tenants_total": {
+        "type": "counter",
+        "help": "tenant sessions admitted by the service"},
+    "serve_tenant_lag_seconds": {
+        "type": "gauge",
+        "help": "ingest-to-consume lag of each tenant's most recent "
+                "event (labelled by tenant)"},
+    "serve_worker_respawn_total": {
+        "type": "counter",
+        "help": "crashed worker processes respawned by the supervisor "
+                "(labelled by worker slot)"},
+    "serve_quota_rejected_total": {
+        "type": "counter",
+        "help": "events rejected by per-tenant quotas (labelled by "
+                "tenant)"},
+    "serve_backpressure_waits_total": {
+        "type": "counter",
+        "help": "bounded-queue put timeouts on the ingest path -- each is "
+                "~200ms of pushback on the feeding client (labelled by "
+                "worker slot)"},
 }

@@ -1,0 +1,225 @@
+"""The front door: socket ingest and corpus replay.
+
+Two ways events reach the :class:`~repro.serve.supervisor.Supervisor`:
+
+* :func:`serve_socket` -- an asyncio TCP server speaking the line
+  protocol of :mod:`repro.serve.protocol`.  Each connection gets its own
+  reader coroutine; blocking ingest (bounded worker queues) runs in the
+  default executor, so one backpressured tenant stalls only its own
+  connection while the loop keeps serving the rest.  Pushback reaches
+  clients the honest way: the reader simply stops reading, the socket
+  buffer fills, and the sender's TCP window closes.
+
+* :func:`replay_sources` -- deterministic multi-tenant replay of trace
+  files / corpus members / generator specs, one tenant per source,
+  round-robin interleaved so every worker sees genuinely concurrent
+  tenants.  This is the testing mode (``repro serve --once``) and also
+  the engine behind multi-``--source`` ``repro watch``.
+
+Per-event protocol errors (quota exceeded, malformed line) are reported
+to the client as ``#error|<tenant>|<message>`` response lines and the
+connection stays up -- one misbehaving tenant must not sever a
+connection multiplexing many.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import ProtocolError, ServeError
+from repro.serve.protocol import BYE_LINE, format_end, format_event_line, \
+    parse_line
+from repro.serve.routing import TENANT_PATTERN, validate_tenant
+from repro.serve.supervisor import Supervisor
+from repro.trace.formats import format_event
+
+#: Server -> client per-event rejection line.
+ERROR_PREFIX = "#error|"
+
+
+def tenant_for_source(name: str, taken: Iterable[str] = ()) -> str:
+    """Derive a legal, unique tenant id from a source name.
+
+    Source names (file stems, corpus trace ids, generator specs) may
+    contain characters outside the tenant alphabet; they are mapped to
+    ``-`` and the result is de-duplicated against ``taken`` with a
+    numeric suffix.
+    """
+    cleaned = "".join(char if TENANT_PATTERN.match(f"a{char}") else "-"
+                      for char in str(name))[:64]
+    cleaned = cleaned.strip("-") or "tenant"
+    if not cleaned[0].isalnum():
+        cleaned = "t" + cleaned[:63]
+    taken = set(taken)
+    candidate, attempt = cleaned, 1
+    while candidate in taken:
+        attempt += 1
+        suffix = f"-{attempt}"
+        candidate = cleaned[:64 - len(suffix)] + suffix
+    return validate_tenant(candidate)
+
+
+def open_replay(specs: Iterable[str]
+                ) -> List[Tuple[str, Iterator[str]]]:
+    """Resolve source specs into ``(tenant, std-line-iterator)`` pairs.
+
+    Every source kind ``repro watch`` accepts works here too (STD text,
+    ``.stc`` binary, corpus ``manifest.json#TRACE_ID``, generator specs):
+    the source is opened with :func:`~repro.stream.open_source` and its
+    events re-serialized to STD lines, which keeps replay agnostic of
+    the original container format.
+    """
+    from repro.stream import open_source
+
+    feeds: List[Tuple[str, Iterator[str]]] = []
+    taken: List[str] = []
+    for spec in specs:
+        source = open_source(spec)
+        tenant = tenant_for_source(getattr(source, "name", spec), taken)
+        taken.append(tenant)
+        feeds.append((tenant,
+                      (format_event(event) for event in source.events())))
+    return feeds
+
+
+def replay_sources(supervisor: Supervisor, specs: Iterable[str],
+                   on_sent: Optional[Callable[[str, int], None]] = None
+                   ) -> Dict[str, int]:
+    """Replay ``specs`` through ``supervisor``, one tenant per source.
+
+    Sources are interleaved round-robin (one event each per cycle) so the
+    run is deterministic yet genuinely multi-tenant at every instant.
+    Each tenant's feed is ended as its source drains.  Returns the event
+    count per tenant.  ``on_sent(tenant, seq)`` fires after each accepted
+    event (the CI smoke test uses it to schedule a mid-replay kill).
+    """
+    feeds = open_replay(specs)
+    counts: Dict[str, int] = {tenant: 0 for tenant, _ in feeds}
+    if len(counts) != len(feeds):
+        raise ServeError("duplicate tenant ids in replay set")
+    live = list(feeds)
+    while live:
+        still_live = []
+        for tenant, lines in live:
+            line = next(lines, None)
+            if line is None:
+                supervisor.end_tenant(tenant)
+                continue
+            seq = supervisor.ingest_event(tenant, line)
+            counts[tenant] = seq
+            if on_sent is not None:
+                on_sent(tenant, seq)
+            still_live.append((tenant, lines))
+        live = still_live
+    return counts
+
+
+# --------------------------------------------------------------------------- #
+# Socket server
+# --------------------------------------------------------------------------- #
+async def handle_connection(supervisor: Supervisor,
+                            reader: asyncio.StreamReader,
+                            writer: asyncio.StreamWriter) -> None:
+    """Serve one ingest connection until EOF or ``#bye``."""
+    loop = asyncio.get_running_loop()
+    try:
+        while True:
+            raw = await reader.readline()
+            if not raw:
+                break
+            try:
+                line = raw.decode("utf-8")
+            except UnicodeDecodeError:
+                writer.write(f"{ERROR_PREFIX}?|line is not UTF-8\n"
+                             .encode("utf-8"))
+                await writer.drain()
+                continue
+            tenant = None
+            try:
+                kind, tenant, payload = parse_line(line)
+                if kind == "blank":
+                    continue
+                if kind == "bye":
+                    break
+                if kind == "end":
+                    await loop.run_in_executor(
+                        None, supervisor.end_tenant, tenant)
+                else:  # event
+                    await loop.run_in_executor(
+                        None, supervisor.ingest_event, tenant, payload)
+            except ProtocolError as error:
+                label = tenant if tenant is not None else "?"
+                writer.write(f"{ERROR_PREFIX}{label}|{error}\n"
+                             .encode("utf-8"))
+                await writer.drain()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - client gone
+            pass
+
+
+async def serve_socket(supervisor: Supervisor, host: str, port: int
+                       ) -> asyncio.AbstractServer:
+    """Start the ingest server (caller owns its lifetime).  The bound
+    port is available as ``server.sockets[0].getsockname()[1]`` -- pass
+    ``port=0`` to let the kernel pick one."""
+
+    async def handler(reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        await handle_connection(supervisor, reader, writer)
+
+    return await asyncio.start_server(handler, host=host, port=port)
+
+
+# --------------------------------------------------------------------------- #
+# Client helper (tests / CI replay over a real socket)
+# --------------------------------------------------------------------------- #
+def send_lines(host: str, port: int, lines: Iterable[str],
+               timeout: float = 30.0) -> List[str]:
+    """Blocking client: send protocol lines, return ``#error`` responses.
+
+    Sends ``#bye`` at the end if the caller did not.  Reads interleaved
+    error responses without blocking on them (the server only writes on
+    rejection).
+    """
+    import socket
+
+    responses: List[str] = []
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        stream = sock.makefile("rw", encoding="utf-8", newline="\n")
+        said_bye = False
+        for line in lines:
+            stream.write(line.rstrip("\n") + "\n")
+            if line.strip() == BYE_LINE:
+                said_bye = True
+        if not said_bye:
+            stream.write(BYE_LINE + "\n")
+        stream.flush()
+        sock.shutdown(socket.SHUT_WR)
+        for response in stream:
+            if response.strip():
+                responses.append(response.rstrip("\n"))
+    return responses
+
+
+def replay_lines(specs: Iterable[str]) -> Iterator[str]:
+    """The full protocol line sequence replaying ``specs`` (round-robin
+    interleaved, ``#end`` per drained tenant, final ``#bye``) -- feed it
+    to :func:`send_lines` to drive a live server the way
+    :func:`replay_sources` drives an in-process supervisor."""
+    feeds = open_replay(specs)
+    live = list(feeds)
+    while live:
+        still_live = []
+        for tenant, lines in live:
+            line = next(lines, None)
+            if line is None:
+                yield format_end(tenant)
+                continue
+            yield format_event_line(tenant, line)
+            still_live.append((tenant, lines))
+        live = still_live
+    yield BYE_LINE

@@ -1,0 +1,78 @@
+"""The serve ingest line protocol.
+
+One UTF-8 text line per message, newline-terminated.  Three message
+kinds:
+
+``<tenant>|<std-event-line>``
+    One event for ``tenant``.  The payload after the first ``|`` is a
+    standard STD trace line (see :mod:`repro.trace.formats`), so any
+    existing trace file can be replayed by prefixing each line with a
+    tenant id.  Events of one tenant must arrive in observed order with
+    per-thread indexes assigned consecutively from 0 -- exactly the
+    invariant every other source in the system enforces.
+
+``#end|<tenant>``
+    ``tenant``'s feed is complete: the service performs the final flush
+    and reports the tenant's summary.
+
+``#bye``
+    The client is done; the service may drain and shut the connection
+    (replay mode sends it after the last tenant's ``#end``).
+
+Control lines reuse the STD comment prefix ``#`` deliberately: a serve
+ingest line with its tenant prefix stripped is always a valid STD line,
+and an STD comment can never be mistaken for an event.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.errors import ProtocolError
+from repro.serve.routing import validate_tenant
+
+#: Client-side farewell (no payload).
+BYE_LINE = "#bye"
+
+#: Prefix of the tenant-feed-complete control line.
+END_PREFIX = "#end|"
+
+
+def format_event_line(tenant: str, std_line: str) -> str:
+    """Wire line carrying one STD event line for ``tenant``."""
+    validate_tenant(tenant)
+    return f"{tenant}|{std_line}"
+
+
+def format_end(tenant: str) -> str:
+    """Wire line marking ``tenant``'s feed complete."""
+    validate_tenant(tenant)
+    return f"{END_PREFIX}{tenant}"
+
+
+def parse_line(line: str) -> Tuple[str, Optional[str], Optional[str]]:
+    """Parse one wire line into ``(kind, tenant, payload)``.
+
+    ``kind`` is ``"event"`` (tenant + STD payload), ``"end"`` (tenant,
+    no payload), ``"bye"``, or ``"blank"`` (empty line / bare comment,
+    to be ignored).  Malformed lines raise
+    :class:`~repro.errors.ProtocolError` -- ingest never guesses.
+    """
+    line = line.rstrip("\r\n")
+    stripped = line.strip()
+    if not stripped:
+        return ("blank", None, None)
+    if stripped == BYE_LINE:
+        return ("bye", None, None)
+    if stripped.startswith(END_PREFIX):
+        tenant = stripped[len(END_PREFIX):]
+        return ("end", validate_tenant(tenant), None)
+    if stripped.startswith("#"):
+        raise ProtocolError(f"unknown control line {stripped!r} "
+                            f"(known: {BYE_LINE!r}, {END_PREFIX!r}<tenant>)")
+    tenant, separator, payload = line.partition("|")
+    if not separator or not payload.strip():
+        raise ProtocolError(
+            f"malformed ingest line {line!r}: expected "
+            f"<tenant>|<std-event-line>")
+    return ("event", validate_tenant(tenant.strip()), payload)

@@ -1,0 +1,84 @@
+"""Tenant identifiers and consistent-hash routing.
+
+Every tenant (one live event feed, one session id) is pinned to exactly
+one shard for its whole lifetime: a :class:`~repro.stream.StreamEngine`
+holds per-thread index counters and dedup state that cannot migrate
+mid-stream.  The pin must also be *stable across processes and runs* --
+the supervisor, each worker, and a respawned worker after a crash all
+recompute it independently -- so the ring hashes with SHA-1, never
+Python's randomized ``hash()``.
+
+A consistent-hash ring with virtual nodes (rather than ``hash % N``)
+keeps the door open for resizing: adding a shard moves only ``~1/N`` of
+the tenants, which matters once checkpoints make tenant state portable.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import re
+from typing import List, Tuple
+
+from repro.errors import ProtocolError
+
+#: Tenant ids travel on the wire as the first ``|``-separated field of an
+#: ingest line and become checkpoint file names, so the alphabet excludes
+#: the protocol separator, whitespace, and path separators outright.
+TENANT_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._:-]{0,63}$")
+
+#: Virtual nodes per shard.  64 keeps the assignment spread within a few
+#: percent of uniform for the tenant counts the service targets while the
+#: ring stays tiny (N*64 entries, built once).
+DEFAULT_VNODES = 64
+
+
+def validate_tenant(tenant: str) -> str:
+    """Return ``tenant`` if it is a legal tenant id, else raise
+    :class:`~repro.errors.ProtocolError`."""
+    if not isinstance(tenant, str) or not TENANT_PATTERN.match(tenant):
+        raise ProtocolError(
+            f"invalid tenant id {tenant!r}: expected 1-64 characters of "
+            f"[A-Za-z0-9._:-] starting with an alphanumeric")
+    return tenant
+
+
+def _digest(value: str) -> int:
+    return int.from_bytes(hashlib.sha1(value.encode("utf-8")).digest()[:8],
+                          "big")
+
+
+class HashRing:
+    """Consistent-hash ring mapping tenant ids to shard indexes.
+
+    Deterministic: two rings built with the same ``(shards, vnodes)``
+    route every tenant identically, in any process, forever.
+    """
+
+    def __init__(self, shards: int, vnodes: int = DEFAULT_VNODES) -> None:
+        if shards < 1:
+            raise ProtocolError(f"ring needs >= 1 shard, got {shards}")
+        if vnodes < 1:
+            raise ProtocolError(f"ring needs >= 1 vnode, got {vnodes}")
+        self.shards = shards
+        self.vnodes = vnodes
+        points: List[Tuple[int, int]] = []
+        for shard in range(shards):
+            for vnode in range(vnodes):
+                points.append((_digest(f"shard-{shard}:vnode-{vnode}"),
+                               shard))
+        points.sort()
+        self._hashes = [point for point, _ in points]
+        self._owners = [owner for _, owner in points]
+
+    def route(self, tenant: str) -> int:
+        """The shard index owning ``tenant`` (validates the id)."""
+        validate_tenant(tenant)
+        position = bisect.bisect(self._hashes, _digest(tenant))
+        if position == len(self._hashes):  # wrap around the ring
+            position = 0
+        return self._owners[position]
+
+    def assignment(self, tenants) -> dict:
+        """``{tenant: shard}`` for a whole collection at once."""
+        return {tenant: self.route(tenant) for tenant in tenants}

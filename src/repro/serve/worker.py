@@ -1,0 +1,117 @@
+"""The worker process: one :class:`~repro.serve.shard.TenantShard` behind
+a command queue.
+
+Command messages (tuples, first element is the verb):
+
+* ``("event", tenant, seq, std_line, enqueued_at)`` -- feed one event;
+* ``("end", tenant)``                               -- final flush, reply
+  with the tenant's summary;
+* ``("checkpoint", tenant)``                        -- checkpoint now;
+* ``("stop",)``                                     -- drain-free
+  shutdown: ship telemetry, reply ``stopped``, exit.
+
+Result messages (posted to the shared results queue; every message leads
+with the worker index so the collector can attribute it):
+
+* ``("finding", index, tenant, {"analysis", "position", "finding"})``
+* ``("ack", index, tenant, cursor)``   -- checkpoint written;
+* ``("summary", index, tenant, doc)``  -- tenant ended;
+* ``("error", index, tenant, message)`` -- a command failed (the tenant's
+  feed is poisoned; subsequent events for it are dropped and re-reported,
+  but its ``end`` still yields a summary so the supervisor's drain
+  terminates, with the poison recorded under ``errors.ingest``);
+* ``("telemetry", index, snapshot)``   -- the worker registry's snapshot,
+  shipped once at shutdown;
+* ``("stopped", index)``               -- clean exit marker.
+
+Telemetry: when enabled, the worker installs a fresh registry and runs
+everything under one ``serve_worker`` root span.  Root spans are stamped
+with ``pid``/``tid``/``wall_start_ns`` at record time, so each worker's
+span tree opens its own lane when the supervisor merges snapshots into
+the session timeline.
+
+Fault injection: ``crash_after=N`` makes the worker die via ``os._exit``
+(no cleanup, no queue flush -- as close to ``kill -9`` as cooperating
+code gets) after consuming N event commands.  The supervisor only passes
+it to a worker's *first* incarnation, so a respawned worker survives.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional
+
+from repro.errors import ReproError
+from repro.serve.shard import ShardOptions, TenantShard
+
+
+def worker_main(index: int, commands, results, options: ShardOptions,
+                telemetry: bool = False,
+                crash_after: Optional[int] = None) -> None:
+    """Run one worker until a ``stop`` command (or injected crash)."""
+    from repro.obs import metrics as obs_metrics
+
+    registry = None
+    root_span = None
+    if telemetry:
+        registry = obs_metrics.MetricsRegistry()
+        obs_metrics.set_registry(registry)
+        root_span = registry.span("serve_worker", worker=index)
+        root_span.__enter__()
+
+    def emit(tenant: str, item: Any) -> None:
+        results.put(("finding", index, tenant,
+                     {"analysis": item.analysis, "position": item.position,
+                      "finding": str(item.finding)}))
+
+    def ack(tenant: str, cursor: int) -> None:
+        results.put(("ack", index, tenant, cursor))
+
+    shard = TenantShard(options, on_finding=emit, on_checkpoint=ack)
+    #: Tenants whose feed raised: drop their further events, reporting
+    #: each drop, instead of cascading one bad line into a crash loop.
+    poisoned: Dict[str, str] = {}
+    consumed = 0
+
+    while True:
+        message = commands.get()
+        verb = message[0]
+        if verb == "stop":
+            break
+        try:
+            if verb == "event":
+                _, tenant, seq, line, enqueued_at = message
+                if tenant in poisoned:
+                    results.put(("error", index, tenant, poisoned[tenant]))
+                    continue
+                shard.feed_line(tenant, seq, line, enqueued_at)
+                consumed += 1
+                if crash_after is not None and consumed >= crash_after:
+                    # Simulated hard crash -- see module docstring.
+                    os._exit(1)
+            elif verb == "end":
+                _, tenant = message
+                # A poisoned tenant still gets a summary (covering what
+                # it consumed before the bad line) -- the supervisor's
+                # drain must terminate even for broken feeds.
+                error = poisoned.pop(tenant, None)
+                doc = shard.end_tenant(tenant)
+                if error is not None:
+                    doc.setdefault("errors", {})["ingest"] = error
+                    results.put(("error", index, tenant, error))
+                results.put(("summary", index, tenant, doc))
+            elif verb == "checkpoint":
+                _, tenant = message
+                if tenant not in poisoned:
+                    shard.checkpoint_tenant(tenant)
+        except ReproError as error:
+            tenant = message[1] if len(message) > 1 else "?"
+            poisoned[tenant] = str(error)
+            results.put(("error", index, tenant, str(error)))
+
+    if root_span is not None:
+        root_span.__exit__(None, None, None)
+    if registry is not None:
+        results.put(("telemetry", index, registry.snapshot()))
+        obs_metrics.set_registry(None)
+    results.put(("stopped", index))

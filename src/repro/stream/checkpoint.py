@@ -58,8 +58,20 @@ def save_checkpoint(engine: StreamEngine, path: Union[str, Path]) -> None:
             with open(temp_path, "w", encoding="utf-8") as stream:
                 json.dump(state, stream, indent=1)
                 stream.write("\n")
+                # Flush the document to stable storage *before* the rename
+                # publishes it: os.replace is atomic in the namespace, but
+                # without the fsync a power loss could leave the new name
+                # pointing at not-yet-written blocks -- a torn checkpoint.
+                stream.flush()
+                os.fsync(stream.fileno())
             os.replace(temp_path, path)
         except OSError as error:
+            # Never leave a half-written .tmp behind to confuse operators
+            # (restore itself only ever reads the published name).
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
             if span is not None:
                 # Close by hand so the span records the error status.
                 span.__exit__(CheckpointError, error, None)

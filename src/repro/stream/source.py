@@ -29,7 +29,7 @@ from collections import deque
 from pathlib import Path
 from typing import Callable, Dict, Iterable, Iterator, Optional, Union
 
-from repro.errors import StreamError
+from repro.errors import FeedCancelledError, StreamError
 from repro.trace.event import Event, EventKind
 from repro.trace.formats import open_trace, parse_header, parse_trace_line
 from repro.trace.generators import GENERATOR_REGISTRY, build_trace
@@ -253,6 +253,14 @@ class FeedSource(EventSource):
     drains -- or raise :class:`~repro.errors.StreamError` once ``timeout``
     expires, so a stalled monitor surfaces as an error instead of unbounded
     memory growth.
+
+    The consumer side can also go away: when the iterator returned by
+    :meth:`events` is closed (explicitly, by ``break``-ing out of a ``for``
+    loop and dropping it, or by engine shutdown) the feed is *cancelled* --
+    every producer blocked in :meth:`push`/:meth:`emit` is unblocked with a
+    typed :class:`~repro.errors.FeedCancelledError` instead of deadlocking
+    against a consumer that will never drain again.  :meth:`cancel` does
+    the same explicitly.
     """
 
     def __init__(self, maxsize: int = 1024, name: str = "feed") -> None:
@@ -263,22 +271,30 @@ class FeedSource(EventSource):
         self._buffer: deque = deque()
         self._condition = threading.Condition()
         self._closed = False
+        self._cancelled = False
         self._next_index: Dict[int, int] = {}
 
     def _reserve_slot(self, timeout: Optional[float]) -> None:
         """Wait (holding the condition) until the buffer has room.
 
         Must be called with ``self._condition`` held; raises when the feed
-        is closed or the backpressure timeout expires.
+        is closed or cancelled, or the backpressure timeout expires.
         """
+        if self._cancelled:
+            raise FeedCancelledError(
+                f"feed {self.name!r}: consumer is gone (feed cancelled)")
         if self._closed:
             raise StreamError(f"feed {self.name!r} is closed")
         if not self._condition.wait_for(
-                lambda: len(self._buffer) < self._maxsize or self._closed,
+                lambda: (len(self._buffer) < self._maxsize or self._closed
+                         or self._cancelled),
                 timeout=timeout):
             raise StreamError(
                 f"feed {self.name!r}: backpressure timeout after "
                 f"{timeout}s (buffer full at {self._maxsize})")
+        if self._cancelled:
+            raise FeedCancelledError(
+                f"feed {self.name!r}: consumer is gone (feed cancelled)")
         if self._closed:
             raise StreamError(f"feed {self.name!r} is closed")
 
@@ -315,6 +331,21 @@ class FeedSource(EventSource):
             self._closed = True
             self._condition.notify_all()
 
+    def cancel(self) -> None:
+        """Mark the consumer gone: unblock every pending/future producer
+        with :class:`~repro.errors.FeedCancelledError` and stop the
+        consumer iterator at the next opportunity.  Idempotent; buffered
+        events are dropped (there is no one left to analyse them)."""
+        with self._condition:
+            self._cancelled = True
+            self._buffer.clear()
+            self._condition.notify_all()
+
+    @property
+    def cancelled(self) -> bool:
+        with self._condition:
+            return self._cancelled
+
     def __len__(self) -> int:
         with self._condition:
             return len(self._buffer)
@@ -328,15 +359,30 @@ class FeedSource(EventSource):
             raise StreamError(
                 f"feed {self.name!r} cannot skip {skip} events: a push "
                 "feed has no replayable prefix")
-        while True:
+        try:
+            while True:
+                with self._condition:
+                    self._condition.wait_for(
+                        lambda: (self._buffer or self._closed
+                                 or self._cancelled))
+                    if self._cancelled:
+                        return
+                    if not self._buffer and self._closed:
+                        return
+                    event = self._buffer.popleft()
+                    self._condition.notify_all()
+                yield event
+        finally:
+            # The consumer abandoned the iterator (GeneratorExit, an
+            # exception in the engine, or plain exhaustion).  After a clean
+            # close-and-drain cancelling is a no-op; in every other case it
+            # is what turns "producer blocked forever against a dead
+            # consumer" into a typed FeedCancelledError.
             with self._condition:
-                self._condition.wait_for(
-                    lambda: self._buffer or self._closed)
-                if not self._buffer and self._closed:
-                    return
-                event = self._buffer.popleft()
+                if not (self._closed and not self._buffer):
+                    self._cancelled = True
+                    self._buffer.clear()
                 self._condition.notify_all()
-            yield event
 
 
 def _binary_trace_source(path: Union[str, Path], follow: bool,

@@ -16,6 +16,7 @@ from repro.api import (
     GenConfig,
     GenerateConfig,
     ReportConfig,
+    ServeConfig,
     StatsConfig,
     SweepConfig,
     TimelineConfig,
@@ -37,6 +38,11 @@ REPRESENTATIVES = [
                 repeat=2, seed=7, format="json"),
     WatchConfig(source="t.std", analyses="race_prediction,deadlock",
                 window="50", checkpoint="ck.json", max_events=30),
+    ServeConfig(analyses="race_prediction,deadlock",
+                sources=("a.std", "b.std"), workers=3, backend="auto",
+                checkpoint_dir="ck", checkpoint_every=50, queue_size=64,
+                quota_events=1000, drain_timeout=30.0,
+                crash_worker="1@25"),
     GenConfig(out="corpus", name="c", kinds="racy,locked-mix", count=2,
               seed=3, threads="uniform:2,4",
               params={"racy": {"num_locks": 2}}, schedulers=("rr",),

@@ -294,7 +294,7 @@ class TestCapabilities:
         caps = session.capabilities()
         assert set(caps) == {"version", "analyses", "backends", "kinds",
                              "suites", "formats", "observability",
-                             "tuning", "exit_codes"}
+                             "tuning", "serving", "exit_codes"}
         assert len(caps["analyses"]) == 7
         assert caps["exit_codes"] == {"ok": 0, "failure": 1, "error": 2,
                                       "interrupt": 130}

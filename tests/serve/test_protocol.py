@@ -1,0 +1,61 @@
+"""The serve ingest line protocol."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.serve.protocol import (
+    BYE_LINE,
+    format_end,
+    format_event_line,
+    parse_line,
+)
+
+
+class TestFormat:
+    def test_event_line_round_trips(self):
+        line = format_event_line("t1", "0|read|var=x")
+        assert parse_line(line) == ("event", "t1", "0|read|var=x")
+
+    def test_end_line_round_trips(self):
+        assert parse_line(format_end("t1")) == ("end", "t1", None)
+
+    def test_format_validates_tenant(self):
+        with pytest.raises(ProtocolError):
+            format_event_line("bad tenant", "0|read")
+        with pytest.raises(ProtocolError):
+            format_end("")
+
+
+class TestParse:
+    def test_bye(self):
+        assert parse_line(BYE_LINE) == ("bye", None, None)
+        assert parse_line("  #bye \n") == ("bye", None, None)
+
+    def test_blank_and_whitespace_ignored(self):
+        assert parse_line("")[0] == "blank"
+        assert parse_line("   \r\n")[0] == "blank"
+
+    def test_payload_survives_verbatim(self):
+        # The payload may itself contain '|' (STD field separators); only
+        # the FIRST one splits tenant from payload.
+        kind, tenant, payload = parse_line("t1|0|write|var=x|val=3")
+        assert (kind, tenant) == ("event", "t1")
+        assert payload == "0|write|var=x|val=3"
+
+    def test_unknown_control_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown control line"):
+            parse_line("#shutdown")
+
+    def test_missing_separator_rejected(self):
+        with pytest.raises(ProtocolError, match="malformed ingest line"):
+            parse_line("just-a-tenant")
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(ProtocolError, match="malformed ingest line"):
+            parse_line("t1|   ")
+
+    def test_bad_tenant_rejected(self):
+        with pytest.raises(ProtocolError, match="invalid tenant id"):
+            parse_line("bad tenant|0|read")
+        with pytest.raises(ProtocolError, match="invalid tenant id"):
+            parse_line("#end|bad tenant")

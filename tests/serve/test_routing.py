@@ -1,0 +1,62 @@
+"""Tenant validation and consistent-hash routing."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.serve.routing import DEFAULT_VNODES, HashRing, validate_tenant
+
+
+class TestValidateTenant:
+    @pytest.mark.parametrize("tenant", [
+        "a", "tenant-1", "A.b:c_d", "0", "x" * 64, "s1:run.2026-08-08",
+    ])
+    def test_legal_ids_pass_through(self, tenant):
+        assert validate_tenant(tenant) == tenant
+
+    @pytest.mark.parametrize("tenant", [
+        "", "a|b", "a b", "-leading", ".leading", "x" * 65, "a/b", "a\nb",
+        None, 7, "é",
+    ])
+    def test_illegal_ids_rejected(self, tenant):
+        with pytest.raises(ProtocolError, match="invalid tenant id"):
+            validate_tenant(tenant)
+
+
+class TestHashRing:
+    def test_deterministic_across_instances(self):
+        tenants = [f"tenant-{i}" for i in range(200)]
+        first = HashRing(4).assignment(tenants)
+        second = HashRing(4).assignment(tenants)
+        assert first == second
+
+    def test_routes_are_in_range(self):
+        ring = HashRing(3)
+        for i in range(100):
+            assert 0 <= ring.route(f"t{i}") < 3
+
+    def test_every_shard_gets_tenants(self):
+        ring = HashRing(4, vnodes=DEFAULT_VNODES)
+        owners = {ring.route(f"tenant-{i}") for i in range(400)}
+        assert owners == {0, 1, 2, 3}
+
+    def test_single_shard_owns_everything(self):
+        ring = HashRing(1)
+        assert {ring.route(f"t{i}") for i in range(50)} == {0}
+
+    def test_resize_moves_only_a_fraction(self):
+        tenants = [f"tenant-{i}" for i in range(500)]
+        before = HashRing(4).assignment(tenants)
+        after = HashRing(5).assignment(tenants)
+        moved = sum(1 for t in tenants if before[t] != after[t])
+        # Consistent hashing: ~1/5 should move, not ~4/5.  Allow slack.
+        assert moved < len(tenants) * 0.45
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ProtocolError):
+            HashRing(0)
+        with pytest.raises(ProtocolError):
+            HashRing(2, vnodes=0)
+
+    def test_route_validates_tenant(self):
+        with pytest.raises(ProtocolError):
+            HashRing(2).route("bad|tenant")

@@ -1,6 +1,8 @@
 """Checkpoint/restore: state round-trips, corruption handling, resume."""
 
 import json
+import os
+import threading
 
 import pytest
 
@@ -98,6 +100,113 @@ class TestFiles:
                    checkpoint_every=25)
         # every 25 events plus the final save
         assert engine.stats.checkpoints == len(trace) // 25 + 1
+
+    def test_failed_save_cleans_up_temp_file(self, trace, tmp_path):
+        # The published name is a non-empty directory: the tmp write
+        # succeeds, the rename fails -- the tmp must not be left behind.
+        path = tmp_path / "ck.json"
+        path.mkdir()
+        (path / "occupant").write_text("x")
+        engine = StreamEngine(["race-prediction"])
+        engine.run(TraceSource(trace), max_events=10)
+        with pytest.raises(CheckpointError):
+            save_checkpoint(engine, path)
+        assert not (tmp_path / "ck.json.tmp").exists()
+
+
+class TestTornCheckpoints:
+    """A restore must never observe (or accept) a partial checkpoint.
+
+    The atomic tmp-write + fsync + rename in ``save_checkpoint`` guarantees
+    the published name always holds a complete document; these tests pin
+    the failure mode down from the *reader* side by simulating every torn
+    state a non-atomic writer could have produced."""
+
+    @pytest.fixture
+    def checkpoint_bytes(self, trace, tmp_path):
+        path = tmp_path / "ck.json"
+        engine = StreamEngine(["race-prediction"])
+        engine.run(TraceSource(trace), max_events=40,
+                   checkpoint_path=str(path))
+        return path.read_bytes()
+
+    def test_every_truncation_is_rejected_never_misread(
+            self, checkpoint_bytes, tmp_path):
+        """Property: for *every* proper prefix of a real checkpoint file,
+        restore raises CheckpointError -- no truncation length parses as
+        valid JSON that silently restores a wrong engine."""
+        path = tmp_path / "torn.json"
+        # Cutting inside trailing whitespace still leaves a complete
+        # document, so the property ranges over prefixes of the
+        # *meaningful* bytes only.
+        size = len(checkpoint_bytes.rstrip())
+        # Every cut point for small files; dense sampling plus the edges
+        # for large ones (keeps the sweep O(hundreds) of parses).
+        cuts = range(size) if size <= 512 else sorted(
+            set(range(0, size, max(1, size // 256)))
+            | set(range(max(0, size - 16), size)))
+        for cut in cuts:
+            path.write_bytes(checkpoint_bytes[:cut])
+            with pytest.raises(CheckpointError):
+                restore_engine(path)
+
+    def test_torn_tail_garbage_rejected(self, checkpoint_bytes, tmp_path):
+        """A crashed non-atomic writer can also leave old bytes after the
+        new document's truncation point; json.load must reject the junk."""
+        path = tmp_path / "torn.json"
+        path.write_bytes(checkpoint_bytes[:len(checkpoint_bytes) // 2]
+                         + b"\0\0garbage{{{")
+        with pytest.raises(CheckpointError):
+            restore_engine(path)
+
+    def test_concurrent_saves_and_loads_never_see_partial(
+            self, trace, tmp_path):
+        """Atomicity under contention: a loader racing a saver always gets
+        either a complete old document or a complete new one."""
+        path = tmp_path / "ck.json"
+        engine = StreamEngine(["race-prediction"])
+        engine.run(TraceSource(trace), max_events=40)
+        save_checkpoint(engine, path)
+        stop = threading.Event()
+        errors = []
+
+        def saver():
+            while not stop.is_set():
+                save_checkpoint(engine, path)
+
+        def loader():
+            while not stop.is_set():
+                try:
+                    state = load_checkpoint(path)
+                except CheckpointError as error:  # pragma: no cover
+                    errors.append(error)
+                    return
+                if state["cursor"] != 40:  # pragma: no cover
+                    errors.append(AssertionError(state["cursor"]))
+                    return
+
+        threads = [threading.Thread(target=saver),
+                   threading.Thread(target=loader),
+                   threading.Thread(target=loader)]
+        for thread in threads:
+            thread.start()
+        import time
+        time.sleep(0.3)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert not errors
+
+    def test_restore_from_published_name_ignores_tmp(self, trace, tmp_path):
+        """A stale .tmp (crash between write and rename) must be invisible
+        to restore: only the published name is read."""
+        path = tmp_path / "ck.json"
+        engine = StreamEngine(["race-prediction"])
+        engine.run(TraceSource(trace), max_events=30,
+                   checkpoint_path=str(path))
+        (tmp_path / "ck.json.tmp").write_text("{torn")
+        restored = restore_engine(path)
+        assert restored.cursor == 30
 
 
 class TestResume:

@@ -6,7 +6,7 @@ import time
 
 import pytest
 
-from repro.errors import StreamError
+from repro.errors import FeedCancelledError, StreamError
 from repro.stream.source import (
     FeedSource,
     FileSource,
@@ -232,6 +232,79 @@ class TestFeedSource:
         events = list(feed.events())
         producer.join()
         assert events == list(trace)
+
+    def test_cancel_unblocks_pending_push(self):
+        """Regression: a producer blocked on backpressure against a consumer
+        that will never drain used to deadlock; cancel() must wake it with
+        the typed error."""
+        feed = FeedSource(maxsize=1)
+        feed.emit(0, "read", variable="x")  # buffer now full
+        outcome = []
+
+        def produce():
+            try:
+                feed.emit(0, "read", variable="x", timeout=10.0)
+                outcome.append("returned")  # pragma: no cover - failure path
+            except FeedCancelledError:
+                outcome.append("cancelled")
+
+        producer = threading.Thread(target=produce)
+        producer.start()
+        time.sleep(0.05)  # let the producer block in _reserve_slot
+        feed.cancel()
+        producer.join(timeout=5.0)
+        assert not producer.is_alive()
+        assert outcome == ["cancelled"]
+
+    def test_abandoned_consumer_iterator_unblocks_producer(self):
+        """Breaking out of the consuming loop (dropping the iterator) is
+        the implicit form of cancel: blocked producers must not deadlock."""
+        feed = FeedSource(maxsize=1)
+        outcome = []
+
+        def produce():
+            try:
+                for _ in range(10):
+                    feed.emit(0, "read", variable="x", timeout=10.0)
+                outcome.append("done")  # pragma: no cover - failure path
+            except FeedCancelledError:
+                outcome.append("cancelled")
+
+        producer = threading.Thread(target=produce)
+        producer.start()
+        iterator = feed.events()
+        next(iterator)  # consume one event, leave the producer blocked
+        time.sleep(0.05)
+        iterator.close()  # what GC / `break` + drop does
+        producer.join(timeout=5.0)
+        assert not producer.is_alive()
+        assert outcome == ["cancelled"]
+        assert feed.cancelled
+
+    def test_push_after_cancel_raises_immediately(self):
+        feed = FeedSource()
+        feed.cancel()
+        with pytest.raises(FeedCancelledError):
+            feed.push(next(iter(small_trace())))
+        with pytest.raises(FeedCancelledError):
+            feed.emit(0, "read", variable="x")
+
+    def test_clean_close_and_drain_is_not_cancellation(self):
+        """Exhausting a closed feed is the normal shutdown path; the feed
+        must not flip to cancelled just because the iterator finished."""
+        feed = FeedSource()
+        feed.emit(0, "read", variable="x")
+        feed.close()
+        assert len(list(feed.events())) == 1
+        assert not feed.cancelled
+
+    def test_cancel_drops_buffered_events(self):
+        feed = FeedSource(maxsize=8)
+        feed.emit(0, "read", variable="x")
+        feed.emit(0, "read", variable="x")
+        feed.cancel()
+        assert len(feed) == 0
+        assert list(feed.events()) == []
 
 
 class TestOpenSource:

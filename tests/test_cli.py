@@ -608,6 +608,66 @@ class TestWatch:
                      "linearizability", "--max-events", "3"]) == 1
         assert "last flush failed" in capsys.readouterr().err
 
+    def test_watch_multiple_sources_serve_tenants(self, trace_file, capsys):
+        """Several --source flags route through the serving layer: one
+        tenant each, tenant-prefixed findings, one summary per tenant."""
+        assert main(["watch", "--source", str(trace_file),
+                     "--source", "racy:threads=2,events=20,seed=9",
+                     "--analyses", "race-prediction",
+                     "--format", "jsonl"]) == 0
+        lines = [json.loads(line)
+                 for line in capsys.readouterr().out.splitlines()]
+        document = [line for line in lines if line["type"] == "serve"][0]
+        assert len(document["tenants"]) == 2
+        assert sorted(document["summaries"]) == document["tenants"]
+        assert all("tenant" in line for line in lines
+                   if line["type"] == "finding")
+
+    def test_watch_multiple_sources_reject_single_feed_flags(self, trace_file,
+                                                             capsys):
+        assert main(["watch", "--source", str(trace_file),
+                     "--source", "racy:threads=2,events=20,seed=9",
+                     "--analyses", "race-prediction", "--follow"]) == 2
+        assert "follow" in capsys.readouterr().err
+
+
+class TestServe:
+    SOURCES = ["racy:threads=2,events=30,seed=1",
+               "racy:threads=2,events=20,seed=2"]
+
+    def serve(self, *extra):
+        command = ["serve", "--analyses", "race-prediction"]
+        for source in self.SOURCES:
+            command += ["--source", source]
+        return main(command + list(extra))
+
+    def test_replay_inline_jsonl(self, capsys):
+        assert self.serve("--workers", "0", "--format", "jsonl") == 0
+        lines = [json.loads(line)
+                 for line in capsys.readouterr().out.splitlines()]
+        document = [line for line in lines if line["type"] == "serve"][0]
+        assert document["workers"] == 0
+        assert document["events"] == 60 + 40  # events are per thread
+        assert len(document["tenants"]) == 2
+        for summary in document["summaries"].values():
+            assert summary["type"] == "summary"
+            assert "final" in summary
+
+    def test_replay_sharded_text_summary(self, capsys):
+        assert self.serve("--workers", "2") == 0
+        output = capsys.readouterr().out
+        assert "served 2 tenants" in output
+        assert "2 workers" in output
+
+    def test_mode_validation_is_clean_error(self, capsys):
+        assert main(["serve", "--analyses", "race-prediction"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_bad_listen_address_is_clean_error(self, capsys):
+        assert main(["serve", "--analyses", "race-prediction",
+                     "--listen", "7341"]) == 2
+        assert "malformed --listen" in capsys.readouterr().err
+
 
 class TestMetricsFlag:
     def test_analyze_metrics_writes_parseable_jsonl(self, trace_file,
